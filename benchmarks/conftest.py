@@ -1,0 +1,25 @@
+"""Benchmark-suite configuration.
+
+Each benchmark reproduces one table or figure of the paper: it runs the
+experiment once inside pytest-benchmark (wall time of the *simulation* is
+what's benchmarked), prints the paper-style rows/series, and asserts the
+shape criteria documented in DESIGN.md §3.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "experiment(name): marks a paper table/figure reproduction"
+    )
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a thunk exactly once under pytest-benchmark and return its value."""
+
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

@@ -1,0 +1,65 @@
+"""Ablation: migration responsiveness (monitor confirmation window).
+
+The monitor migrates only after observing sustained imbalance
+(`migration_confirm_checks` × 0.5 s).  Too small risks reacting to
+transient idleness (a GPU whose next function is still downloading);
+too large misses the recovery window the §VIII-E scenario exposes.
+"""
+
+import pytest
+
+from repro.core import DgsfConfig
+from repro.core.deployment import DgsfDeployment
+from repro.experiments import render_table
+from repro.workloads import register_workloads
+
+
+def run_scenario(confirm_checks: int, migration: bool = True):
+    cfg = DgsfConfig(
+        num_gpus=2, api_servers_per_gpu=2, policy="best_fit",
+        migration_enabled=migration, migration_confirm_checks=confirm_checks,
+        seed=0,
+    )
+    dep = DgsfDeployment(cfg)
+    dep.setup()
+    register_workloads(dep.platform, names=["nlp_qa", "image_classification"])
+    t0 = dep.env.now
+    procs = [
+        dep.platform.invoke(name)[1]
+        for name in ("nlp_qa", "nlp_qa", "image_classification",
+                     "image_classification")
+    ]
+    dep.env.run(until=dep.env.all_of(procs))
+    return (
+        dep.env.now - t0,
+        len(dep.gpu_server.monitor.migration_records),
+    )
+
+
+@pytest.mark.experiment("ablation-migration")
+def test_migration_confirmation_window(once):
+    def run():
+        rows = []
+        no_mig, _ = run_scenario(4, migration=False)
+        rows.append({"confirm_checks": "off", "total_s": round(no_mig, 1),
+                     "migrations": 0})
+        for checks in (2, 4, 16):
+            total, migs = run_scenario(checks)
+            rows.append({"confirm_checks": checks, "total_s": round(total, 1),
+                         "migrations": migs})
+        return rows
+
+    rows = once(run)
+    print()
+    print(render_table(
+        "Ablation — migration confirmation window (§VIII-E scenario, "
+        "best-fit sharing)", rows,
+    ))
+
+    by = {r["confirm_checks"]: r for r in rows}
+    # Migration (any reasonable window) beats no migration.
+    for checks in (2, 4):
+        assert by[checks]["total_s"] <= by["off"]["total_s"] + 0.5, checks
+        assert by[checks]["migrations"] >= 1, checks
+    # An over-conservative window forfeits (part of) the benefit.
+    assert by[16]["total_s"] >= by[4]["total_s"] - 0.5

@@ -1,0 +1,45 @@
+"""Figure 3: phase breakdown (download / CUDA init / model load /
+processing) under native, unoptimized DGSF, and DGSF."""
+
+import pytest
+
+from repro.experiments import fig3, render_table
+
+
+@pytest.mark.experiment("fig3")
+def test_fig3(once):
+    rows = once(lambda: fig3.run())
+    print()
+    print(render_table("Figure 3 — phase breakdown per workload (seconds)", rows))
+
+    by = {(r["workload"], r["variant"]): r for r in rows}
+    workloads = sorted({r["workload"] for r in rows})
+    for name in workloads:
+        native = by[(name, "native")]
+        unopt = by[(name, "dgsf_unopt")]
+        opt = by[(name, "dgsf")]
+        # Native pays the full CUDA init on the critical path; DGSF does not.
+        assert native["cuda_init"] >= 3.0, name
+        assert opt["cuda_init"] < 0.2, name
+        # Unoptimized DGSF pays on-demand remote initialization too.
+        assert unopt["cuda_init"] >= 3.0, name
+        # Optimizations strictly help overall; per-phase they never hurt
+        # beyond a small epsilon (batching shifts a few per-call costs
+        # between the load and processing phases).
+        assert opt["total"] < unopt["total"], name
+        assert opt["model_load"] <= unopt["model_load"] + 0.05, name
+        assert opt["processing"] <= unopt["processing"] + 0.05, name
+        # Remoting overhead: DGSF processing ≥ native processing
+        # ("an increase of 28%" for face detection).
+        assert opt["processing"] >= native["processing"] * 0.99, name
+        # Download phase is deployment-independent.
+        assert opt["download"] == pytest.approx(native["download"], rel=0.1), name
+
+    # Face detection's specific numbers from §VIII-B: DGSF model load ≈ 1.1 s
+    # vs native ≈ 1.7 s + handle creation, processing +~28%.
+    fd_native = by[("face_detection", "native")]
+    fd_opt = by[("face_detection", "dgsf")]
+    assert fd_opt["processing"] / fd_native["processing"] == pytest.approx(
+        1.28, abs=0.15
+    )
+    assert fd_opt["model_load"] < fd_native["model_load"]

@@ -1,0 +1,43 @@
+"""Figure 5: per-workload queueing/execution delay under heavy load."""
+
+import pytest
+
+from repro.experiments import fig5, render_table
+
+
+@pytest.mark.experiment("fig5")
+def test_fig5(once):
+    rows = once(lambda: fig5.run(copies=10))
+    print()
+    print(render_table(
+        "Figure 5 — heavy load: per-workload mean queueing and execution "
+        "delay (s); AW vs SW, no-sharing vs sharing(2)",
+        rows,
+    ))
+
+    def mean_queue(subset, sharing):
+        sel = [r for r in rows if r["subset"] == subset and r["sharing"] == sharing]
+        return sum(r["mean_queue_s"] for r in sel) / len(sel)
+
+    # Shape 1: under heavy load there is real queueing (delays well above
+    # the uncontended runtimes).
+    assert mean_queue("aw", "no_sharing") > 5.0
+
+    # Shape 2: sharing reduces average queueing delay (paper: "Sharing
+    # reduces the average queue time of each function invocation" — up to
+    # 53% for some workloads).
+    assert mean_queue("aw", "sharing2") < mean_queue("aw", "no_sharing")
+    assert mean_queue("sw", "sharing2") < mean_queue("sw", "no_sharing") * 1.05
+
+    # Shape 3: image classification benefits clearly from sharing on AW
+    # (paper: finishes on average 20% faster, queue time halved).
+    img_ns = next(r for r in rows if r["workload"] == "image_classification"
+                  and r["subset"] == "aw" and r["sharing"] == "no_sharing")
+    img_sh = next(r for r in rows if r["workload"] == "image_classification"
+                  and r["subset"] == "aw" and r["sharing"] == "sharing2")
+    assert img_sh["mean_queue_s"] < img_ns["mean_queue_s"]
+
+    # Shape 4: execution delay is never shorter than the uncontended
+    # runtime scale (sanity bound).
+    for r in rows:
+        assert r["mean_exec_s"] > 5.0

@@ -1,0 +1,36 @@
+"""Figure 6: per-workload queueing/execution delay under light load."""
+
+import pytest
+
+from repro.experiments import fig6, render_table
+
+
+@pytest.mark.experiment("fig6")
+def test_fig6(once):
+    rows = once(lambda: fig6.run(copies=10))
+    print()
+    print(render_table(
+        "Figure 6 — light load: per-workload mean queueing and execution "
+        "delay (s); 4 vs 3 GPUs, no-sharing vs sharing(2)",
+        rows,
+    ))
+
+    def mean_e2e(gpus, sharing):
+        sel = [r for r in rows if r["gpus"] == gpus and r["sharing"] == sharing]
+        return sum(r["mean_e2e_s"] for r in sel) / len(sel)
+
+    def mean_queue(gpus, sharing):
+        sel = [r for r in rows if r["gpus"] == gpus and r["sharing"] == sharing]
+        return sum(r["mean_queue_s"] for r in sel) / len(sel)
+
+    # Shape 1: with 4 GPUs, sharing changes little ("does not suffer
+    # significant changes with and without sharing with four GPUs").
+    assert abs(mean_e2e(4, "sharing2") - mean_e2e(4, "no_sharing")) \
+        < 0.25 * mean_e2e(4, "no_sharing")
+
+    # Shape 2: with 3 GPUs, contention appears and sharing reduces
+    # queueing for the workload mix ("in a contended environment, sharing
+    # reduces queueing latency of all functions").
+    assert mean_queue(3, "no_sharing") > mean_queue(4, "no_sharing")
+    assert mean_queue(3, "sharing2") < mean_queue(3, "no_sharing")
+    assert mean_e2e(3, "sharing2") < mean_e2e(3, "no_sharing")

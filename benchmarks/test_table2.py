@@ -1,0 +1,45 @@
+"""Table II: workload runtimes across native / DGSF / Lambda / CPU."""
+
+import pytest
+
+from repro.experiments import table2, render_table
+from repro.workloads import WORKLOADS
+
+
+@pytest.mark.experiment("table2")
+def test_table2(once):
+    rows = once(lambda: table2.run(repeats=1))
+    print()
+    print(render_table(
+        "Table II — per-workload runtimes (seconds) and migration time",
+        rows,
+    ))
+
+    by_name = {r["workload"]: r for r in rows}
+    for name, row in by_name.items():
+        params = WORKLOADS[name]
+        # Shape 1: DGSF beats native on every workload (init hidden).
+        assert row["dgsf_s"] < row["native_s"], name
+        # Shape 2: the gap is roughly the hidden CUDA initialization.
+        assert 1.5 <= row["native_s"] - row["dgsf_s"] <= 6.0, name
+        # Shape 3: CPU is 1.5–30x slower than the GPU paths.
+        assert row["cpu_s"] > 1.4 * row["native_s"], name
+        # Shape 4: absolute calibration within 25% of the paper.
+        assert row["native_s"] == pytest.approx(params.paper_native_s, rel=0.25), name
+        assert row["dgsf_s"] == pytest.approx(params.paper_dgsf_s, rel=0.25), name
+
+    # Shape 5: K-means CPU is the extreme case (−29.6x in the paper).
+    km = by_name["kmeans"]
+    assert km["cpu_s"] / km["native_s"] > 15
+
+    # Shape 6: Lambda spikes on the network-heavy workloads...
+    for heavy in ("nlp_qa", "image_classification"):
+        assert by_name[heavy]["lambda_s"] > by_name[heavy]["dgsf_s"] * 1.3, heavy
+    # ...and stays close to DGSF for covid / face detection.
+    for light in ("covidctnet", "face_detection"):
+        assert by_name[light]["lambda_s"] < by_name[light]["dgsf_s"] * 1.25, light
+
+    # Shape 7: migration time grows with the workload's memory footprint.
+    migs = [(WORKLOADS[n].paper_peak_bytes, r["migration_s"]) for n, r in by_name.items()]
+    migs.sort()
+    assert migs[0][1] < migs[-1][1]

@@ -1,0 +1,40 @@
+"""Table III: heavy load (exponential gaps, mean 2 s) — provider E2E and
+Σ function E2E, all-workloads vs smaller-workloads, sharing vs not."""
+
+import pytest
+
+from repro.experiments import table3, render_table
+from repro.experiments.reporting import pct_change
+
+
+@pytest.mark.experiment("table3")
+def test_table3(once):
+    rows = once(lambda: table3.run(copies=10))
+    print()
+    print(render_table(
+        "Table III — heavy load: provider end-to-end and Σ function E2E (s)",
+        rows,
+    ))
+    by = {r["config"]: r for r in rows}
+    base = by["no_sharing"]
+    for label in ("sharing2_best_fit", "sharing2_worst_fit"):
+        row = by[label]
+        print(f"  {label}: AW e2e {pct_change(row['aw_end_to_end_s'], base['aw_end_to_end_s'])}, "
+              f"AW sum {pct_change(row['aw_fn_e2e_sum_s'], base['aw_fn_e2e_sum_s'])}, "
+              f"SW e2e {pct_change(row['sw_end_to_end_s'], base['sw_end_to_end_s'])}, "
+              f"SW sum {pct_change(row['sw_fn_e2e_sum_s'], base['sw_fn_e2e_sum_s'])}")
+
+    # Shape: sharing reduces provider end-to-end and total function E2E
+    # under heavy load, for both workload subsets (paper: −7/−8% e2e,
+    # −17/−20% sum on AW).
+    for label in ("sharing2_best_fit", "sharing2_worst_fit"):
+        row = by[label]
+        assert row["aw_end_to_end_s"] < base["aw_end_to_end_s"], label
+        assert row["aw_fn_e2e_sum_s"] < base["aw_fn_e2e_sum_s"], label
+        assert row["sw_end_to_end_s"] < base["sw_end_to_end_s"] * 1.02, label
+        assert row["sw_fn_e2e_sum_s"] < base["sw_fn_e2e_sum_s"], label
+
+    # The smaller-workload subset finishes much faster than all-workloads.
+    for row in rows:
+        assert row["sw_end_to_end_s"] < row["aw_end_to_end_s"]
+        assert row["sw_fn_e2e_sum_s"] < row["aw_fn_e2e_sum_s"]

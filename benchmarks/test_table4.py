@@ -1,0 +1,51 @@
+"""Table IV: light load (exponential gaps, mean 3 s) with 4 vs 3 GPUs."""
+
+import pytest
+
+from repro.experiments import table4, render_table
+from repro.experiments.reporting import pct_change
+
+
+@pytest.mark.experiment("table4")
+def test_table4(once):
+    rows = once(lambda: table4.run(copies=10))
+    print()
+    print(render_table(
+        "Table IV — light load: provider end-to-end and Σ function E2E (s), "
+        "4 vs 3 GPUs",
+        rows,
+    ))
+    by = {r["config"]: r for r in rows}
+    base = by["no_sharing"]
+    for label in ("sharing2_best_fit", "sharing2_worst_fit"):
+        row = by[label]
+        print(f"  {label}: 3-GPU e2e {pct_change(row['gpus3_end_to_end_s'], base['gpus3_end_to_end_s'])}, "
+              f"3-GPU sum {pct_change(row['gpus3_fn_e2e_sum_s'], base['gpus3_fn_e2e_sum_s'])}")
+
+    # Shape 1: with 4 GPUs at light load, sharing matters far less than
+    # with 3 GPUs ("the end-to-end time ... with and without sharing is
+    # the same since there is no queueing"; our light load retains a bit
+    # more queueing, so we assert the relative ordering of effects).
+    for label in ("sharing2_best_fit", "sharing2_worst_fit"):
+        row = by[label]
+        effect4 = (base["gpus4_fn_e2e_sum_s"] - row["gpus4_fn_e2e_sum_s"]) \
+            / base["gpus4_fn_e2e_sum_s"]
+        effect3 = (base["gpus3_fn_e2e_sum_s"] - row["gpus3_fn_e2e_sum_s"]) \
+            / base["gpus3_fn_e2e_sum_s"]
+        assert effect4 < effect3, label
+        assert abs(effect4) < 0.15, label
+
+    # Shape 2: dropping to 3 GPUs creates contention; without sharing it
+    # hurts clearly, and sharing recovers much of it (paper: −10% e2e,
+    # −27/−28% sum vs 3-GPU no-sharing).
+    assert base["gpus3_end_to_end_s"] > base["gpus4_end_to_end_s"] * 1.05
+    assert base["gpus3_fn_e2e_sum_s"] > base["gpus4_fn_e2e_sum_s"] * 1.3
+    for label in ("sharing2_best_fit", "sharing2_worst_fit"):
+        row = by[label]
+        assert row["gpus3_end_to_end_s"] < base["gpus3_end_to_end_s"], label
+        assert row["gpus3_fn_e2e_sum_s"] < base["gpus3_fn_e2e_sum_s"] * 0.95, label
+
+    # Shape 3: 3 GPUs with sharing is only modestly slower than 4 GPUs
+    # (paper: +5.5% provider time) — the provider can shrink the pool.
+    shared = by["sharing2_worst_fit"]
+    assert shared["gpus3_end_to_end_s"] < shared["gpus4_end_to_end_s"] * 1.35

@@ -1,0 +1,42 @@
+"""Table V: synthetic migration microbenchmark."""
+
+import pytest
+
+from repro.experiments import table5, render_table
+
+
+@pytest.mark.experiment("table5")
+def test_table5(once):
+    rows = once(lambda: table5.run())
+    print()
+    print(render_table(
+        "Table V — synthetic single-array workload: native vs DGSF vs "
+        "DGSF + forced migration (seconds)",
+        rows,
+    ))
+
+    by = {r["array_mb"]: r for r in rows}
+
+    for size, row in by.items():
+        # Native is dominated by the 3.2 s CUDA init ("95% of the
+        # end-to-end time").
+        assert row["native_s"] == pytest.approx(3.2, abs=0.4), size
+        # DGSF without migration is orders of magnitude faster.
+        assert row["dgsf_s"] < 0.5, size
+        assert row["dgsf_s"] < row["native_s"] / 10, size
+        # Forced migration adds its cost to the end-to-end time.
+        assert row["dgsf_migration_e2e_s"] > row["dgsf_s"], size
+        assert row["dgsf_migration_e2e_s"] >= row["migration_s"] * 0.9, size
+
+    # Migration cost is monotone in the array size and lands in the
+    # paper's range (0.5 s … 2.1 s).
+    sizes = sorted(by)
+    migs = [by[s]["migration_s"] for s in sizes]
+    assert all(a <= b + 1e-9 for a, b in zip(migs, migs[1:]))
+    assert 0.2 <= by[323]["migration_s"] <= 0.8
+    assert 1.2 <= by[13194]["migration_s"] <= 3.0
+
+    # "around 78% of the end-to-end time for the largest memory
+    # allocation" — migration dominates the largest case.
+    big = by[13194]
+    assert big["migration_s"] / big["dgsf_migration_e2e_s"] > 0.6

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Analyze a workload's interposed call stream (the §V-C methodology).
+
+DGSF's optimizations were designed by looking at what real frameworks
+send through the CUDA API boundary.  This example attaches a
+:class:`repro.core.tracing.CallTrace` to the guest library, runs an
+ArcFace-style inference session, and prints:
+
+* the call mix (how many of each API crossed the interposition layer),
+* how each call was routed (localized / batched / remoted),
+* which APIs dominate interposition time — the candidates the paper's
+  optimizations target.
+
+Run:  python examples/call_trace_analysis.py
+"""
+
+from repro.core import DgsfConfig
+from repro.core.deployment import DgsfDeployment
+from repro.core.guest import GuestLibrary
+from repro.core.tracing import attach_trace
+from repro.mllib import OnnxInferenceSession
+from repro.simcuda.types import GB, MB
+from repro.simnet.rpc import RpcClient
+from repro.workloads import WORKLOADS
+
+
+def main():
+    dep = DgsfDeployment(DgsfConfig(num_gpus=1))
+    dep.setup()
+    server = dep.gpu_server.api_servers[0]
+    conn = dep.network.connect(dep.fn_host, dep.gpu_host)
+    server.begin_session(4 * GB)
+    server.serve_endpoint(conn.b)
+    guest = GuestLibrary(dep.env, RpcClient(conn.a), flags=dep.config.optimizations)
+    trace = attach_trace(guest)
+
+    spec = WORKLOADS["face_identification"].spec
+    session = OnnxInferenceSession(dep.env, guest, spec)
+
+    def scenario():
+        yield from guest.attach(dep.kernels.names())
+        yield from session.load()
+        load_end = dep.env.now
+        for _ in range(4):
+            yield from session.run(input_bytes=1 * MB)
+        yield from session.close()
+        return load_end
+
+    proc = dep.env.process(scenario())
+    load_end = dep.env.run(until=proc)
+
+    print(f"traced {len(trace)} interposed calls "
+          f"({guest.calls_forwarded} crossed the network, "
+          f"{guest.messages_sent} messages)\n")
+
+    routes = trace.counts_by_route()
+    total = sum(routes.values())
+    print("routing of interposed calls:")
+    for route in ("local", "batched", "remote"):
+        n = routes.get(route, 0)
+        print(f"  {route:8s} {n:6d}  ({n / total:5.1%})")
+
+    print("\ntop APIs by interposition time (optimization targets):")
+    for api, seconds in trace.top_by_time(8):
+        print(f"  {api:28s} {seconds * 1000:9.1f} ms")
+
+    inference = trace.between(load_end, dep.env.now)
+    print(f"\ninference-phase slice: {len(inference)} calls, "
+          f"{inference.counts_by_route()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: run one GPU serverless function on DGSF.
+
+Builds a complete DGSF world (serverless platform + network + a 2-GPU
+disaggregated GPU server), deploys a small CUDA function, invokes it, and
+shows that:
+
+* the function sees exactly one GPU even though the server has two,
+* data written through the remoted API round-trips correctly,
+* the expensive CUDA initialization happened at GPU-server bring-up, not
+  on the function's critical path (the core DGSF benefit).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import DgsfConfig
+from repro.core.deployment import DgsfDeployment
+from repro.faas import FunctionSpec
+from repro.simcuda.types import GB, MB
+
+
+def my_gpu_function(fc):
+    """A serverless function using the GPU through plain CUDA calls.
+
+    Handlers are generators: every GPU/API call is ``yield from``-ed so
+    the simulation can account its time.
+    """
+    # Ask the platform for a GPU — under DGSF this contacts the GPU
+    # server's monitor and attaches to an API server (paper §V-A).
+    gpu = yield from fc.acquire_gpu()
+
+    count = yield from gpu.cudaGetDeviceCount()
+    props = yield from gpu.cudaGetDeviceProperties(0)
+    print(f"    function sees {count} GPU: {props['name']}")
+
+    # Allocate, upload, compute, download.
+    data = np.arange(256, dtype=np.uint8)
+    ptr = yield from gpu.cudaMalloc(1 * MB)
+    yield from gpu.memcpyH2D(ptr, 1 * MB, payload=data)
+
+    increment = yield from gpu.cudaGetFunction("increment")
+    for _ in range(3):
+        yield from gpu.cudaLaunchKernel(increment, args=(0.05, ptr, 256))
+    yield from gpu.cudaDeviceSynchronize()
+
+    result = yield from gpu.memcpyD2H(ptr, 256)
+    yield from gpu.cudaFree(ptr)
+    return int(result[0])  # 0 + 3 increments = 3
+
+
+def main():
+    # A DGSF deployment: 2 physical GPUs, one API server each, all
+    # serverless optimizations on.
+    deployment = DgsfDeployment(DgsfConfig(num_gpus=2))
+    deployment.setup()  # GPU-server bring-up (contexts + handle pools)
+    print(f"GPU server ready: {deployment.gpu_server!r}")
+
+    deployment.platform.register(
+        FunctionSpec(name="quickstart", handler=my_gpu_function,
+                     gpu_mem_bytes=1 * GB)
+    )
+
+    invocation, proc = deployment.platform.invoke("quickstart")
+    deployment.env.run(until=proc)
+
+    assert invocation.result == 3, "three increments must be visible"
+    print(f"    result: {invocation.result} (expected 3)")
+    print(f"    end-to-end: {invocation.e2e_s * 1000:.1f} ms "
+          f"(no 3.2 s CUDA init on the critical path!)")
+    print(f"    phases: { {k: round(v, 4) for k, v in invocation.phases.items()} }")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The sandbox has setuptools 65 but no ``wheel`` package, so
+``pip install -e .`` cannot build the editable wheel PEP 660 requires.
+``python setup.py develop`` provides the equivalent editable install.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""DGSF reproduction: disaggregated GPUs for serverless functions.
+
+This package reproduces the system described in *DGSF: Disaggregated GPUs
+for Serverless Functions* (Fingler et al., IPDPS 2022) as a faithful
+discrete-event simulation.  The layering mirrors the paper:
+
+``repro.sim``
+    A from-scratch discrete-event simulation kernel (generator-based
+    processes, events, resources, a processor-sharing engine used to model
+    Hyper-Q style concurrent kernel execution).
+
+``repro.simnet``
+    Latency/bandwidth network model with a socket-like connection API and an
+    RPC layer used for API remoting.
+
+``repro.simcuda``
+    A simulated CUDA runtime *and* driver API — device memory, contexts,
+    streams, events, modules/kernels, CUDA low-level virtual-address
+    management (``cuMemCreate`` / ``cuMemAddressReserve`` / ``cuMemMap``),
+    cuDNN/cuBLAS handle libraries, and NVML-style utilization sampling.
+    Kernels carry real numpy payloads so data correctness is observable.
+
+``repro.faas``
+    The serverless substrate: function registry, warm containers, S3-like
+    object storage with bandwidth-limited downloads, arrival generators.
+
+``repro.mllib``
+    TensorFlow/ONNXRuntime/CuPy/OpenCV-like client libraries that emit
+    realistic CUDA API call streams.
+
+``repro.core``
+    DGSF itself: the guest interposer library with the paper's serverless
+    specializations, API servers, manager/monitor, scheduling policies and
+    VA-preserving live migration.
+
+``repro.workloads`` / ``repro.experiments``
+    The six paper workloads and one experiment module per table/figure.
+"""
+
+from repro._version import __version__
+from repro.errors import ReproError, SimulationError, ConfigurationError
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "SimulationError",
+    "ConfigurationError",
+]

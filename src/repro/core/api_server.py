@@ -1,0 +1,695 @@
+"""The DGSF API server (paper §V-A/§V-B/§V-C).
+
+An API server is a process on the GPU server that "handles exclusively
+one serverless function at a time and executes them on an actual physical
+GPU".  It:
+
+* pre-creates its CUDA context and one cuDNN + one cuBLAS handle on its
+  *home* GPU at bring-up — the 755 MB idle footprint of §V-C — so none of
+  that initialization is on any function's critical path,
+* realizes guest API calls through the *driver-level* low-level memory
+  management (``cuMemCreate``/``cuMemAddressReserve``/``cuMemMap``) so the
+  virtual address map can be reproduced on another GPU during migration,
+* *simulates* restricted APIs — ``cudaGetDeviceCount`` always answers 1,
+  property queries describe only the currently assigned GPU,
+* tracks every allocation so DGSF "knows exactly how much memory an
+  application is using" and enforces the function's declared limit,
+* keeps guest-visible handles (streams, events, kernel functions, cuDNN/
+  cuBLAS handles) as opaque tokens mapped to per-context objects, the
+  translation-map mechanism migration relies on (§V-D).
+
+Execution is serialized with migration through an exec lock: "Migration
+occurs at API call boundaries."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment
+from repro.sim.resources import Resource
+from repro.simcuda.context import CudaContext
+from repro.simcuda.costs import CostModel
+from repro.simcuda.cudnn import CudnnHandle, CudnnLibrary
+from repro.simcuda.cublas import CublasHandle, CublasLibrary
+from repro.simcuda.errors import CudaError, cudaError
+from repro.simcuda.stream import Stream
+from repro.simcuda.types import Dim3
+from repro.simnet.rpc import RpcRequest, RpcServer
+
+__all__ = ["ApiServer", "FunctionSession", "ApiServerStats"]
+
+_token_ids = itertools.count(0xA000_0000)
+
+
+@dataclass(frozen=True)
+class ApiServerStats:
+    """One §V-A step-③ update message: "The API server constantly sends
+    updates messages to the monitor so that it can keep track of
+    utilization of each GPU"."""
+
+    server_id: int
+    t: float
+    busy: bool
+    current_device_id: int
+    used_bytes: int
+    api_calls: int
+
+
+@dataclass
+class FunctionSession:
+    """Per-function state held by the API server while serving it."""
+
+    declared_bytes: int
+    invocation_id: int = -1
+    used_bytes: int = 0
+    peak_bytes: int = 0
+    #: guest VA -> allocation size (the VAs live in the current context's space)
+    allocations: dict[int, int] = field(default_factory=dict)
+    #: guest stream token -> {device_id: Stream}
+    streams: dict[int, dict[int, Stream]] = field(default_factory=dict)
+    #: guest event token -> CudaEvent (in current context)
+    events: dict[int, object] = field(default_factory=dict)
+    #: guest function token -> kernel name
+    kernel_names: dict[int, str] = field(default_factory=dict)
+    #: guest cudnn token -> {device_id: CudnnHandle}
+    cudnn_handles: dict[int, dict[int, CudnnHandle]] = field(default_factory=dict)
+    cublas_handles: dict[int, dict[int, CublasHandle]] = field(default_factory=dict)
+    #: handles borrowed from the shared pools (to return at session end)
+    borrowed_cudnn: list[CudnnHandle] = field(default_factory=list)
+    borrowed_cublas: list[CublasHandle] = field(default_factory=list)
+    api_calls: int = 0
+
+
+class ApiServer:
+    """One API server of a GPU server."""
+
+    def __init__(self, env: Environment, gpu_server, server_id: int, home_device_id: int):
+        self.env = env
+        self.gpu_server = gpu_server
+        self.server_id = server_id
+        self.home_device_id = home_device_id
+        self.current_device_id = home_device_id
+        #: where the session's memory lives — normally equals
+        #: ``current_device_id``; DCUDA-style peer-access migration leaves
+        #: it behind on the source GPU
+        self.memory_device_id = home_device_id
+        #: multiplicative slowdown applied to kernel work (peer access)
+        self.kernel_work_multiplier = 1.0
+        #: device_id -> pre-created context (home at bring-up; target
+        #: contexts are claimed from the per-GPU migration slot)
+        self.contexts: dict[int, CudaContext] = {}
+        #: per-context library facades (created alongside contexts)
+        self._cudnn_libs: dict[int, CudnnLibrary] = {}
+        self._cublas_libs: dict[int, CublasLibrary] = {}
+        #: the server's own precreated handles on its home GPU (§V-C)
+        self._own_cudnn: Optional[CudnnHandle] = None
+        self._own_cublas: Optional[CublasHandle] = None
+        self._own_cudnn_free = True
+        self._own_cublas_free = True
+        self.session: Optional[FunctionSession] = None
+        self.exec_lock = Resource(env, capacity=1)
+        self.migrations = 0
+        self.requests_handled = 0
+        #: declared bytes the monitor charged this server's assignment with
+        self._charged_bytes = 0
+        #: set by the monitor between grant and release so a server cannot
+        #: be handed to two functions (begin_session happens later, after
+        #: the reply network hop)
+        self.reserved = False
+        self._rpc: Optional[RpcServer] = None
+
+    # -- bring-up ----------------------------------------------------------------
+    @property
+    def costs(self) -> CostModel:
+        return self.gpu_server.costs
+
+    def setup(self) -> Generator:
+        """Create the home context + own handle pair (off critical path)."""
+        driver = self.gpu_server.driver
+        ctx = yield from driver.cuCtxCreate(self.home_device_id)
+        self._adopt_context(self.home_device_id, ctx)
+        cudnn = self._cudnn_libs[self.home_device_id]
+        h = yield from cudnn.cudnnCreate()
+        self._own_cudnn = cudnn._handles[h]
+        cublas = self._cublas_libs[self.home_device_id]
+        h = yield from cublas.cublasCreate()
+        self._own_cublas = cublas._handles[h]
+
+    def _adopt_context(self, device_id: int, ctx: CudaContext) -> None:
+        self.contexts[device_id] = ctx
+        self._cudnn_libs[device_id] = CudnnLibrary(self.env, ctx, self.costs)
+        self._cublas_libs[device_id] = CublasLibrary(self.env, ctx, self.costs)
+
+    def release_context(self, device_id: int) -> CudaContext:
+        """Detach a non-home context (returning a migration slot)."""
+        if device_id == self.home_device_id:
+            raise SimulationError("cannot release the home context")
+        del self._cudnn_libs[device_id]
+        del self._cublas_libs[device_id]
+        return self.contexts.pop(device_id)
+
+    # -- state ----------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        return self.session is not None
+
+    @property
+    def migrated(self) -> bool:
+        return self.current_device_id != self.home_device_id
+
+    @property
+    def context(self) -> CudaContext:
+        """The *compute* context (kernels, streams)."""
+        return self.contexts[self.current_device_id]
+
+    @property
+    def memory_context(self) -> CudaContext:
+        """The context owning the session's memory (usually == context)."""
+        return self.contexts[self.memory_device_id]
+
+    @property
+    def device(self):
+        return self.context.device
+
+    @property
+    def used_bytes(self) -> int:
+        return self.session.used_bytes if self.session else 0
+
+    # -- serving ---------------------------------------------------------------------
+    def serve_endpoint(self, endpoint) -> RpcServer:
+        """Start an RPC server for one function's connection."""
+        if self._rpc is not None:
+            raise SimulationError("API server already serving a connection")
+        self._rpc = RpcServer(endpoint, self.handle, batch_handler=self.handle_batch)
+        self._rpc.start()
+        return self._rpc
+
+    def stop_serving(self) -> None:
+        if self._rpc is not None:
+            self._rpc.stop()
+            self._rpc = None
+
+    def begin_session(self, declared_bytes: int, invocation_id: int = -1) -> None:
+        if self.busy:
+            raise SimulationError(f"API server {self.server_id} already busy")
+        self.session = FunctionSession(
+            declared_bytes=declared_bytes, invocation_id=invocation_id
+        )
+
+    def end_session(self) -> Generator:
+        """Tear down function state; return home if migrated (§V-A)."""
+        if self.session is None:
+            raise SimulationError("no active session")
+        with self.exec_lock.request() as lock:
+            yield lock
+            yield self.context.synchronize()
+            session = self.session
+            # Free leftover allocations (functions should free, but the
+            # server guarantees cleanup like a process exit would).
+            for va in list(session.allocations):
+                yield from self._free_va(va)
+            # Return borrowed pool handles.
+            pools = self.gpu_server.pools
+            for h in session.borrowed_cudnn:
+                pools.return_cudnn(h)
+            for h in session.borrowed_cublas:
+                pools.return_cublas(h)
+            self._own_cudnn_free = True
+            self._own_cublas_free = True
+            # Destroy per-function streams (all twins).
+            for twins in session.streams.values():
+                for dev_id, stream in twins.items():
+                    ctx = self.contexts.get(dev_id)
+                    if ctx is not None and stream.handle in ctx.streams:
+                        ctx.destroy_stream(stream.handle)
+            self.session = None
+            if self.migrated:
+                # "the API server changes its current GPU to the originally
+                # assigned one" — no data left to move at this point.
+                self.gpu_server.release_migration_slot(self, self.current_device_id)
+                self.current_device_id = self.home_device_id
+            self.memory_device_id = self.home_device_id
+            self.kernel_work_multiplier = 1.0
+
+    # -- RPC dispatch -------------------------------------------------------------------
+    def handle(self, request: RpcRequest) -> Generator:
+        """Dispatch one remoted API call (the RpcServer handler)."""
+        with self.exec_lock.request() as lock:
+            yield lock
+            self.requests_handled += 1
+            if self.session is not None:
+                self.session.api_calls += 1
+            yield self.env.timeout(self.costs.api_call_server_s)
+            method = getattr(self, "_rpc_" + request.method, None)
+            if method is None:
+                raise CudaError(
+                    cudaError.cudaErrorNotSupported, f"unknown API {request.method!r}"
+                )
+            result = yield from method(*request.args, **request.kwargs)
+            return result
+
+    def handle_batch(self, requests: list) -> Generator:
+        """Execute a shipped batch under one exec-lock acquisition.
+
+        Per-call unmarshal/dispatch cost is charged as a single aggregate
+        timeout; migration still only happens at (batch) boundaries.
+        """
+        with self.exec_lock.request() as lock:
+            yield lock
+            self.requests_handled += len(requests)
+            if self.session is not None:
+                self.session.api_calls += len(requests)
+            yield self.env.timeout(self.costs.api_call_server_s * len(requests))
+            values = []
+            for request in requests:
+                method = getattr(self, "_rpc_" + request.method, None)
+                if method is None:
+                    raise CudaError(
+                        cudaError.cudaErrorNotSupported,
+                        f"unknown API {request.method!r}",
+                    )
+                values.append((yield from method(*request.args, **request.kwargs)))
+            return values
+
+    # Each _rpc_* method below implements one remoted API.
+
+    def _rpc_attach(self, kernel_names: list[str], pooled: bool = True) -> Generator:
+        """Step ② of §V-A: the guest sends information about its kernels.
+
+        Without the startup optimization (``pooled=False``, the ablation
+        baseline) the runtime context is initialized on demand here —
+        putting the full 3.2 s CUDA initialization back on the critical
+        path, exactly what handle pooling removes (§VIII-C).
+        """
+        session = self._session()
+        if not pooled:
+            yield self.env.timeout(self.costs.cuda_init_s)
+        tokens = {}
+        for name in kernel_names:
+            token = next(_token_ids)
+            session.kernel_names[token] = name
+            # resolving also warms the per-context function pointer
+            self.context.get_function(name)
+            tokens[name] = token
+        yield self.env.timeout(self.costs.api_call_server_s)
+        return tokens
+
+    # --- device management (restricted APIs, §V-B) ---
+    def _rpc_cudaGetDeviceCount(self) -> Generator:
+        # "the API server should always reply with 1"
+        if False:
+            yield
+        return 1
+
+    def _rpc_cudaGetDeviceProperties(self, device: int) -> Generator:
+        if device != 0:
+            raise CudaError(
+                cudaError.cudaErrorInvalidDevice,
+                "functions see exactly one GPU (index 0)",
+            )
+        if False:
+            yield
+        props = self.device.properties
+        # Return a plain dict: the real system marshals a struct, and the
+        # guest must not receive live server objects.
+        return {
+            "name": props.name,
+            "total_global_mem": props.total_global_mem,
+            "multiprocessor_count": props.multiprocessor_count,
+            "clock_rate_khz": props.clock_rate_khz,
+            "compute_capability": props.compute_capability,
+        }
+
+    def _rpc_pushCallConfiguration(self, *args) -> Generator:
+        """Host-side no-op some unoptimized guests still forward."""
+        if False:
+            yield
+        return None
+
+    def _rpc_cudaSetDevice(self, device: int) -> Generator:
+        if device != 0:
+            raise CudaError(cudaError.cudaErrorInvalidDevice, str(device))
+        if False:
+            yield
+        return None
+
+    # --- memory management (DGSF-managed, §V-B) ---
+    def _rpc_cudaMalloc(self, size: int) -> Generator:
+        session = self._session()
+        if session.used_bytes + size > session.declared_bytes:
+            raise CudaError(
+                cudaError.cudaErrorMemoryAllocation,
+                f"function exceeded its declared GPU memory "
+                f"({session.used_bytes + size} > {session.declared_bytes})",
+            )
+        driver = self.gpu_server.driver
+        ctx = self.memory_context
+        alloc = yield from driver.cuMemCreate(self.memory_device_id, size)
+        va = driver.cuMemAddressReserve(ctx, size)
+        driver.cuMemMap(ctx, va, alloc)
+        session.allocations[va] = size
+        session.used_bytes += size
+        session.peak_bytes = max(session.peak_bytes, session.used_bytes)
+        return va
+
+    def _rpc_cudaFree(self, va: int) -> Generator:
+        yield from self._free_va(va)
+        return None
+
+    def _free_va(self, va: int) -> Generator:
+        session = self._session()
+        if va not in session.allocations:
+            raise CudaError(cudaError.cudaErrorInvalidValue, f"{va:#x} not allocated")
+        driver = self.gpu_server.driver
+        ctx = self.memory_context
+        alloc = driver.cuMemUnmap(ctx, va)
+        driver.cuMemAddressFree(ctx, va)
+        yield from driver.cuMemRelease(alloc)
+        session.used_bytes -= session.allocations.pop(va)
+
+    # --- copies ---
+    def _rpc_memcpyH2D(self, dst: int, size: int, payload=None, sync: bool = True,
+                       stream: int = 0) -> Generator:
+        ctx = self.memory_context
+        dst_ptr = int(dst)
+
+        def start():
+            if payload is not None:
+                mapping, offset = ctx.address_space.translate(dst_ptr)
+                mapping.allocation.write(offset, np.asarray(payload))
+            return ctx.device.copy_h2d(size)
+
+        done = self._stream(stream).enqueue(start, name="h2d")
+        if sync:
+            yield done
+        return None
+
+    def _rpc_memcpyD2H(self, src: int, size: int, stream: int = 0) -> Generator:
+        ctx = self.memory_context
+        src_ptr = int(src)
+        result: dict = {}
+
+        def start():
+            mapping, offset = ctx.address_space.translate(src_ptr)
+            result["data"] = mapping.allocation.read(offset, size)
+            return ctx.device.copy_d2h(size)
+
+        done = self._stream(stream).enqueue(start, name="d2h")
+        yield done  # D2H must return data: always synchronous here
+        return result.get("data")
+
+    def _rpc_memcpyD2D(self, dst: int, src: int, size: int, sync: bool = True,
+                       stream: int = 0) -> Generator:
+        ctx = self.memory_context
+        d, s = int(dst), int(src)
+
+        def start():
+            smap, soff = ctx.address_space.translate(s)
+            dmap, doff = ctx.address_space.translate(d)
+            dmap.allocation.write(doff, smap.allocation.read(soff, size))
+            return ctx.device.copy_d2d(size)
+
+        done = self._stream(stream).enqueue(start, name="d2d")
+        if sync:
+            yield done
+        return None
+
+    def _rpc_cudaMemset(self, ptr: int, value: int, size: int, sync: bool = True,
+                        stream: int = 0) -> Generator:
+        ctx = self.memory_context
+        dev_ptr = int(ptr)
+
+        def start():
+            mapping, offset = ctx.address_space.translate(dev_ptr)
+            window = mapping.allocation.read(offset, size)
+            mapping.allocation.write(
+                offset, np.full(len(window), value & 0xFF, np.uint8)
+            )
+            return ctx.device.memset(size)
+
+        done = self._stream(stream).enqueue(start, name="memset")
+        if sync:
+            yield done
+        return None
+
+    # --- kernels ---
+    def _rpc_cudaGetFunction(self, name: str) -> Generator:
+        session = self._session()
+        self.context.get_function(name)  # validates + warms
+        token = next(_token_ids)
+        session.kernel_names[token] = name
+        if False:
+            yield
+        return token
+
+    def _rpc_cudaLaunchKernel(self, token: int, grid, block, args, stream: int = 0,
+                              work=None) -> Generator:
+        session = self._session()
+        name = session.kernel_names.get(token)
+        if name is None:
+            raise CudaError(
+                cudaError.cudaErrorInvalidResourceHandle, f"kernel token {token:#x}"
+            )
+        ctx = self.context
+        # "the API server must make sure it is using the correct pointer
+        # for the current context in case the API server has migrated"
+        fptr = ctx.get_function(name)
+        yield self.env.timeout(self.costs.kernel_launch_s)
+        if work is not None and self.kernel_work_multiplier != 1.0:
+            # remote (peer) memory access slowdown after a DCUDA-style move
+            work = work * self.kernel_work_multiplier
+        ctx.launch_kernel(
+            fptr,
+            Dim3(*grid),
+            Dim3(*block),
+            tuple(args),
+            stream_handle=self._stream(stream).handle,
+            work_override=work,
+        )
+        return None
+
+    # --- streams / events ---
+    def _rpc_cudaStreamCreate(self) -> Generator:
+        session = self._session()
+        yield self.env.timeout(self.costs.stream_create_s)
+        token = next(_token_ids)
+        # "the API server preemptively creates streams on each context when
+        # one stream is created and keeps a translation map" (§V-D)
+        twins = {}
+        for dev_id, ctx in self.contexts.items():
+            twins[dev_id] = ctx.create_stream()
+        session.streams[token] = twins
+        return token
+
+    def _rpc_cudaStreamSynchronize(self, token: int) -> Generator:
+        yield self._stream(token).synchronize()
+        return None
+
+    def _rpc_cudaStreamDestroy(self, token: int) -> Generator:
+        session = self._session()
+        twins = session.streams.pop(token, None)
+        if twins is None:
+            raise CudaError(cudaError.cudaErrorInvalidResourceHandle, f"stream {token:#x}")
+        for dev_id, stream in twins.items():
+            ctx = self.contexts.get(dev_id)
+            if ctx is not None and stream.handle in ctx.streams:
+                ctx.destroy_stream(stream.handle)
+        if False:
+            yield
+        return None
+
+    def _rpc_cudaEventCreate(self) -> Generator:
+        session = self._session()
+        token = next(_token_ids)
+        session.events[token] = self.context.create_event()
+        if False:
+            yield
+        return token
+
+    def _rpc_cudaEventRecord(self, token: int, stream: int = 0) -> Generator:
+        event = self._event(token)
+        event.record(self._stream(stream))
+        if False:
+            yield
+        return None
+
+    def _rpc_cudaEventSynchronize(self, token: int) -> Generator:
+        yield self._event(token).synchronize()
+        return None
+
+    def _rpc_cudaEventElapsedTime(self, start: int, end: int) -> Generator:
+        if False:
+            yield
+        try:
+            seconds = self._event(end).elapsed_since(self._event(start))
+        except RuntimeError as exc:
+            raise CudaError(cudaError.cudaErrorInvalidResourceHandle, str(exc))
+        return seconds * 1000.0
+
+    def _rpc_cudaMemGetInfo(self) -> Generator:
+        """Restricted like device properties: the function sees only its
+        own declared budget, not the whole GPU server's memory state."""
+        if False:
+            yield
+        session = self._session()
+        free = session.declared_bytes - session.used_bytes
+        return (free, session.declared_bytes)
+
+    def _rpc_cudaDeviceSynchronize(self) -> Generator:
+        yield self.context.synchronize()
+        return None
+
+    # --- cuDNN / cuBLAS ---
+    def _rpc_cudnnCreate(self, pooled: bool = True) -> Generator:
+        """Create (or hand out a pooled) cuDNN handle.
+
+        With handle pooling the server returns its own precreated handle
+        (or borrows from the per-GPU shared pool); without it, the full
+        1.2 s creation happens inline — the ablation baseline.
+        """
+        session = self._session()
+        handle: Optional[CudnnHandle] = None
+        if pooled:
+            if self._own_cudnn_free and self.current_device_id == self.home_device_id:
+                handle = self._own_cudnn
+                self._own_cudnn_free = False
+            else:
+                handle = self.gpu_server.pools.borrow_cudnn(self.current_device_id)
+                if handle is not None:
+                    session.borrowed_cudnn.append(handle)
+        if handle is None:
+            lib = self._cudnn_libs[self.current_device_id]
+            h = yield from lib.cudnnCreate()
+            handle = lib._handles[h]
+        else:
+            self._cudnn_libs[self.current_device_id].adopt_handle(handle)
+        token = next(_token_ids)
+        session.cudnn_handles[token] = {self.current_device_id: handle}
+        return token
+
+    def _rpc_cublasCreate(self, pooled: bool = True) -> Generator:
+        session = self._session()
+        handle: Optional[CublasHandle] = None
+        if pooled:
+            if self._own_cublas_free and self.current_device_id == self.home_device_id:
+                handle = self._own_cublas
+                self._own_cublas_free = False
+            else:
+                handle = self.gpu_server.pools.borrow_cublas(self.current_device_id)
+                if handle is not None:
+                    session.borrowed_cublas.append(handle)
+        if handle is None:
+            lib = self._cublas_libs[self.current_device_id]
+            h = yield from lib.cublasCreate()
+            handle = lib._handles[h]
+        else:
+            self._cublas_libs[self.current_device_id].adopt_handle(handle)
+        token = next(_token_ids)
+        session.cublas_handles[token] = {self.current_device_id: handle}
+        return token
+
+    def _rpc_cudnnDescriptorOp(self, kind: str, op: str) -> Generator:
+        """Unpooled descriptor traffic (ablation baseline): host-side work."""
+        lib = self._cudnn_libs[self.current_device_id]
+        if op == "create":
+            return (yield from lib.cudnnCreateDescriptor(kind))
+        # set/destroy: tiny host-side cost, nothing to return
+        yield self.env.timeout(self.costs.api_call_local_s)
+        return None
+
+    def _rpc_cudnnOp(self, token: int, op: str, work: float, sync: bool = False,
+                     stream: int = 0) -> Generator:
+        handle = self._library_handle(self._session().cudnn_handles, token)
+        lib = self._cudnn_libs[self.current_device_id]
+        lib.adopt_handle(handle)
+        done = yield from lib.cudnnOp(
+            handle.handle, op, work * self.kernel_work_multiplier,
+            stream=self._stream(stream).handle,
+        )
+        if sync:
+            yield done
+        return None
+
+    def _rpc_cublasOp(self, token: int, op: str, work: float, sync: bool = False,
+                      stream: int = 0) -> Generator:
+        handle = self._library_handle(self._session().cublas_handles, token)
+        lib = self._cublas_libs[self.current_device_id]
+        lib.adopt_handle(handle)
+        done = yield from lib.cublasOp(
+            handle.handle, op, work * self.kernel_work_multiplier,
+            stream=self._stream(stream).handle,
+        )
+        if sync:
+            yield done
+        return None
+
+    # -- helpers ----------------------------------------------------------------------
+    def _session(self) -> FunctionSession:
+        if self.session is None:
+            raise CudaError(
+                cudaError.cudaErrorInitializationError, "no function attached"
+            )
+        return self.session
+
+    def _stream(self, token: int) -> Stream:
+        if token in (0, None):
+            return self.context.default_stream
+        session = self._session()
+        twins = session.streams.get(token)
+        if twins is None:
+            raise CudaError(cudaError.cudaErrorInvalidResourceHandle, f"stream {token:#x}")
+        # the translation map in action: pick this context's twin
+        return twins[self.current_device_id]
+
+    def _event(self, token: int):
+        session = self._session()
+        event = session.events.get(token)
+        if event is None:
+            raise CudaError(cudaError.cudaErrorInvalidResourceHandle, f"event {token:#x}")
+        return event
+
+    def _library_handle(self, table: dict, token: int):
+        twins = table.get(token)
+        if twins is None:
+            raise CudaError(cudaError.cudaErrorInvalidResourceHandle, f"handle {token:#x}")
+        handle = twins.get(self.current_device_id)
+        if handle is None:
+            raise CudaError(
+                cudaError.cudaErrorInvalidResourceHandle,
+                f"handle {token:#x} has no twin on GPU {self.current_device_id} "
+                "(migration should have installed one)",
+            )
+        return handle
+
+    def stats(self) -> ApiServerStats:
+        """Snapshot for the periodic monitor update (§V-A ③)."""
+        return ApiServerStats(
+            server_id=self.server_id,
+            t=self.env.now,
+            busy=self.busy,
+            current_device_id=self.current_device_id,
+            used_bytes=self.used_bytes,
+            api_calls=self.session.api_calls if self.session else 0,
+        )
+
+    def start_stats_reporting(self, monitor, period_s: float) -> None:
+        """Begin the periodic update-message loop to the monitor."""
+
+        def loop():
+            while True:
+                yield self.env.timeout(period_s)
+                monitor.receive_stats(self.stats())
+
+        self.env.process(loop(), name=f"stats-{self.server_id}")
+
+    def __repr__(self) -> str:
+        return (
+            f"<ApiServer {self.server_id} home={self.home_device_id} "
+            f"now={self.current_device_id} {'busy' if self.busy else 'idle'}>"
+        )

@@ -1,0 +1,83 @@
+"""The serverless backend's GPU-server registry (paper §IV).
+
+"Scaling up GPU servers in DGSF is simple.  A GPU server only needs the
+address of the central serverless backend to signal its availability.
+After it is initialized and its API servers created, it announces it is
+ready and how many functions it can handle."
+
+The paper's prototype uses one GPU server and a fixed choice policy;
+"different policies can be used in a commercial deployment, such as
+choosing the least loaded GPU server to optimize latency or the opposite
+to increase utilization."  :class:`GpuBackend` implements that policy
+space over any number of registered GPU servers.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import ConfigurationError
+
+__all__ = ["GpuBackend"]
+
+
+class GpuBackend:
+    """Chooses a GPU server for each function that requests a GPU."""
+
+    POLICIES = ("least_loaded", "round_robin")
+
+    def __init__(self, policy: str = "least_loaded"):
+        if policy not in self.POLICIES:
+            raise ConfigurationError(f"unknown backend policy {policy!r}")
+        self.policy = policy
+        self._servers: list = []
+        self._rr = itertools.count()
+        #: per-server count of requests routed (for tests/ablation)
+        self.routed: dict[int, int] = {}
+        #: per-server functions currently routed and not yet released —
+        #: the load signal (the monitor's own state lags by a network hop)
+        self.outstanding: dict[int, int] = {}
+
+    def register(self, gpu_server) -> None:
+        """A GPU server announced readiness to the backend."""
+        self._servers.append(gpu_server)
+        self.routed[id(gpu_server)] = 0
+        self.outstanding[id(gpu_server)] = 0
+
+    @property
+    def servers(self) -> list:
+        return list(self._servers)
+
+    def choose(self, declared_bytes: int):
+        """Pick the GPU server that will receive this function's request.
+
+        Only servers that could *ever* satisfy the declaration are
+        candidates; among those the policy decides.
+        """
+        if not self._servers:
+            raise ConfigurationError("no GPU servers registered")
+        feasible = [
+            s for s in self._servers
+            if max(s.monitor.schedulable_capacity.values(), default=0)
+            >= declared_bytes
+        ]
+        if not feasible:
+            raise ConfigurationError(
+                f"no GPU server can ever satisfy {declared_bytes} B"
+            )
+        if self.policy == "round_robin":
+            start = next(self._rr)
+            chosen = feasible[start % len(feasible)]
+        else:  # least_loaded: fewest functions currently routed there
+            chosen = min(
+                feasible, key=lambda s: (self.outstanding[id(s)], id(s))
+            )
+        self.routed[id(chosen)] += 1
+        self.outstanding[id(chosen)] += 1
+        return chosen
+
+    def note_release(self, gpu_server) -> None:
+        """A function routed to ``gpu_server`` finished."""
+        if self.outstanding.get(id(gpu_server), 0) <= 0:
+            raise ConfigurationError("release without a matching route")
+        self.outstanding[id(gpu_server)] -= 1

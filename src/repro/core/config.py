@@ -1,0 +1,112 @@
+"""DGSF deployment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = ["OptimizationFlags", "DgsfConfig"]
+
+
+@dataclass(frozen=True)
+class OptimizationFlags:
+    """The serverless specializations of §V-C, individually toggleable.
+
+    The ablation study (Fig. 4) adds them cumulatively in this order:
+    handle pooling → descriptor pooling → batching + unnecessary-API
+    avoidance.
+    """
+
+    #: pre-created CUDA contexts and cuDNN/cuBLAS handle pools on the API
+    #: server ("startup optimizations")
+    handle_pooling: bool = True
+    #: guest-side pooling of cuDNN descriptors — descriptor create/set/
+    #: destroy never leave the guest
+    descriptor_pooling: bool = True
+    #: accumulate enqueue-only APIs locally and ship them in batches
+    batching: bool = True
+    #: emulate localizable APIs on the guest (cudaPointerGetAttributes,
+    #: __cudaPushCallConfiguration, cudaMallocHost, device-count caching)
+    avoid_unnecessary: bool = True
+
+    @classmethod
+    def none(cls) -> "OptimizationFlags":
+        """Unoptimized DGSF (the ablation baseline)."""
+        return cls(False, False, False, False)
+
+    @classmethod
+    def all(cls) -> "OptimizationFlags":
+        return cls(True, True, True, True)
+
+    def with_(self, **kwargs) -> "OptimizationFlags":
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class DgsfConfig:
+    """Configuration of one DGSF deployment."""
+
+    #: number of physical GPUs in the GPU server (paper: 4, also 3 and 2)
+    num_gpus: int = 4
+    #: API servers per GPU; 1 = "no sharing", 2 = "Sharing (Two)"
+    api_servers_per_gpu: int = 1
+    #: GPU assignment policy: "best_fit" | "worst_fit" | "first_fit"
+    policy: str = "best_fit"
+    #: queue discipline at the monitor: "fcfs" (the paper's deployed
+    #: policy) or "sff" — shortest-function-first, which the paper leaves
+    #: as future work ("could improve throughput at some loss of
+    #: fairness", §VIII-D)
+    queue_discipline: str = "fcfs"
+    #: number of disaggregated GPU servers behind the backend (§IV:
+    #: "Scaling up GPU servers in DGSF is simple")
+    num_gpu_servers: int = 1
+    #: how the backend picks a GPU server per function: "least_loaded"
+    #: (optimize latency) or "round_robin"; §IV discusses the policy space
+    backend_policy: str = "least_loaded"
+    #: enable monitor-driven migration (§V-D)
+    migration_enabled: bool = False
+    #: imbalance check period for the monitor
+    monitor_period_s: float = 0.5
+    #: consecutive imbalance observations required before migrating — a
+    #: transient idle GPU (e.g. a function still downloading) must not
+    #: trigger a move
+    migration_confirm_checks: int = 4
+    #: optimization flags for guests attached to this deployment
+    optimizations: OptimizationFlags = field(default_factory=OptimizationFlags)
+    #: experiment seed (drives arrivals, jitter, input selection)
+    seed: int = 0
+    #: how many cuDNN/cuBLAS handle twins each per-GPU shared pool
+    #: precreates.  Kept small: each set costs 456 MB of device memory and
+    #: the largest workload (face detection, ~13.2 GB) must still fit on a
+    #: GPU next to the static footprints.
+    pool_handles_per_gpu: int = 1
+
+    def __post_init__(self):
+        if self.num_gpus <= 0:
+            raise ConfigurationError("num_gpus must be positive")
+        if self.api_servers_per_gpu <= 0:
+            raise ConfigurationError("api_servers_per_gpu must be positive")
+        if self.policy not in ("best_fit", "worst_fit", "first_fit"):
+            raise ConfigurationError(f"unknown policy {self.policy!r}")
+        if self.queue_discipline not in ("fcfs", "sff"):
+            raise ConfigurationError(
+                f"unknown queue discipline {self.queue_discipline!r}"
+            )
+        if self.num_gpu_servers <= 0:
+            raise ConfigurationError("num_gpu_servers must be positive")
+        if self.backend_policy not in ("least_loaded", "round_robin"):
+            raise ConfigurationError(
+                f"unknown backend policy {self.backend_policy!r}"
+            )
+        if self.monitor_period_s <= 0:
+            raise ConfigurationError("monitor_period_s must be positive")
+
+    @property
+    def sharing_enabled(self) -> bool:
+        return self.api_servers_per_gpu > 1
+
+    def with_(self, **kwargs) -> "DgsfConfig":
+        from dataclasses import replace as _replace
+
+        return _replace(self, **kwargs)

@@ -1,0 +1,494 @@
+"""End-to-end deployments: wiring functions to GPUs.
+
+Three ways a workload gets a GPU, all behind the same *GPU session
+facade* (the method set of :class:`repro.core.guest.GuestLibrary`):
+
+* :class:`NativeGpuSession`/:class:`NativeGpuProvider` — the paper's
+  *native* baseline: the function executes on a machine with physically
+  attached GPUs; first CUDA call pays the 3.2 s initialization.
+* :class:`DgsfDeployment` with the default network — DGSF over the
+  OpenFaaS-style deployment (10 Gbps, low jitter).
+* :class:`DgsfDeployment.lambda_deployment` — the AWS Lambda variant:
+  same GPU server, but the function-side network is slower and noisier
+  and S3 throughput is degraded (§VIII-B).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.core import Environment
+from repro.sim.resources import Resource
+from repro.sim.rng import RngRegistry
+from repro.simcuda.costs import CostModel, DEFAULT_COSTS
+from repro.simcuda.cudnn import CudnnLibrary
+from repro.simcuda.cublas import CublasLibrary
+from repro.simcuda.device import SimGPU
+from repro.simcuda.kernels import KernelRegistry, builtin_registry
+from repro.simcuda.runtime import LocalCudaRuntime
+from repro.simcuda.types import Dim3, MemcpyKind
+from repro.simnet.link import NetworkProfile
+from repro.simnet.net import Network
+from repro.simnet.rpc import RpcClient
+from repro.faas.platform import ServerlessPlatform, FunctionContext, FunctionSpec
+from repro.faas.storage import ObjectStore, StorageProfile, S3_DEFAULT, S3_LAMBDA
+from repro.core.backend import GpuBackend
+from repro.core.config import DgsfConfig
+from repro.core.gpu_server import GpuServer
+from repro.core.guest import GuestLibrary, GuestGpuBundle
+
+__all__ = [
+    "NativeGpuSession",
+    "NativeGpuProvider",
+    "DgsfGpuProvider",
+    "DgsfDeployment",
+    "NativeDeployment",
+]
+
+
+# ======================================================================
+# Native baseline
+# ======================================================================
+
+class NativeGpuSession:
+    """Adapter exposing the GPU session facade over a local runtime."""
+
+    def __init__(self, env: Environment, runtime: LocalCudaRuntime):
+        self.env = env
+        self.rt = runtime
+        self._cudnn: Optional[CudnnLibrary] = None
+        self._cublas: Optional[CublasLibrary] = None
+        # facade-level counters (parity with GuestLibrary)
+        self.calls_intercepted = 0
+        self.calls_forwarded = 0  # native: nothing crosses a network
+
+    def _ensure_libs(self) -> Generator:
+        if self._cudnn is None:
+            yield from self.rt.cudaGetDeviceCount()  # triggers lazy CUDA init
+            self._cudnn = CudnnLibrary(self.env, self.rt.context, self.rt.costs)
+            self._cublas = CublasLibrary(self.env, self.rt.context, self.rt.costs)
+
+    # --- device management ---
+    def cudaGetDeviceCount(self) -> Generator:
+        self.calls_intercepted += 1
+        return (yield from self.rt.cudaGetDeviceCount())
+
+    def cudaGetDeviceProperties(self, device: int = 0) -> Generator:
+        self.calls_intercepted += 1
+        props = yield from self.rt.cudaGetDeviceProperties(device)
+        return {
+            "name": props.name,
+            "total_global_mem": props.total_global_mem,
+            "multiprocessor_count": props.multiprocessor_count,
+            "clock_rate_khz": props.clock_rate_khz,
+            "compute_capability": props.compute_capability,
+        }
+
+    def cudaSetDevice(self, device: int) -> Generator:
+        self.calls_intercepted += 1
+        return (yield from self.rt.cudaSetDevice(device))
+
+    # --- memory ---
+    def cudaMalloc(self, size: int) -> Generator:
+        self.calls_intercepted += 1
+        return (yield from self.rt.cudaMalloc(size))
+
+    def cudaFree(self, ptr: int) -> Generator:
+        self.calls_intercepted += 1
+        return (yield from self.rt.cudaFree(ptr))
+
+    def memcpyH2D(self, dst: int, size: int, payload=None, sync: bool = True,
+                  stream: int = 0) -> Generator:
+        self.calls_intercepted += 1
+        done = yield from self.rt.cudaMemcpyAsync(
+            dst, payload, size, MemcpyKind.HostToDevice, stream=stream
+        )
+        if sync:
+            yield done
+        return None
+
+    def memcpyD2H(self, src: int, size: int, stream: int = 0) -> Generator:
+        self.calls_intercepted += 1
+        out = np.zeros(min(size, self.rt.costs.payload_cap_bytes), dtype=np.uint8)
+        yield from self.rt.cudaMemcpy(out, src, size, MemcpyKind.DeviceToHost)
+        return out
+
+    def memcpyD2D(self, dst: int, src: int, size: int, sync: bool = True,
+                  stream: int = 0) -> Generator:
+        self.calls_intercepted += 1
+        done = yield from self.rt.cudaMemcpyAsync(
+            dst, src, size, MemcpyKind.DeviceToDevice, stream=stream
+        )
+        if sync:
+            yield done
+        return None
+
+    def cudaMemset(self, ptr: int, value: int, size: int, sync: bool = True,
+                   stream: int = 0) -> Generator:
+        self.calls_intercepted += 1
+        yield from self.rt.cudaMemset(ptr, value, size)
+        return None
+
+    def cudaMallocHost(self, size: int) -> Generator:
+        self.calls_intercepted += 1
+        return (yield from self.rt.cudaMallocHost(size))
+
+    def cudaFreeHost(self, ptr: int) -> Generator:
+        self.calls_intercepted += 1
+        return (yield from self.rt.cudaFreeHost(ptr))
+
+    def cudaPointerGetAttributes(self, ptr: int) -> Generator:
+        self.calls_intercepted += 1
+        return (yield from self.rt.cudaPointerGetAttributes(ptr))
+
+    # --- kernels ---
+    def cudaGetFunction(self, name: str) -> Generator:
+        self.calls_intercepted += 1
+        return (yield from self.rt.cudaGetFunction(name))
+
+    def pushCallConfiguration(self, grid=(1, 1, 1), block=(1, 1, 1),
+                              stream: int = 0) -> Generator:
+        self.calls_intercepted += 1
+        yield from self.rt.cudaPushCallConfiguration(Dim3(*grid), Dim3(*block), stream)
+        return None
+
+    def cudaLaunchKernel(self, token: int, grid=(1, 1, 1), block=(1, 1, 1),
+                         args: tuple = (), stream: int = 0,
+                         work: Optional[float] = None) -> Generator:
+        self.calls_intercepted += 1
+        yield from self.rt.cudaLaunchKernel(
+            token, Dim3(*grid), Dim3(*block), tuple(args), stream=stream, work=work
+        )
+        return None
+
+    # --- streams / events / sync ---
+    def cudaStreamCreate(self) -> Generator:
+        self.calls_intercepted += 1
+        return (yield from self.rt.cudaStreamCreate())
+
+    def cudaStreamSynchronize(self, stream: int) -> Generator:
+        self.calls_intercepted += 1
+        return (yield from self.rt.cudaStreamSynchronize(stream))
+
+    def cudaStreamDestroy(self, stream: int) -> Generator:
+        self.calls_intercepted += 1
+        return (yield from self.rt.cudaStreamDestroy(stream))
+
+    def cudaEventCreate(self) -> Generator:
+        self.calls_intercepted += 1
+        return (yield from self.rt.cudaEventCreate())
+
+    def cudaEventRecord(self, event: int, stream: int = 0) -> Generator:
+        self.calls_intercepted += 1
+        return (yield from self.rt.cudaEventRecord(event, stream))
+
+    def cudaEventSynchronize(self, event: int) -> Generator:
+        self.calls_intercepted += 1
+        return (yield from self.rt.cudaEventSynchronize(event))
+
+    def cudaEventElapsedTime(self, start: int, end: int) -> Generator:
+        self.calls_intercepted += 1
+        return (yield from self.rt.cudaEventElapsedTime(start, end))
+
+    def cudaMemGetInfo(self) -> Generator:
+        self.calls_intercepted += 1
+        return (yield from self.rt.cudaMemGetInfo())
+
+    def cudaDeviceSynchronize(self) -> Generator:
+        self.calls_intercepted += 1
+        return (yield from self.rt.cudaDeviceSynchronize())
+
+    # --- cuDNN / cuBLAS ---
+    def cudnnCreate(self) -> Generator:
+        self.calls_intercepted += 1
+        yield from self._ensure_libs()
+        return (yield from self._cudnn.cudnnCreate())
+
+    def cudnnCreateDescriptor(self, kind: str) -> Generator:
+        self.calls_intercepted += 1
+        yield from self._ensure_libs()
+        return (yield from self._cudnn.cudnnCreateDescriptor(kind))
+
+    def cudnnSetDescriptor(self, desc: int, **settings) -> Generator:
+        self.calls_intercepted += 1
+        yield from self._ensure_libs()
+        return (yield from self._cudnn.cudnnSetDescriptor(desc, **settings))
+
+    def cudnnDestroyDescriptor(self, desc: int) -> Generator:
+        self.calls_intercepted += 1
+        yield from self._ensure_libs()
+        return (yield from self._cudnn.cudnnDestroyDescriptor(desc))
+
+    def cudnnOp(self, handle: int, op: str, work: float, sync: bool = False,
+                stream: int = 0) -> Generator:
+        self.calls_intercepted += 1
+        yield from self._ensure_libs()
+        done = yield from self._cudnn.cudnnOp(handle, op, work, stream=stream)
+        if sync:
+            yield done
+        return None
+
+    def cublasCreate(self) -> Generator:
+        self.calls_intercepted += 1
+        yield from self._ensure_libs()
+        return (yield from self._cublas.cublasCreate())
+
+    def cublasOp(self, handle: int, op: str, work: float, sync: bool = False,
+                 stream: int = 0) -> Generator:
+        self.calls_intercepted += 1
+        yield from self._ensure_libs()
+        done = yield from self._cublas.cublasOp(handle, op, work, stream=stream)
+        if sync:
+            yield done
+        return None
+
+
+class _NativeLease:
+    def __init__(self, provider, gpu_session, request):
+        self.gpu = gpu_session
+        self._provider = provider
+        self._request = request
+
+    def release(self) -> Generator:
+        self._provider._gate.release(self._request)
+        if False:
+            yield
+        return None
+
+
+class NativeGpuProvider:
+    """The native baseline: one function at a time per local GPU."""
+
+    def __init__(self, env: Environment, num_gpus: int = 1,
+                 kernel_registry: Optional[KernelRegistry] = None,
+                 costs: CostModel = DEFAULT_COSTS):
+        self.env = env
+        self.costs = costs
+        self.kernels = kernel_registry or builtin_registry()
+        self.devices = [SimGPU(env, i, costs=costs) for i in range(num_gpus)]
+        self._gate = Resource(env, capacity=num_gpus)
+        self._free = list(self.devices)
+
+    def acquire(self, fc: FunctionContext, spec: FunctionSpec) -> Generator:
+        t0 = self.env.now
+        request = self._gate.request()
+        yield request
+        fc.add_phase("gpu_queue", self.env.now - t0)
+        device = self._free.pop()
+        # native: a fresh process gets a fresh (uninitialized) runtime
+        runtime = LocalCudaRuntime(self.env, [device], self.kernels, self.costs)
+        session = NativeGpuSession(self.env, runtime)
+        lease = _NativeLease(self, session, request)
+
+        def _release() -> Generator:
+            # process exit tears the context down and frees its memory
+            rt = session.rt
+            if rt._context is not None:
+                ctx = rt._context
+                for mapping in list(ctx.address_space.mappings):
+                    ctx.address_space.unmap(mapping.va)
+                    ctx.device.free_phys(mapping.allocation)
+                extra = ctx.device.mem_used
+                if extra:
+                    ctx.device.unreserve_bytes(extra)
+                ctx.destroy()
+            self._free.append(device)
+            self._gate.release(request)
+            if False:
+                yield
+            return None
+
+        lease.release = _release
+        return lease
+
+
+# ======================================================================
+# DGSF deployment
+# ======================================================================
+
+class _DgsfLease:
+    def __init__(self, provider, bundle: GuestGpuBundle, fc: FunctionContext):
+        self._provider = provider
+        self._bundle = bundle
+        self._fc = fc
+
+    @property
+    def gpu(self) -> GuestLibrary:
+        return self._bundle.guest
+
+    def release(self) -> Generator:
+        yield from self._provider._release(self._bundle)
+        return None
+
+
+class DgsfGpuProvider:
+    """Installs DGSF GPUs into the serverless platform.
+
+    ``acquire`` performs the §V-A handshake: ① ask the monitor for an API
+    server (this is where functions queue under load — recorded as the
+    ``gpu_queue`` phase), then connect and ② register kernels.
+    """
+
+    def __init__(self, deployment: "DgsfDeployment"):
+        self.deployment = deployment
+        self.control_rtt_s = 2 * deployment.network.default_profile.latency_s
+
+    def acquire(self, fc: FunctionContext, spec: FunctionSpec) -> Generator:
+        dep = self.deployment
+        t0 = fc.env.now
+        # the backend chooses a GPU server, then ① the guest library talks
+        # to that server's monitor
+        gpu_server = dep.backend.choose(spec.gpu_mem_bytes)
+        yield fc.env.timeout(self.control_rtt_s)
+        request = gpu_server.monitor.submit_request(
+            spec.gpu_mem_bytes,
+            fc.invocation.invocation_id,
+            expected_duration_s=spec.expected_duration_s,
+        )
+        api_server = yield request.granted
+        yield fc.env.timeout(self.control_rtt_s)
+        fc.add_phase("gpu_queue", fc.env.now - t0)
+
+        connection = dep.network.connect(fc.host, gpu_server.host)
+        api_server.begin_session(
+            spec.gpu_mem_bytes, invocation_id=fc.invocation.invocation_id
+        )
+        rpc_server = api_server.serve_endpoint(connection.b)
+        guest = GuestLibrary(
+            fc.env,
+            RpcClient(connection.a),
+            flags=dep.config.optimizations,
+            costs=dep.costs,
+        )
+        kernel_names = fc.params.get("kernel_names", dep.kernels.names())
+        # The attach handshake happens here; workloads time their own
+        # "cuda_init" phase around acquire_gpu(), so it is not recorded
+        # twice.  With the startup optimization the remote context already
+        # exists; without it, attach pays the on-demand 3.2 s init.
+        yield from guest.attach(kernel_names)
+        bundle = GuestGpuBundle(guest, api_server, connection, rpc_server)
+        return _DgsfLease(self, bundle, fc)
+
+    def _release(self, bundle: GuestGpuBundle) -> Generator:
+        yield from bundle.guest.detach()
+        bundle.api_server.stop_serving()
+        yield from bundle.api_server.end_session()
+        bundle.api_server.gpu_server.monitor.release(bundle.api_server)
+        self.deployment.backend.note_release(bundle.api_server.gpu_server)
+        return None
+
+
+class DgsfDeployment:
+    """A complete DGSF world: platform + network + storage + GPU server."""
+
+    def __init__(
+        self,
+        config: DgsfConfig = DgsfConfig(),
+        kernel_registry: Optional[KernelRegistry] = None,
+        costs: CostModel = DEFAULT_COSTS,
+        network_profile: Optional[NetworkProfile] = None,
+        storage_profile: StorageProfile = S3_DEFAULT,
+        env: Optional[Environment] = None,
+    ):
+        self.config = config
+        self.costs = costs
+        self.env = env or Environment()
+        self.rngs = RngRegistry(seed=config.seed)
+        self.kernels = kernel_registry or builtin_registry()
+        profile = network_profile or NetworkProfile(latency_s=1.2e-3)
+        self.network = Network(
+            self.env, default_profile=profile, rng=self.rngs.stream("network")
+        )
+        self.fn_host = self.network.add_host("fn-server", bandwidth_bps=10e9)
+        self.gpu_host = self.network.add_host("gpu-server", bandwidth_bps=10e9)
+        self.storage = ObjectStore(
+            self.env, profile=storage_profile, rng=self.rngs.stream("storage")
+        )
+        self.platform = ServerlessPlatform(self.env, self.fn_host, storage=self.storage)
+        # one or more disaggregated GPU servers behind the backend (§IV)
+        self.backend = GpuBackend(policy=config.backend_policy)
+        self.gpu_servers: list[GpuServer] = []
+        for i in range(config.num_gpu_servers):
+            host = self.gpu_host if i == 0 else self.network.add_host(
+                f"gpu-server-{i}", bandwidth_bps=10e9
+            )
+            self.gpu_servers.append(
+                GpuServer(self.env, config, host=host,
+                          kernel_registry=self.kernels, costs=costs)
+            )
+        self.platform.gpu_provider = DgsfGpuProvider(self)
+        self._ready = False
+
+    @property
+    def gpu_server(self) -> GpuServer:
+        """The first GPU server (single-server deployments' shorthand)."""
+        return self.gpu_servers[0]
+
+    @classmethod
+    def lambda_deployment(cls, config: DgsfConfig = DgsfConfig(), **kwargs) -> "DgsfDeployment":
+        """AWS-Lambda-flavoured deployment: slower, noisier networking."""
+        lam_profile = NetworkProfile(
+            latency_s=1.6e-3,
+            jitter_stddev=400e-6,
+            bandwidth_factor_range=(0.12, 0.35),
+        )
+        return cls(
+            config=config,
+            network_profile=lam_profile,
+            storage_profile=S3_LAMBDA,
+            **kwargs,
+        )
+
+    def setup(self) -> None:
+        """Run GPU-server bring-up to completion (pre-experiment time)."""
+        if self._ready:
+            raise ConfigurationError("deployment already set up")
+        for server in self.gpu_servers:
+            server.start()
+        ready_events = [s.ready for s in self.gpu_servers]
+        from repro.sim.core import AllOf
+
+        self.env.run(until=AllOf(self.env, ready_events))
+        # "it announces it is ready" — register with the backend
+        for server in self.gpu_servers:
+            self.backend.register(server)
+        self._ready = True
+
+    @property
+    def ready(self) -> bool:
+        return self._ready
+
+
+class NativeDeployment:
+    """Baseline world: same platform/storage, locally attached GPUs."""
+
+    def __init__(
+        self,
+        num_gpus: int = 1,
+        kernel_registry: Optional[KernelRegistry] = None,
+        costs: CostModel = DEFAULT_COSTS,
+        storage_profile: StorageProfile = S3_DEFAULT,
+        seed: int = 0,
+        env: Optional[Environment] = None,
+    ):
+        self.env = env or Environment()
+        self.costs = costs
+        self.rngs = RngRegistry(seed=seed)
+        self.kernels = kernel_registry or builtin_registry()
+        self.network = Network(self.env, rng=self.rngs.stream("network"))
+        self.fn_host = self.network.add_host("gpu-machine", bandwidth_bps=10e9)
+        self.storage = ObjectStore(
+            self.env, profile=storage_profile, rng=self.rngs.stream("storage")
+        )
+        self.platform = ServerlessPlatform(self.env, self.fn_host, storage=self.storage)
+        self.platform.gpu_provider = NativeGpuProvider(
+            self.env, num_gpus=num_gpus,
+            kernel_registry=self.kernels, costs=costs,
+        )
+
+    def setup(self) -> None:
+        """Nothing to bring up natively; provided for interface parity."""
+        return None

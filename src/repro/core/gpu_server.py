@@ -1,0 +1,179 @@
+"""The GPU server: manager bring-up + assembly (paper §IV, §V-A).
+
+"When a GPU server is provisioned, the first piece that runs is the
+manager, which is responsible for setting up the environment, checking
+the available GPUs and creating the monitor and the initial idle API
+servers.  Once set up, it sends the serverless backend a message
+announcing that it is ready and how many functions it can handle (one per
+API server created)."
+
+Bring-up creates, *before any function arrives*:
+
+* one API server per (GPU × sharing level), each with its home context
+  and own cuDNN/cuBLAS handle pair (the 755 MB idle footprint),
+* one *migration slot* per GPU — a spare pre-initialized context a
+  migrating API server claims instantly (contexts cost 3.2 s, which would
+  dwarf the 0.5–2 s migration budget of Table V if created on demand),
+* a small shared pool of cuDNN/cuBLAS handles per GPU for migration
+  twins and for functions that create more handles than the server owns.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.core import Environment, Event
+from repro.simcuda.context import CudaContext
+from repro.simcuda.costs import CostModel, DEFAULT_COSTS
+from repro.simcuda.device import SimGPU
+from repro.simcuda.driver import DriverAPI
+from repro.simcuda.kernels import KernelRegistry, builtin_registry
+from repro.simcuda.nvml import NvmlSampler
+from repro.core.api_server import ApiServer
+from repro.core.config import DgsfConfig
+from repro.core.handlepool import HandlePools
+from repro.core.monitor import Monitor
+from repro.core.policies import make_policy
+
+__all__ = ["GpuServer"]
+
+
+class GpuServer:
+    """One disaggregated GPU machine with its manager-created pieces."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: DgsfConfig,
+        host=None,
+        kernel_registry: Optional[KernelRegistry] = None,
+        costs: CostModel = DEFAULT_COSTS,
+    ):
+        self.env = env
+        self.config = config
+        self.host = host
+        self.costs = costs
+        self.devices = [SimGPU(env, i, costs=costs) for i in range(config.num_gpus)]
+        self.driver = DriverAPI(env, self.devices, kernel_registry or builtin_registry(), costs)
+        self.driver.cuInit()
+        self.pools = HandlePools(env, costs)
+        self.api_servers: list[ApiServer] = []
+        sid = 0
+        for device in self.devices:
+            for _ in range(config.api_servers_per_gpu):
+                self.api_servers.append(ApiServer(env, self, sid, device.device_id))
+                sid += 1
+        #: device_id -> spare context (None while claimed)
+        self._migration_slots: dict[int, Optional[CudaContext]] = {}
+        self.monitor = Monitor(
+            env,
+            self,
+            policy=make_policy(config.policy),
+            migration_enabled=config.migration_enabled,
+            period_s=config.monitor_period_s,
+            confirm_checks=config.migration_confirm_checks,
+            queue_discipline=config.queue_discipline,
+        )
+        self.nvml = NvmlSampler(env, self.devices)
+        self.ready = Event(env)
+        self._setup_proc = None
+
+    # -- bring-up -----------------------------------------------------------------
+    def start(self):
+        """Kick off manager bring-up; ``self.ready`` fires when done."""
+        if self._setup_proc is not None:
+            raise SimulationError("GPU server already started")
+        self._setup_proc = self.env.process(self._bringup(), name="gpu-server-manager")
+        return self._setup_proc
+
+    def _bringup(self) -> Generator:
+        # API servers initialize in parallel (independent processes).
+        procs = [
+            self.env.process(server.setup(), name=f"apiserver-{server.server_id}-setup")
+            for server in self.api_servers
+        ]
+        # Spare migration-slot contexts + shared handle pools, per GPU, in
+        # parallel with the API servers.
+        slot_procs = [
+            self.env.process(self._setup_slot(device), name=f"slot-{device.device_id}")
+            for device in self.devices
+        ]
+        yield self.env.all_of(procs + slot_procs)
+        self.monitor.finalize_capacity()
+        self.monitor.start()
+        # "it announces it is ready and how many functions it can handle"
+        self.ready.succeed(len(self.api_servers))
+
+    def _setup_slot(self, device: SimGPU) -> Generator:
+        ctx = yield from self.driver.cuCtxCreate(device.device_id)
+        self._migration_slots[device.device_id] = ctx
+        yield from self.pools.prefill(ctx, self.config.pool_handles_per_gpu)
+
+    # -- migration slots -----------------------------------------------------------
+    def migration_slot_available(self, device_id: int) -> bool:
+        return self._migration_slots.get(device_id) is not None
+
+    def claim_migration_slot(self, api_server: ApiServer, device_id: int) -> CudaContext:
+        ctx = self._migration_slots.get(device_id)
+        if ctx is None:
+            raise SimulationError(f"no free migration slot on GPU {device_id}")
+        self._migration_slots[device_id] = None
+        api_server._adopt_context(device_id, ctx)
+        return ctx
+
+    def release_migration_slot(self, api_server: ApiServer, device_id: int) -> None:
+        if self._migration_slots.get(device_id) is not None:
+            raise SimulationError(f"migration slot on GPU {device_id} is not claimed")
+        ctx = api_server.release_context(device_id)
+        self._migration_slots[device_id] = ctx
+
+    # -- inspection ---------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """How many functions the server can handle concurrently."""
+        return len(self.api_servers)
+
+    def device(self, device_id: int) -> SimGPU:
+        for d in self.devices:
+            if d.device_id == device_id:
+                return d
+        raise ConfigurationError(f"no GPU {device_id}")
+
+    def idle_api_servers(self) -> list[ApiServer]:
+        return [s for s in self.api_servers if not s.busy]
+
+    def shutdown(self) -> Generator:
+        """Tear the GPU server down: destroy contexts, free all static
+        memory ("The manager then idles until it is shut down", §V-A)."""
+        if any(s.busy for s in self.api_servers):
+            raise SimulationError("cannot shut down with busy API servers")
+        for server in self.api_servers:
+            server.stop_serving()
+            ctx = server.contexts[server.home_device_id]
+            # own handles
+            if server._own_cudnn is not None:
+                ctx.device.unreserve_bytes(self.costs.cudnn_handle_bytes)
+            if server._own_cublas is not None:
+                ctx.device.unreserve_bytes(self.costs.cublas_handle_bytes)
+            self.driver.cuCtxDestroy(ctx)
+        for device_id, ctx in list(self._migration_slots.items()):
+            if ctx is not None:
+                self.driver.cuCtxDestroy(ctx)
+                self._migration_slots[device_id] = None
+        # drain the shared handle pools
+        for device in self.devices:
+            cudnn_n, cublas_n = self.pools.available(device.device_id)
+            device.unreserve_bytes(
+                cudnn_n * self.costs.cudnn_handle_bytes
+                + cublas_n * self.costs.cublas_handle_bytes
+            )
+        if False:
+            yield
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"<GpuServer gpus={len(self.devices)} servers={len(self.api_servers)} "
+            f"policy={self.config.policy} sharing={self.config.api_servers_per_gpu}>"
+        )

@@ -1,0 +1,479 @@
+"""The DGSF guest library (paper §V-B, §V-C).
+
+This is the interposition shim a function's process loads instead of the
+real CUDA/cuDNN/cuBLAS libraries.  Every entry point a workload can call
+is implemented here; depending on the API's classification and the active
+optimization flags a call is:
+
+* **localized** — answered from guest-side state, zero network traffic
+  (``cudaPointerGetAttributes`` from the allocation table,
+  ``__cudaPushCallConfiguration`` piggybacked onto the next launch,
+  ``cudaMallocHost`` fully emulated, descriptor create/set/destroy served
+  from the guest-side descriptor pool),
+* **batched** — appended to a local buffer of enqueue-only calls and
+  shipped in a single message at the next synchronization point,
+* **remoted** — one synchronous round trip to the API server.
+
+Counters record intercepted vs forwarded calls so the evaluation can
+report the paper's "reduced forwarded APIs by up to 48%/96%" numbers.
+
+Method names and signatures form the *GPU session facade* shared with the
+native baseline (:class:`repro.core.deployment.NativeGpuSession`):
+workloads are written once against this facade and run unmodified under
+native, DGSF/OpenFaaS and DGSF/Lambda deployments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.sim.core import Environment
+from repro.simcuda.costs import CostModel, DEFAULT_COSTS
+from repro.simcuda.cudnn import DESCRIPTOR_KINDS
+from repro.simcuda.errors import CudaError, cudaError
+from repro.simcuda.runtime import PointerAttributes
+from repro.simnet.rpc import RpcClient, RpcError
+from repro.core.classify import ApiClass, classify
+from repro.core.config import OptimizationFlags
+
+__all__ = ["GuestLibrary", "GuestGpuBundle"]
+
+_local_ids = itertools.count(0x6000_0000)
+
+#: flush the batch buffer when it reaches this many calls even without a
+#: synchronization point (bounds guest memory and server burstiness)
+BATCH_FLUSH_THRESHOLD = 48
+
+
+def _translate_remote_error(exc: RpcError) -> Exception:
+    """Map a marshalled remote failure back to a CudaError when possible."""
+    text = str(exc)
+    for code in cudaError:
+        if code.name in text:
+            return CudaError(code, text)
+    return exc
+
+
+class GuestLibrary:
+    """One function's interposer, connected to one API server."""
+
+    def __init__(
+        self,
+        env: Environment,
+        rpc: RpcClient,
+        flags: OptimizationFlags = OptimizationFlags(),
+        costs: CostModel = DEFAULT_COSTS,
+        batch_flush_threshold: int = BATCH_FLUSH_THRESHOLD,
+    ):
+        self.env = env
+        self.rpc = rpc
+        self.flags = flags
+        self.costs = costs
+        self.batch_flush_threshold = max(1, batch_flush_threshold)
+        self.attached = False
+        # guest-side caches/state
+        self._device_allocs: dict[int, int] = {}      # va -> size
+        self._host_allocs: dict[int, int] = {}
+        self._kernel_tokens: dict[str, int] = {}      # name -> server token
+        self._descriptor_pool: dict[str, list[int]] = {k: [] for k in DESCRIPTOR_KINDS}
+        self._local_descriptors: dict[int, tuple[str, dict]] = {}
+        self._device_count: Optional[int] = None
+        self._push_config: Optional[tuple] = None
+        self._batch: list[tuple[str, tuple, int]] = []
+        # counters
+        self.calls_intercepted = 0
+        self.calls_localized = 0
+        self.calls_batched = 0
+
+    # -- derived counters -----------------------------------------------------------
+    @property
+    def calls_forwarded(self) -> int:
+        """API calls that crossed the network (batched ones included)."""
+        return self.rpc.calls_sent
+
+    @property
+    def calls_forwarded_individually(self) -> int:
+        """Calls that crossed the network as their *own* synchronous
+        message — the paper's "forwarded APIs" metric excludes calls
+        piggybacked in batches (§V-C)."""
+        return self.rpc.calls_sent - self.calls_batched
+
+    @property
+    def messages_sent(self) -> int:
+        return self.rpc.messages_sent
+
+    # -- attach ------------------------------------------------------------------------
+    def attach(self, kernel_names: list[str]) -> Generator:
+        """Step ② of §V-A: register kernels with the API server.
+
+        The server replies with tokens, so subsequent ``cudaGetFunction``
+        calls are answered locally.
+        """
+        tokens = yield from self._remote(
+            "attach", list(kernel_names), pooled=self.flags.handle_pooling
+        )
+        self._kernel_tokens.update(tokens)
+        self.attached = True
+
+    def detach(self) -> Generator:
+        """Flush outstanding batched work before the connection closes."""
+        yield from self._flush()
+        self.attached = False
+
+    # -- plumbing ----------------------------------------------------------------------
+    def _intercept(self) -> None:
+        self.calls_intercepted += 1
+
+    def _local(self) -> Generator:
+        """Account a localized call: guest-side cost only."""
+        self.calls_localized += 1
+        yield self.env.timeout(self.costs.api_call_local_s)
+
+    def _remote(self, method: str, *args, extra_bytes: int = 0,
+                reply_extra_bytes: int = 0, **kwargs) -> Generator:
+        """Synchronous round trip (flushes the batch first for ordering)."""
+        yield from self._flush()
+        try:
+            result = yield from self.rpc.call(
+                method,
+                *args,
+                extra_bytes=extra_bytes,
+                reply_extra_bytes=reply_extra_bytes,
+                **kwargs,
+            )
+        except RpcError as exc:
+            raise _translate_remote_error(exc) from None
+        return result
+
+    def _enqueue(self, method: str, args: tuple, extra_bytes: int = 0) -> Generator:
+        """Batch (or immediately remote) an enqueue-only call."""
+        if self.flags.batching:
+            self.calls_batched += 1
+            self._batch.append((method, args, extra_bytes))
+            if len(self._batch) >= self.batch_flush_threshold:
+                self._flush_now()
+            yield self.env.timeout(self.costs.api_call_local_s)
+        else:
+            # without batching every enqueue is its own synchronous RPC
+            yield from self._remote(method, *args, extra_bytes=extra_bytes)
+
+    def _flush(self) -> Generator:
+        if self._batch:
+            self._flush_now()
+        if False:
+            yield
+        return None
+
+    def _flush_now(self) -> None:
+        batch, self._batch = self._batch, []
+        # one-way: ordering is guaranteed by the FIFO connection and the
+        # server's sequential dispatch; the next sync call observes it
+        gen = self.rpc.call_batch(batch, oneway=True)
+        # oneway batches complete synchronously on the client side
+        try:
+            next(gen)
+        except (StopIteration, TypeError):
+            pass
+
+    # ======================= CUDA runtime surface =======================
+
+    # --- device management ---
+    def cudaGetDeviceCount(self) -> Generator:
+        self._intercept()
+        if classify("cudaGetDeviceCount", self.flags) is ApiClass.LOCALIZABLE:
+            if self._device_count is not None:
+                yield from self._local()
+                return self._device_count
+        count = yield from self._remote("cudaGetDeviceCount")
+        self._device_count = count
+        return count
+
+    def cudaGetDeviceProperties(self, device: int = 0) -> Generator:
+        self._intercept()
+        return (yield from self._remote("cudaGetDeviceProperties", device))
+
+    def cudaSetDevice(self, device: int) -> Generator:
+        self._intercept()
+        if classify("cudaSetDevice", self.flags) is ApiClass.LOCALIZABLE:
+            if device != 0:
+                raise CudaError(cudaError.cudaErrorInvalidDevice, str(device))
+            yield from self._local()
+            return None
+        return (yield from self._remote("cudaSetDevice", device))
+
+    # --- memory ---
+    def cudaMalloc(self, size: int) -> Generator:
+        self._intercept()
+        va = yield from self._remote("cudaMalloc", int(size))
+        self._device_allocs[va] = int(size)
+        return va
+
+    def cudaFree(self, ptr: int) -> Generator:
+        self._intercept()
+        if ptr not in self._device_allocs:
+            raise CudaError(cudaError.cudaErrorInvalidValue, f"{ptr:#x} not allocated")
+        yield from self._remote("cudaFree", int(ptr))
+        del self._device_allocs[ptr]
+        return None
+
+    def memcpyH2D(self, dst: int, size: int, payload: Optional[np.ndarray] = None,
+                  sync: bool = True, stream: int = 0) -> Generator:
+        self._intercept()
+        pay_bytes = int(payload.nbytes) if payload is not None else 0
+        extra = max(0, int(size) - pay_bytes)
+        args = (int(dst), int(size), payload, sync, stream)
+        if not sync and classify("cudaMemcpyAsync", self.flags) is ApiClass.BATCHABLE:
+            yield from self._enqueue("memcpyH2D", args, extra_bytes=extra)
+            return None
+        yield from self._remote("memcpyH2D", *args, extra_bytes=extra)
+        return None
+
+    def memcpyD2H(self, src: int, size: int, stream: int = 0) -> Generator:
+        self._intercept()
+        data = yield from self._remote(
+            "memcpyD2H", int(src), int(size), stream,
+            reply_extra_bytes=int(size),
+        )
+        return data
+
+    def memcpyD2D(self, dst: int, src: int, size: int, sync: bool = True,
+                  stream: int = 0) -> Generator:
+        self._intercept()
+        args = (int(dst), int(src), int(size), sync, stream)
+        if not sync and classify("cudaMemcpyAsync", self.flags) is ApiClass.BATCHABLE:
+            yield from self._enqueue("memcpyD2D", args)
+            return None
+        yield from self._remote("memcpyD2D", *args)
+        return None
+
+    def cudaMemset(self, ptr: int, value: int, size: int, sync: bool = True,
+                   stream: int = 0) -> Generator:
+        self._intercept()
+        args = (int(ptr), int(value), int(size), sync, stream)
+        if not sync and classify("cudaMemsetAsync", self.flags) is ApiClass.BATCHABLE:
+            yield from self._enqueue("cudaMemset", args)
+            return None
+        yield from self._remote("cudaMemset", *args)
+        return None
+
+    def cudaMallocHost(self, size: int) -> Generator:
+        self._intercept()
+        if classify("cudaMallocHost", self.flags) is ApiClass.LOCALIZABLE:
+            yield from self._local()
+            ptr = next(_local_ids)
+            self._host_allocs[ptr] = int(size)
+            return ptr
+        # unoptimized DGSF still keeps host memory on the guest, but pays a
+        # round trip to keep the server's view coherent
+        yield from self._remote("pushCallConfiguration")  # cheap server no-op
+        ptr = next(_local_ids)
+        self._host_allocs[ptr] = int(size)
+        return ptr
+
+    def cudaFreeHost(self, ptr: int) -> Generator:
+        self._intercept()
+        if ptr not in self._host_allocs:
+            raise CudaError(cudaError.cudaErrorInvalidValue, f"{ptr:#x}")
+        if classify("cudaFreeHost", self.flags) is ApiClass.LOCALIZABLE:
+            yield from self._local()
+        else:
+            yield from self._remote("pushCallConfiguration")
+        del self._host_allocs[ptr]
+        return None
+
+    def cudaPointerGetAttributes(self, ptr: int) -> Generator:
+        self._intercept()
+        if classify("cudaPointerGetAttributes", self.flags) is ApiClass.LOCALIZABLE:
+            # "the guest library tracks the addresses returned by device
+            # memory allocation functions" (§V-C)
+            yield from self._local()
+            if ptr in self._device_allocs:
+                return PointerAttributes(True, 0, self._device_allocs[ptr])
+            if ptr in self._host_allocs:
+                return PointerAttributes(False, -1, self._host_allocs[ptr])
+            raise CudaError(cudaError.cudaErrorInvalidValue, f"{ptr:#x}")
+        # unoptimized: ask the server (it only knows device pointers)
+        if ptr in self._host_allocs:
+            yield from self._remote("pushCallConfiguration")
+            return PointerAttributes(False, -1, self._host_allocs[ptr])
+        yield from self._remote("pushCallConfiguration")
+        if ptr in self._device_allocs:
+            return PointerAttributes(True, 0, self._device_allocs[ptr])
+        raise CudaError(cudaError.cudaErrorInvalidValue, f"{ptr:#x}")
+
+    # --- kernels ---
+    def cudaGetFunction(self, name: str) -> Generator:
+        self._intercept()
+        token = self._kernel_tokens.get(name)
+        if token is not None:
+            yield from self._local()
+            return token
+        token = yield from self._remote("cudaGetFunction", name)
+        self._kernel_tokens[name] = token
+        return token
+
+    def pushCallConfiguration(self, grid=(1, 1, 1), block=(1, 1, 1),
+                              stream: int = 0) -> Generator:
+        """``__cudaPushCallConfiguration``: emitted before every launch."""
+        self._intercept()
+        if classify("__cudaPushCallConfiguration", self.flags) is ApiClass.LOCALIZABLE:
+            # piggybacked onto the launch itself (§V-C)
+            yield from self._local()
+            self._push_config = (tuple(grid), tuple(block), stream)
+            return None
+        yield from self._remote("pushCallConfiguration")
+        self._push_config = (tuple(grid), tuple(block), stream)
+        return None
+
+    def cudaLaunchKernel(self, token: int, grid=(1, 1, 1), block=(1, 1, 1),
+                         args: tuple = (), stream: int = 0,
+                         work: Optional[float] = None) -> Generator:
+        self._intercept()
+        self._push_config = None
+        call_args = (int(token), tuple(grid), tuple(block), tuple(args), stream, work)
+        if classify("cudaLaunchKernel", self.flags) is ApiClass.BATCHABLE:
+            yield from self._enqueue("cudaLaunchKernel", call_args)
+            return None
+        yield from self._remote("cudaLaunchKernel", *call_args)
+        return None
+
+    # --- streams / events / sync ---
+    def cudaStreamCreate(self) -> Generator:
+        self._intercept()
+        return (yield from self._remote("cudaStreamCreate"))
+
+    def cudaStreamSynchronize(self, stream: int) -> Generator:
+        self._intercept()
+        yield from self._remote("cudaStreamSynchronize", stream)
+        return None
+
+    def cudaStreamDestroy(self, stream: int) -> Generator:
+        self._intercept()
+        yield from self._remote("cudaStreamDestroy", stream)
+        return None
+
+    def cudaEventCreate(self) -> Generator:
+        self._intercept()
+        return (yield from self._remote("cudaEventCreate"))
+
+    def cudaEventRecord(self, event: int, stream: int = 0) -> Generator:
+        self._intercept()
+        if classify("cudaEventRecord", self.flags) is ApiClass.BATCHABLE:
+            yield from self._enqueue("cudaEventRecord", (event, stream))
+            return None
+        yield from self._remote("cudaEventRecord", event, stream)
+        return None
+
+    def cudaEventSynchronize(self, event: int) -> Generator:
+        self._intercept()
+        yield from self._remote("cudaEventSynchronize", event)
+        return None
+
+    def cudaEventElapsedTime(self, start: int, end: int) -> Generator:
+        self._intercept()
+        return (yield from self._remote("cudaEventElapsedTime", start, end))
+
+    def cudaMemGetInfo(self) -> Generator:
+        self._intercept()
+        if classify("cudaPointerGetAttributes", self.flags) is ApiClass.LOCALIZABLE:
+            # the guest tracks its own allocations, and the budget is the
+            # declared amount — answerable locally once known
+            if getattr(self, "_mem_budget", None) is not None:
+                yield from self._local()
+                used = sum(self._device_allocs.values())
+                return (self._mem_budget - used, self._mem_budget)
+        free, total = yield from self._remote("cudaMemGetInfo")
+        self._mem_budget = total
+        return (free, total)
+
+    def cudaDeviceSynchronize(self) -> Generator:
+        self._intercept()
+        yield from self._remote("cudaDeviceSynchronize")
+        return None
+
+    # ======================= cuDNN surface =======================
+
+    def cudnnCreate(self) -> Generator:
+        self._intercept()
+        return (yield from self._remote("cudnnCreate", self.flags.handle_pooling))
+
+    def cudnnCreateDescriptor(self, kind: str) -> Generator:
+        self._intercept()
+        if classify("cudnnCreateDescriptor", self.flags) is ApiClass.LOCALIZABLE:
+            # guest-side descriptor pool: reuse or mint locally (§V-C)
+            yield from self._local()
+            pool = self._descriptor_pool.get(kind)
+            if pool is None:
+                raise CudaError(cudaError.cudaErrorInvalidValue, f"kind {kind!r}")
+            if pool:
+                token = pool.pop()
+            else:
+                token = next(_local_ids)
+            self._local_descriptors[token] = (kind, {})
+            return token
+        return (yield from self._remote("cudnnDescriptorOp", kind, "create"))
+
+    def cudnnSetDescriptor(self, desc: int, **settings) -> Generator:
+        self._intercept()
+        if classify("cudnnSetDescriptor", self.flags) is ApiClass.LOCALIZABLE:
+            yield from self._local()
+            if desc in self._local_descriptors:
+                self._local_descriptors[desc][1].update(settings)
+            return None
+        yield from self._remote("cudnnDescriptorOp", "tensor", "set")
+        return None
+
+    def cudnnDestroyDescriptor(self, desc: int) -> Generator:
+        self._intercept()
+        if classify("cudnnDestroyDescriptor", self.flags) is ApiClass.LOCALIZABLE:
+            yield from self._local()
+            entry = self._local_descriptors.pop(desc, None)
+            if entry is not None:
+                self._descriptor_pool[entry[0]].append(desc)
+            return None
+        yield from self._remote("cudnnDescriptorOp", "tensor", "destroy")
+        return None
+
+    def cudnnOp(self, handle: int, op: str, work: float, sync: bool = False,
+                stream: int = 0) -> Generator:
+        self._intercept()
+        args = (int(handle), op, float(work), sync, stream)
+        if not sync and classify("cudnnOpAsync", self.flags) is ApiClass.BATCHABLE:
+            yield from self._enqueue("cudnnOp", args)
+            return None
+        yield from self._remote("cudnnOp", *args)
+        return None
+
+    # ======================= cuBLAS surface =======================
+
+    def cublasCreate(self) -> Generator:
+        self._intercept()
+        return (yield from self._remote("cublasCreate", self.flags.handle_pooling))
+
+    def cublasOp(self, handle: int, op: str, work: float, sync: bool = False,
+                 stream: int = 0) -> Generator:
+        self._intercept()
+        args = (int(handle), op, float(work), sync, stream)
+        if not sync and classify("cublasOpAsync", self.flags) is ApiClass.BATCHABLE:
+            yield from self._enqueue("cublasOp", args)
+            return None
+        yield from self._remote("cublasOp", *args)
+        return None
+
+
+class GuestGpuBundle:
+    """What a DGSF function receives as its GPU: the guest library plus
+    bookkeeping used by the deployment glue."""
+
+    def __init__(self, guest: GuestLibrary, api_server, connection, rpc_server):
+        self.guest = guest
+        self.api_server = api_server
+        self.connection = connection
+        self.rpc_server = rpc_server
+
+    @property
+    def gpu(self) -> GuestLibrary:
+        return self.guest

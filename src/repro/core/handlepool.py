@@ -1,0 +1,86 @@
+"""Pre-created CUDA contexts and cuDNN/cuBLAS handle pools (paper §V-C).
+
+"Each GPU node maintains a pool of GPU API servers with their GPU runtime
+initialized... Each API server pre-creates a set of cuDNN and cuBLAS
+handles, which are returned directly to serve the corresponding API
+calls."
+
+:class:`HandlePools` owns, per GPU, a stock of initialized cuDNN and
+cuBLAS handles (their device-memory footprint is charged at creation
+time, off any function's critical path).  API servers borrow handles when
+serving ``cudnnCreate``/``cublasCreate`` from the pool and return them
+when the function finishes; migration borrows *twin* handles on the
+destination GPU.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.core import Environment
+from repro.simcuda.context import CudaContext
+from repro.simcuda.costs import CostModel
+from repro.simcuda.cudnn import CudnnHandle, CudnnLibrary
+from repro.simcuda.cublas import CublasHandle, CublasLibrary
+
+__all__ = ["HandlePools"]
+
+
+class HandlePools:
+    """Per-GPU stocks of pre-initialized library handles."""
+
+    def __init__(self, env: Environment, costs: CostModel):
+        self.env = env
+        self.costs = costs
+        #: device_id -> available handles
+        self._cudnn: dict[int, list[CudnnHandle]] = {}
+        self._cublas: dict[int, list[CublasHandle]] = {}
+        #: device_id -> library objects used to mint pool handles
+        self._cudnn_libs: dict[int, CudnnLibrary] = {}
+        self._cublas_libs: dict[int, CublasLibrary] = {}
+
+    def prefill(self, context: CudaContext, count: int) -> Generator:
+        """Create ``count`` handles of each kind on the context's GPU.
+
+        Called by the manager at GPU-server bring-up; consumes real
+        simulated time (count × (1.2 s + 0.2 s)) but runs before any
+        function arrives.
+        """
+        if count <= 0:
+            raise ConfigurationError("pool count must be positive")
+        device_id = context.device.device_id
+        cudnn_lib = self._cudnn_libs.setdefault(
+            device_id, CudnnLibrary(self.env, context, self.costs)
+        )
+        cublas_lib = self._cublas_libs.setdefault(
+            device_id, CublasLibrary(self.env, context, self.costs)
+        )
+        for _ in range(count):
+            h = yield from cudnn_lib.cudnnCreate()
+            self._cudnn.setdefault(device_id, []).append(cudnn_lib._handles[h])
+            h = yield from cublas_lib.cublasCreate()
+            self._cublas.setdefault(device_id, []).append(cublas_lib._handles[h])
+
+    # -- borrowing -------------------------------------------------------------
+    def borrow_cudnn(self, device_id: int) -> Optional[CudnnHandle]:
+        """Take a pre-created cuDNN handle for this GPU (None if exhausted)."""
+        stock = self._cudnn.get(device_id, [])
+        return stock.pop() if stock else None
+
+    def borrow_cublas(self, device_id: int) -> Optional[CublasHandle]:
+        stock = self._cublas.get(device_id, [])
+        return stock.pop() if stock else None
+
+    def return_cudnn(self, handle: CudnnHandle) -> None:
+        self._cudnn.setdefault(handle.device_id, []).append(handle)
+
+    def return_cublas(self, handle: CublasHandle) -> None:
+        self._cublas.setdefault(handle.device_id, []).append(handle)
+
+    def available(self, device_id: int) -> tuple[int, int]:
+        """(cudnn, cublas) handles in stock for one GPU."""
+        return (
+            len(self._cudnn.get(device_id, [])),
+            len(self._cublas.get(device_id, [])),
+        )

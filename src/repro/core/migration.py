@@ -1,0 +1,155 @@
+"""Live migration of an API server between GPUs (paper §V-D).
+
+The sequence, mirroring the paper:
+
+1. *Quiesce*: stop handling API calls (taking the server's exec lock —
+   "Migration occurs at API call boundaries") and wait for all pending
+   stream operations to complete.
+2. *Claim* the destination GPU's pre-initialized migration-slot context
+   (contexts cannot be created in 3.2 s on the migration path).
+3. For every application allocation: create physical memory on the target
+   GPU, copy device-to-device, reserve the *same virtual address* in the
+   destination context (fixed-address ``cuMemAddressReserve``), map the
+   new physical memory there, and release the source memory.  Application
+   pointers — including indirect ones stored in device data structures —
+   remain valid because the address map is identical.
+4. *Translate handles*: install twins for streams, events and cuDNN/
+   cuBLAS handles in the destination context via the translation maps.
+5. Switch the server's current context and resume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment
+
+__all__ = ["MigrationRecord", "migrate_api_server"]
+
+
+@dataclass
+class MigrationRecord:
+    """Outcome of one migration."""
+
+    server_id: int
+    source_device: int
+    target_device: int
+    moved_bytes: int
+    allocations_moved: int
+    started_at: float
+    duration_s: float
+
+
+def migrate_api_server(api_server, target_device_id: int) -> Generator:
+    """Migrate ``api_server``'s live function to ``target_device_id``.
+
+    Returns a :class:`MigrationRecord`.  The caller (monitor) is
+    responsible for scheduling-level accounting (committed memory moves).
+    """
+    env: Environment = api_server.env
+    gpu_server = api_server.gpu_server
+    driver = gpu_server.driver
+    costs = api_server.costs
+    source_device_id = api_server.current_device_id
+    if target_device_id == source_device_id:
+        raise SimulationError("migration target equals current GPU")
+    if api_server.session is None:
+        raise SimulationError("cannot migrate an idle API server")
+    if api_server.memory_device_id != api_server.current_device_id:
+        raise SimulationError(
+            "cannot migrate a session whose memory was left behind by a "
+            "peer-access move"
+        )
+
+    t_start = env.now
+    with api_server.exec_lock.request() as lock:
+        # 1. quiesce: no new API calls; drain pending operations
+        yield lock
+        source_ctx = api_server.context
+        yield source_ctx.synchronize()
+
+        # 2. the destination context: the server's own home context when
+        # migrating back home, otherwise the target GPU's pre-initialized
+        # migration slot
+        if target_device_id == api_server.home_device_id:
+            target_ctx = api_server.contexts[target_device_id]
+        else:
+            target_ctx = gpu_server.claim_migration_slot(api_server, target_device_id)
+
+        # fixed overhead: driver coordination, context switch, bookkeeping
+        yield env.timeout(costs.migration_fixed_s)
+
+        session = api_server.session
+        moved_bytes = 0
+        moved_allocs = 0
+        # 3. move every allocation, preserving virtual addresses
+        for va, size in sorted(session.allocations.items()):
+            old_mapping, _ = source_ctx.address_space.translate(va)
+            old_alloc = old_mapping.allocation
+            new_alloc = yield from driver.cuMemCreate(target_device_id, size)
+            # temporary-VA data move (modelled as the copy itself)
+            yield from driver.cuMemcpyDtoD(new_alloc, old_alloc, size)
+            yield env.timeout(costs.migration_per_allocation_s)
+            got = driver.cuMemAddressReserve(target_ctx, size, fixed_addr=va)
+            assert got == va, "fixed-address reservation must preserve the VA"
+            driver.cuMemMap(target_ctx, got, new_alloc)
+            # release the source-side resources
+            driver.cuMemUnmap(source_ctx, va)
+            driver.cuMemAddressFree(source_ctx, va)
+            yield from driver.cuMemRelease(old_alloc)
+            moved_bytes += size
+            moved_allocs += 1
+
+        # 4a. stream twins: ensure each guest stream has a twin in the
+        # destination context (pre-created twins may predate this context)
+        for twins in session.streams.values():
+            if target_device_id not in twins:
+                twins[target_device_id] = target_ctx.create_stream()
+
+        # 4b. events: recreate in the destination context
+        for token in list(session.events):
+            session.events[token] = target_ctx.create_event()
+
+        # 4c. cuDNN / cuBLAS handle twins from the target GPU's pool
+        pools = gpu_server.pools
+        for token, twins in session.cudnn_handles.items():
+            if target_device_id not in twins:
+                handle = pools.borrow_cudnn(target_device_id)
+                if handle is None:
+                    lib = api_server._cudnn_libs[target_device_id]
+                    h = yield from lib.cudnnCreate()
+                    handle = lib._handles[h]
+                else:
+                    session.borrowed_cudnn.append(handle)
+                twins[target_device_id] = handle
+        for token, twins in session.cublas_handles.items():
+            if target_device_id not in twins:
+                handle = pools.borrow_cublas(target_device_id)
+                if handle is None:
+                    lib = api_server._cublas_libs[target_device_id]
+                    h = yield from lib.cublasCreate()
+                    handle = lib._handles[h]
+                else:
+                    session.borrowed_cublas.append(handle)
+                twins[target_device_id] = handle
+
+        # 5. switch and resume; release a previously claimed slot if this
+        # server had already migrated once
+        previous = source_device_id
+        api_server.current_device_id = target_device_id
+        api_server.memory_device_id = target_device_id
+        if previous != api_server.home_device_id:
+            gpu_server.release_migration_slot(api_server, previous)
+        api_server.migrations += 1
+
+    return MigrationRecord(
+        server_id=api_server.server_id,
+        source_device=source_device_id,
+        target_device=target_device_id,
+        moved_bytes=moved_bytes,
+        allocations_moved=moved_allocs,
+        started_at=t_start,
+        duration_s=env.now - t_start,
+    )

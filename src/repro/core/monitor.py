@@ -1,0 +1,299 @@
+"""The GPU server's monitor (paper §V-A, §V-D).
+
+"The monitor is the main piece of the GPU server, maintaining statistics
+about the state of each GPU and API server and handling incoming function
+GPU requests by using scheduling policies to choose an appropriate API
+server."
+
+Responsibilities implemented here:
+
+* an FCFS queue of function GPU requests ("Scheduling at the GPU server
+  enforces a first-come first-serve policy", §VIII-D — head-of-line
+  blocking included),
+* GPU selection via the configured policy (best-fit / worst-fit) over
+  GPUs that currently have an idle API server and enough *schedulable*
+  memory (capacity minus static footprints minus committed declarations),
+* imbalance detection and migration triggering: when one GPU hosts ≥2
+  busy API servers while another is idle, move the cheapest busy server
+  over (§V-D's scenario).
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment, Event
+from repro.core.migration import migrate_api_server, MigrationRecord
+from repro.core.policies import Policy
+
+__all__ = ["Monitor", "GpuRequest"]
+
+
+@dataclass
+class _GpuSchedView:
+    """What the policy sees about one GPU."""
+
+    device_id: int
+    schedulable_free: int
+
+
+@dataclass
+class GpuRequest:
+    """A queued "function needs a GPU" request."""
+
+    declared_bytes: int
+    invocation_id: int
+    submitted_at: float
+    #: fires with the assigned ApiServer
+    granted: Event = None  # type: ignore[assignment]
+    granted_at: float = -1.0
+    #: hint used by the shortest-function-first discipline (0 = unknown)
+    expected_duration_s: float = 0.0
+
+
+class Monitor:
+    """Statistics + scheduling + migration control for one GPU server."""
+
+    def __init__(self, env: Environment, gpu_server, policy: Policy,
+                 migration_enabled: bool = False, period_s: float = 0.5,
+                 confirm_checks: int = 4, queue_discipline: str = "fcfs"):
+        if queue_discipline not in ("fcfs", "sff"):
+            raise SimulationError(f"unknown queue discipline {queue_discipline!r}")
+        self.env = env
+        self.gpu_server = gpu_server
+        self.policy = policy
+        self.queue_discipline = queue_discipline
+        self.migration_enabled = migration_enabled
+        self.period_s = period_s
+        self.confirm_checks = max(1, confirm_checks)
+        self._imbalance_streak = 0
+        self._queue: collections.deque[GpuRequest] = collections.deque()
+        #: device_id -> declared bytes committed by functions assigned there
+        self.committed: dict[int, int] = {
+            d.device_id: 0 for d in gpu_server.devices
+        }
+        #: device_id -> schedulable capacity (set after bring-up)
+        self.schedulable_capacity: dict[int, int] = {}
+        #: api server -> device the scheduler charged it against
+        self._charged_device: dict[int, int] = {}
+        self.requests_total = 0
+        self.requests_queued_peak = 0
+        #: server_id -> last received ApiServerStats (§V-A ③ updates)
+        self.last_stats: dict[int, object] = {}
+        self.migration_records: list[MigrationRecord] = []
+        self._migration_proc = None
+        self._migration_in_flight = False
+
+    # -- bring-up ----------------------------------------------------------------
+    def finalize_capacity(self) -> None:
+        """Snapshot per-GPU schedulable capacity after static bring-up."""
+        for device in self.gpu_server.devices:
+            self.schedulable_capacity[device.device_id] = device.mem_free
+
+    def start(self) -> None:
+        # §V-A ③: every API server streams periodic updates
+        for server in self.gpu_server.api_servers:
+            server.start_stats_reporting(self, self.period_s / 2)
+        if self.migration_enabled and self._migration_proc is None:
+            self._migration_proc = self.env.process(
+                self._migration_loop(), name="monitor-migration"
+            )
+
+    def receive_stats(self, stats) -> None:
+        """Record an API server's update message."""
+        self.last_stats[stats.server_id] = stats
+
+    # -- request handling --------------------------------------------------------------
+    def schedulable_free(self, device_id: int) -> int:
+        capacity = self.schedulable_capacity.get(device_id)
+        if capacity is None:
+            raise SimulationError("finalize_capacity() not called")
+        return capacity - self.committed[device_id]
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def submit_request(self, declared_bytes: int, invocation_id: int = -1,
+                       expected_duration_s: float = 0.0) -> GpuRequest:
+        """Enqueue a GPU request; its ``granted`` event fires with a server."""
+        if declared_bytes <= 0:
+            raise SimulationError("declared GPU memory must be positive")
+        max_cap = max(self.schedulable_capacity.values(), default=0)
+        if declared_bytes > max_cap:
+            raise SimulationError(
+                f"request for {declared_bytes} B exceeds any GPU's schedulable "
+                f"capacity ({max_cap} B)"
+            )
+        request = GpuRequest(
+            declared_bytes=declared_bytes,
+            invocation_id=invocation_id,
+            submitted_at=self.env.now,
+            granted=Event(self.env),
+            expected_duration_s=expected_duration_s,
+        )
+        self.requests_total += 1
+        self._queue.append(request)
+        self.requests_queued_peak = max(self.requests_queued_peak, len(self._queue))
+        self._try_dispatch()
+        return request
+
+    def release(self, api_server) -> None:
+        """A function finished on ``api_server``; free its slot."""
+        device_id = self._charged_device.pop(api_server.server_id, None)
+        if device_id is None:
+            raise SimulationError(f"server {api_server.server_id} was not charged")
+        # release is called after end_session, so the server is idle again
+        # (possibly freshly returned to its home GPU)
+        # uncommit from wherever the scheduler last charged it
+        # (migration moves the charge, see note in _migrate_one)
+        self.committed[device_id] -= api_server._charged_bytes
+        api_server._charged_bytes = 0
+        api_server.reserved = False
+        self._try_dispatch()
+
+    def _gpu_views(self) -> list:
+        views = []
+        for device in self.gpu_server.devices:
+            if any(
+                s.home_device_id == device.device_id
+                and not s.busy
+                and not s.reserved
+                for s in self.gpu_server.api_servers
+            ):
+                views.append(
+                    _GpuSchedView(
+                        device_id=device.device_id,
+                        schedulable_free=self.schedulable_free(device.device_id),
+                    )
+                )
+        return views
+
+    def _grant(self, request: GpuRequest, device_id: int) -> None:
+        server = next(
+            s
+            for s in self.gpu_server.api_servers
+            if s.home_device_id == device_id and not s.busy and not s.reserved
+        )
+        server.reserved = True
+        self.committed[device_id] += request.declared_bytes
+        self._charged_device[server.server_id] = device_id
+        server._charged_bytes = request.declared_bytes
+        request.granted_at = self.env.now
+        request.granted.succeed(server)
+
+    def _try_dispatch(self) -> None:
+        if self.queue_discipline == "sff":
+            self._dispatch_sff()
+        else:
+            self._dispatch_fcfs()
+
+    def _dispatch_fcfs(self) -> None:
+        """FCFS: grant from the head while the head fits somewhere.
+
+        A large head request blocks smaller later ones — the paper's
+        deployed policy ("a serverless function requiring a large portion
+        of the GPU can force other serverless functions to wait in
+        queue", §VIII-D)."""
+        while self._queue:
+            head = self._queue[0]
+            views = self._gpu_views()
+            choice = self.policy.choose(views, head.declared_bytes) if views else None
+            if choice is None:
+                return  # head-of-line blocks
+            self._queue.popleft()
+            self._grant(head, choice)
+
+    def _dispatch_sff(self) -> None:
+        """Shortest-function-first (the paper's future-work policy):
+        repeatedly grant the feasible queued request with the smallest
+        expected duration — better throughput, weaker fairness."""
+        progress = True
+        while progress and self._queue:
+            progress = False
+            views = self._gpu_views()
+            if not views:
+                return
+            candidates = []
+            for idx, request in enumerate(self._queue):
+                choice = self.policy.choose(views, request.declared_bytes)
+                if choice is not None:
+                    candidates.append((request.expected_duration_s, idx, choice))
+            if not candidates:
+                return
+            _, idx, choice = min(candidates)
+            request = self._queue[idx]
+            del self._queue[idx]
+            self._grant(request, choice)
+            progress = True
+
+    # -- migration control ------------------------------------------------------------
+    def _migration_loop(self) -> Generator:
+        """Periodically detect imbalance and migrate (§V-D)."""
+        while True:
+            yield self.env.timeout(self.period_s)
+            if self._migration_in_flight:
+                continue
+            plan = self._find_imbalance()
+            if plan is None:
+                self._imbalance_streak = 0
+                continue
+            # Require sustained imbalance with no queued demand: a GPU
+            # that is idle only because its next function is still
+            # downloading must not trigger a move.
+            self._imbalance_streak += 1
+            if self._queue or self._imbalance_streak < self.confirm_checks:
+                continue
+            self._imbalance_streak = 0
+            server, target = plan
+            self._migration_in_flight = True
+            yield from self._migrate_one(server, target)
+            self._migration_in_flight = False
+            self._try_dispatch()
+
+    def _find_imbalance(self) -> Optional[tuple[object, int]]:
+        """(busy server to move, idle target GPU) or None.
+
+        Decisions use the *reported* statistics (the last §V-A ③ update
+        message from each server), not live state — the monitor acts on
+        slightly stale information, as the real system does.
+        """
+        servers = self.gpu_server.api_servers
+        busy_on: dict[int, list] = {d.device_id: [] for d in self.gpu_server.devices}
+        for s in servers:
+            report = self.last_stats.get(s.server_id)
+            if report is None:
+                continue
+            # guard against moving a server that finished since it reported
+            if report.busy and s.busy:
+                busy_on[report.current_device_id].append(s)
+        idle_gpus = [d for d, lst in busy_on.items() if not lst]
+        crowded = [(d, lst) for d, lst in busy_on.items() if len(lst) >= 2]
+        if not idle_gpus or not crowded:
+            return None
+        # most crowded GPU first; move its cheapest (least allocated) server
+        crowded.sort(key=lambda item: -len(item[1]))
+        for device_id, servers_here in crowded:
+            candidates = sorted(servers_here, key=lambda s: s.used_bytes)
+            for server in candidates:
+                for target in sorted(idle_gpus):
+                    if not self.gpu_server.migration_slot_available(target):
+                        continue
+                    if self.schedulable_free(target) >= server._charged_bytes:
+                        return server, target
+        return None
+
+    def _migrate_one(self, server, target_device_id: int) -> Generator:
+        source = server.current_device_id
+        try:
+            record = yield from migrate_api_server(server, target_device_id)
+        except SimulationError:
+            return  # server finished in the meantime; nothing to do
+        self.migration_records.append(record)
+        # move the scheduling charge with the server
+        self.committed[source] -= server._charged_bytes
+        self.committed[target_device_id] += server._charged_bytes
+        self._charged_device[server.server_id] = target_device_id

@@ -1,0 +1,72 @@
+"""GPU assignment policies (paper §VIII-D/E).
+
+Given a function's declared GPU memory requirement and the current
+per-GPU committed memory, a policy picks which GPU (among those with an
+idle API server and enough schedulable memory) gets the function:
+
+* **best-fit** "tries to condense as many functions as it can into GPUs"
+  — choose the feasible GPU with the *least* remaining free memory.
+* **worst-fit** "tries to spread the load across GPUs" — choose the
+  feasible GPU with the *most* remaining free memory.
+* **first-fit** — lowest-numbered feasible GPU (used in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Policy", "BestFit", "WorstFit", "FirstFit", "make_policy", "GpuView"]
+
+
+class GpuView(Protocol):
+    """What a policy is allowed to see about one GPU."""
+
+    device_id: int
+
+    @property
+    def schedulable_free(self) -> int: ...
+
+
+class Policy:
+    """Base class; ``choose`` returns a device_id or None (no fit)."""
+
+    name = "abstract"
+
+    def choose(self, candidates: list, required_bytes: int) -> Optional[int]:
+        feasible = [g for g in candidates if g.schedulable_free >= required_bytes]
+        if not feasible:
+            return None
+        return self._pick(feasible, required_bytes)
+
+    def _pick(self, feasible: list, required_bytes: int) -> int:
+        raise NotImplementedError
+
+
+class BestFit(Policy):
+    name = "best_fit"
+
+    def _pick(self, feasible, required_bytes):
+        return min(feasible, key=lambda g: (g.schedulable_free, g.device_id)).device_id
+
+
+class WorstFit(Policy):
+    name = "worst_fit"
+
+    def _pick(self, feasible, required_bytes):
+        return max(feasible, key=lambda g: (g.schedulable_free, -g.device_id)).device_id
+
+
+class FirstFit(Policy):
+    name = "first_fit"
+
+    def _pick(self, feasible, required_bytes):
+        return min(feasible, key=lambda g: g.device_id).device_id
+
+
+def make_policy(name: str) -> Policy:
+    try:
+        return {"best_fit": BestFit, "worst_fit": WorstFit, "first_fit": FirstFit}[name]()
+    except KeyError:
+        raise ConfigurationError(f"unknown policy {name!r}") from None

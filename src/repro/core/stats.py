@@ -1,0 +1,94 @@
+"""Aggregation of invocation records into the paper's reported metrics.
+
+The evaluation reports, per experiment:
+
+* the provider's *end-to-end* time — "the time to handle all functions",
+* the *sum of all functions' end-to-end time* (launch → completion),
+* per-workload mean/std of queueing and execution delay (Figs. 5, 6, 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faas.platform import Invocation
+
+__all__ = ["WorkloadStats", "RunStats", "summarize_invocations"]
+
+
+@dataclass
+class WorkloadStats:
+    """Per-workload latency summary."""
+
+    name: str
+    count: int
+    mean_e2e_s: float
+    std_e2e_s: float
+    mean_queue_s: float
+    mean_exec_s: float
+
+    def as_row(self) -> dict:
+        return {
+            "workload": self.name,
+            "n": self.count,
+            "mean_e2e_s": round(self.mean_e2e_s, 3),
+            "std_e2e_s": round(self.std_e2e_s, 3),
+            "mean_queue_s": round(self.mean_queue_s, 3),
+            "mean_exec_s": round(self.mean_exec_s, 3),
+        }
+
+
+@dataclass
+class RunStats:
+    """Whole-run summary."""
+
+    provider_e2e_s: float
+    function_e2e_sum_s: float
+    per_workload: dict[str, WorkloadStats] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "provider_e2e_s": round(self.provider_e2e_s, 3),
+            "function_e2e_sum_s": round(self.function_e2e_sum_s, 3),
+            "per_workload": {k: v.as_row() for k, v in self.per_workload.items()},
+        }
+
+
+def summarize_invocations(invocations: list[Invocation]) -> RunStats:
+    """Aggregate completed invocations into :class:`RunStats`.
+
+    *Queueing delay* here is the time before the handler starts plus the
+    GPU-queue wait at the monitor (the ``gpu_queue`` phase) — the paper's
+    "queueing ... delay" which grows when all API servers are busy.
+    """
+    if not invocations:
+        raise ValueError("no invocations to summarize")
+    done = [inv for inv in invocations if inv.t_end >= 0]
+    if not done:
+        raise ValueError("no completed invocations")
+    provider_e2e = max(i.t_end for i in done) - min(i.t_submit for i in done)
+    e2e_sum = sum(i.e2e_s for i in done)
+    per: dict[str, WorkloadStats] = {}
+    by_name: dict[str, list[Invocation]] = {}
+    for inv in done:
+        by_name.setdefault(inv.function_name, []).append(inv)
+    for name, invs in sorted(by_name.items()):
+        e2es = np.array([i.e2e_s for i in invs])
+        queues = np.array(
+            [i.queue_s + i.phases.get("gpu_queue", 0.0) for i in invs]
+        )
+        per[name] = WorkloadStats(
+            name=name,
+            count=len(invs),
+            mean_e2e_s=float(e2es.mean()),
+            std_e2e_s=float(e2es.std()),
+            mean_queue_s=float(queues.mean()),
+            mean_exec_s=float((e2es - queues).mean()),
+        )
+    return RunStats(
+        provider_e2e_s=provider_e2e,
+        function_e2e_sum_s=e2e_sum,
+        per_workload=per,
+    )

@@ -1,0 +1,113 @@
+"""Interposition tracing: record what the guest library sees.
+
+The real DGSF generates its remoting layer from API lists, and debugging
+it means staring at call traces.  :class:`CallTrace` provides the
+equivalent facility here: attach one to a :class:`~repro.core.guest
+.GuestLibrary` and every interposed call is recorded with its timestamp,
+classification outcome (localized / batched / remoted) and duration.
+
+Traces answer questions like "which calls dominate this workload's
+remoting overhead?" and back the call-mix numbers in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["CallRecord", "CallTrace", "attach_trace"]
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One interposed API call."""
+
+    t: float
+    api: str
+    #: "local" | "batched" | "remote"
+    route: str
+    duration_s: float
+
+
+@dataclass
+class CallTrace:
+    """An append-only trace with summary helpers."""
+
+    records: list[CallRecord] = field(default_factory=list)
+    max_records: int = 1_000_000
+
+    def add(self, record: CallRecord) -> None:
+        if len(self.records) < self.max_records:
+            self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- summaries -------------------------------------------------------------
+    def counts_by_api(self) -> dict[str, int]:
+        counter: collections.Counter = collections.Counter(
+            r.api for r in self.records
+        )
+        return dict(counter)
+
+    def counts_by_route(self) -> dict[str, int]:
+        counter: collections.Counter = collections.Counter(
+            r.route for r in self.records
+        )
+        return dict(counter)
+
+    def time_by_api(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for r in self.records:
+            out[r.api] = out.get(r.api, 0.0) + r.duration_s
+        return out
+
+    def top_by_time(self, n: int = 10) -> list[tuple[str, float]]:
+        """The APIs dominating interposition time — the paper's candidates
+        for localization/batching."""
+        return sorted(self.time_by_api().items(), key=lambda kv: -kv[1])[:n]
+
+    def between(self, start: float, end: float) -> "CallTrace":
+        """Sub-trace restricted to a time window (e.g. one phase)."""
+        return CallTrace(
+            records=[r for r in self.records if start <= r.t < end],
+            max_records=self.max_records,
+        )
+
+
+def attach_trace(guest, trace: Optional[CallTrace] = None) -> CallTrace:
+    """Wrap every public API method of ``guest`` with trace recording.
+
+    Returns the trace.  Wrapping happens per-instance (the class is left
+    untouched); the route is inferred from the counter deltas each call
+    produces, so the tracer never duplicates classification logic.
+    """
+    trace = trace or CallTrace()
+    env = guest.env
+
+    def make_wrapper(name, method):
+        def wrapper(*args, **kwargs):
+            t0 = env.now
+            local0 = guest.calls_localized
+            batch0 = guest.calls_batched
+            result = yield from method(*args, **kwargs)
+            if guest.calls_localized > local0:
+                route = "local"
+            elif guest.calls_batched > batch0:
+                route = "batched"
+            else:
+                route = "remote"
+            trace.add(CallRecord(t=t0, api=name, route=route,
+                                 duration_s=env.now - t0))
+            return result
+
+        wrapper.__name__ = name
+        return wrapper
+
+    for name in dir(guest):
+        if name.startswith(("cuda", "cudnn", "cublas", "pushCall", "memcpy")):
+            method = getattr(guest, name)
+            if callable(method):
+                setattr(guest, name, make_wrapper(name, method))
+    return trace

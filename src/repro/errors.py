@@ -1,0 +1,18 @@
+"""Top-level exception hierarchy shared by all repro subpackages.
+
+Subsystems define their own more specific exceptions (e.g.
+:class:`repro.simcuda.errors.CudaError`) but everything raised by this
+package derives from :class:`ReproError` so callers can catch broadly.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """An inconsistency inside the discrete-event simulation kernel."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid user-supplied configuration (sizes, policies, topology)."""

@@ -1,0 +1,44 @@
+"""Experiment reproductions: one module per table/figure of §VIII.
+
+Each module exposes a ``run(...)`` returning plain dict/row structures
+(consumed by the benchmarks and by :mod:`repro.experiments.reporting`'s
+text renderers), so the benches can both print the paper-style output and
+assert the shape criteria from DESIGN.md.
+"""
+
+from repro.experiments.runner import (
+    run_single_invocation,
+    run_mixed_scenario,
+    MixedScenarioResult,
+)
+from repro.experiments import (
+    table2,
+    table3,
+    table4,
+    table5,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+)
+from repro.experiments.reporting import render_table, render_series
+
+__all__ = [
+    "run_single_invocation",
+    "run_mixed_scenario",
+    "MixedScenarioResult",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "render_table",
+    "render_series",
+]

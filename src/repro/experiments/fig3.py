@@ -1,0 +1,42 @@
+"""Figure 3: per-phase breakdown of each workload.
+
+"We break down the execution time of the workloads into phases: CUDA
+context initialization, input and model download time, model loading and
+processing time" — for native, DGSF without optimizations, and DGSF.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import DgsfConfig
+from repro.experiments.runner import run_single_invocation
+from repro.workloads import WORKLOADS
+
+__all__ = ["run", "PHASES", "VARIANTS"]
+
+PHASES = ("download", "cuda_init", "model_load", "processing")
+VARIANTS = ("native", "dgsf_unopt", "dgsf")
+
+
+def run(workloads: Optional[list[str]] = None,
+        variants: tuple[str, ...] = VARIANTS, seed: int = 0) -> list[dict]:
+    """Rows: one per (workload, variant) with per-phase seconds."""
+    rows = []
+    for name in workloads or list(WORKLOADS):
+        for variant in variants:
+            inv = run_single_invocation(name, variant, DgsfConfig(num_gpus=1, seed=seed))
+            phases = dict(inv.phases)
+            # fold the DGSF attach handshake and native first-call init
+            # into one 'cuda_init' number per the paper's phase definition
+            row = {
+                "workload": name,
+                "variant": variant,
+                "download": round(phases.get("download", 0.0), 3),
+                "cuda_init": round(phases.get("cuda_init", 0.0), 3),
+                "model_load": round(phases.get("model_load", 0.0), 3),
+                "processing": round(phases.get("processing", 0.0), 3),
+                "total": round(inv.e2e_s, 3),
+            }
+            rows.append(row)
+    return rows

@@ -1,0 +1,71 @@
+"""Figure 4: ablation study of DGSF's optimizations.
+
+"We perform an ablation study, breaking down execution time as we
+incrementally add the optimizations described in Section V-C, comparing
+against native execution.  We remove from the comparison the times taken
+to download input and model files" — so the reported number per
+configuration is *processing time* in the paper's sense: CUDA init +
+model load + inference.
+
+Cumulative configurations (paper order):
+
+1. ``none`` — unoptimized DGSF,
+2. ``+handle_pooling`` — pre-created contexts and cuDNN/cuBLAS handles,
+3. ``+descriptor_pooling`` — guest-side descriptor pooling,
+4. ``+batching`` — batching + unnecessary-API avoidance (full DGSF).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import DgsfConfig, OptimizationFlags
+from repro.core.deployment import DgsfDeployment
+from repro.experiments.runner import build_deployment
+from repro.workloads import WORKLOADS, register_workloads
+
+__all__ = ["run", "ABLATION_STEPS"]
+
+ABLATION_STEPS: list[tuple[str, OptimizationFlags]] = [
+    ("no_opt", OptimizationFlags.none()),
+    ("+handle_pooling", OptimizationFlags.none().with_(handle_pooling=True)),
+    (
+        "+descriptor_pooling",
+        OptimizationFlags.none().with_(handle_pooling=True, descriptor_pooling=True),
+    ),
+    ("+batching", OptimizationFlags.all()),
+]
+
+
+def _gpu_time(inv) -> float:
+    """The paper's 'processing time': everything but downloads/queueing."""
+    return (
+        inv.phases.get("cuda_init", 0.0)
+        + inv.phases.get("model_load", 0.0)
+        + inv.phases.get("processing", 0.0)
+    )
+
+
+def run(workloads: Optional[list[str]] = None, seed: int = 0) -> list[dict]:
+    """Rows: one per workload with native + each cumulative step's time."""
+    rows = []
+    for name in workloads or list(WORKLOADS):
+        row: dict = {"workload": name}
+        # native reference
+        dep = build_deployment("native", DgsfConfig(num_gpus=1, seed=seed))
+        dep.setup()
+        register_workloads(dep.platform, names=[name])
+        inv, proc = dep.platform.invoke(name)
+        dep.env.run(until=proc)
+        row["native"] = round(_gpu_time(inv), 3)
+        # cumulative DGSF steps
+        for label, flags in ABLATION_STEPS:
+            cfg = DgsfConfig(num_gpus=1, seed=seed, optimizations=flags)
+            dep = DgsfDeployment(cfg)
+            dep.setup()
+            register_workloads(dep.platform, names=[name])
+            inv, proc = dep.platform.invoke(name)
+            dep.env.run(until=proc)
+            row[label] = round(_gpu_time(inv), 3)
+        rows.append(row)
+    return rows

@@ -1,0 +1,121 @@
+"""Shared experiment machinery: deployments, single runs, mixed scenarios."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import DgsfConfig, OptimizationFlags
+from repro.core.deployment import DgsfDeployment, NativeDeployment
+from repro.core.stats import RunStats, summarize_invocations
+from repro.errors import ConfigurationError
+from repro.faas.platform import Invocation
+from repro.faas.workload_gen import (
+    ArrivalPlan,
+    burst_arrivals,
+    exponential_gap_arrivals,
+    interleave_workloads,
+)
+from repro.sim.rng import RngRegistry
+from repro.workloads import register_workloads, ALL_WORKLOAD_NAMES
+
+__all__ = [
+    "build_deployment",
+    "run_single_invocation",
+    "run_mixed_scenario",
+    "MixedScenarioResult",
+]
+
+VARIANTS = ("native", "dgsf", "dgsf_unopt", "lambda", "cpu")
+
+
+def build_deployment(variant: str, config: Optional[DgsfConfig] = None):
+    """Create (but do not set up) a deployment for one execution variant."""
+    config = config or DgsfConfig(num_gpus=1)
+    if variant == "native":
+        return NativeDeployment(num_gpus=config.num_gpus, seed=config.seed)
+    if variant == "cpu":
+        return NativeDeployment(num_gpus=1, seed=config.seed)
+    if variant == "dgsf":
+        return DgsfDeployment(config)
+    if variant == "dgsf_unopt":
+        return DgsfDeployment(config.with_(optimizations=OptimizationFlags.none()))
+    if variant == "lambda":
+        return DgsfDeployment.lambda_deployment(config)
+    raise ConfigurationError(f"unknown variant {variant!r} (choose from {VARIANTS})")
+
+
+def run_single_invocation(
+    workload: str,
+    variant: str = "dgsf",
+    config: Optional[DgsfConfig] = None,
+) -> Invocation:
+    """Run one uncontended invocation of ``workload`` under ``variant``."""
+    dep = build_deployment(variant, config)
+    dep.setup()
+    register_workloads(dep.platform, names=[workload], cpu=(variant == "cpu"))
+    inv, proc = dep.platform.invoke(workload)
+    dep.env.run(until=proc)
+    if inv.status != "completed":
+        raise RuntimeError(f"{workload}/{variant} failed: {inv.result}")
+    return inv
+
+
+@dataclass
+class MixedScenarioResult:
+    """Outcome of a mixed-workload scenario run."""
+
+    config: DgsfConfig
+    invocations: list[Invocation]
+    stats: RunStats
+    deployment: DgsfDeployment
+    #: average NVML utilization per GPU (%; only when sampling was on)
+    avg_utilization: Optional[float] = None
+
+
+def make_plan(mode: str, seed: int, copies: int = 10,
+              names: Optional[list[str]] = None,
+              mean_gap_s: float = 2.0, burst_gap_s: float = 2.0) -> ArrivalPlan:
+    """Arrival plans used across §VIII-D: exponential gaps or bursts.
+
+    The same ``seed`` yields the same interleaving and gaps for every
+    configuration under comparison — the paper's "random (but
+    consistent) order".
+    """
+    names = names or ALL_WORKLOAD_NAMES
+    rngs = RngRegistry(seed=seed)
+    if mode == "exponential":
+        sequence = interleave_workloads(names, copies, rngs.stream("interleave"))
+        return exponential_gap_arrivals(sequence, mean_gap_s, rngs.stream("gaps"))
+    if mode == "burst":
+        return burst_arrivals(names, bursts=copies, burst_gap_s=burst_gap_s)
+    raise ConfigurationError(f"unknown arrival mode {mode!r}")
+
+
+def run_mixed_scenario(
+    config: DgsfConfig,
+    plan: ArrivalPlan,
+    sample_utilization: bool = False,
+) -> MixedScenarioResult:
+    """Run an arrival plan against one DGSF configuration."""
+    dep = DgsfDeployment(config)
+    dep.setup()
+    register_workloads(dep.platform, names=sorted(set(plan.names)))
+    if sample_utilization:
+        dep.gpu_server.nvml.start()
+    start = dep.env.now
+    proc = dep.env.process(dep.platform.run_plan(plan), name="scenario")
+    records = dep.env.run(until=proc)
+    if sample_utilization:
+        dep.gpu_server.nvml.stop()
+    stats = summarize_invocations(records)
+    avg_util = (
+        dep.gpu_server.nvml.average_utilization() if sample_utilization else None
+    )
+    return MixedScenarioResult(
+        config=config,
+        invocations=records,
+        stats=stats,
+        deployment=dep,
+        avg_utilization=avg_util,
+    )

@@ -1,0 +1,93 @@
+"""Table II: per-workload runtimes under native / DGSF / Lambda / CPU,
+peak GPU memory, and approximate migration time.
+
+"Times are averaged over three runs after one warmup" — the simulation is
+deterministic per seed, so we run each variant once per seed and average
+across ``repeats`` seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import DgsfConfig
+from repro.core.migration import migrate_api_server
+from repro.experiments.runner import run_single_invocation
+from repro.simcuda.types import MB
+from repro.workloads import WORKLOADS
+
+__all__ = ["run", "measure_migration_time"]
+
+
+def measure_migration_time(workload: str) -> float:
+    """Forced migration with the workload's peak memory resident.
+
+    Approximates Table II's "Aprox. Migration Time": the cost is dominated
+    by moving the application's allocations between GPUs.
+    """
+    from repro.core.deployment import DgsfDeployment
+    from repro.core.guest import GuestLibrary
+    from repro.simnet.rpc import RpcClient
+
+    params = WORKLOADS[workload]
+    dep = DgsfDeployment(DgsfConfig(num_gpus=2, seed=0))
+    dep.setup()
+    server = dep.gpu_server.api_servers[0]
+    conn = dep.network.connect(dep.fn_host, dep.gpu_host)
+    server.begin_session(params.declared_gpu_bytes)
+    server.serve_endpoint(conn.b)
+    guest = GuestLibrary(dep.env, RpcClient(conn.a), flags=dep.config.optimizations)
+
+    def setup_and_migrate():
+        yield from guest.attach([])
+        # allocate the workload's peak in a handful of chunks, as the apps do
+        remaining = params.paper_peak_bytes
+        chunk = max(64 * MB, remaining // 6)
+        while remaining > 0:
+            size = min(chunk, remaining)
+            yield from guest.cudaMalloc(size)
+            remaining -= size
+        record = yield from migrate_api_server(server, 1)
+        return record
+
+    proc = dep.env.process(setup_and_migrate())
+    record = dep.env.run(until=proc)
+    return record.duration_s
+
+
+def run(repeats: int = 1, workloads: Optional[list[str]] = None,
+        include_cpu: bool = True, include_lambda: bool = True,
+        include_migration: bool = True) -> list[dict]:
+    """Produce Table II rows."""
+    rows = []
+    for name in workloads or list(WORKLOADS):
+        params = WORKLOADS[name]
+        variants = {"native": [], "dgsf": []}
+        if include_lambda:
+            variants["lambda"] = []
+        if include_cpu:
+            variants["cpu"] = []
+        peak_mb = params.paper_peak_bytes / MB
+        for seed in range(repeats):
+            cfg = DgsfConfig(num_gpus=1, seed=seed)
+            for variant in variants:
+                inv = run_single_invocation(name, variant, cfg)
+                variants[variant].append(inv.e2e_s)
+        row = {
+            "workload": name,
+            "peak_mem_mb": round(peak_mb),
+            "native_s": float(np.mean(variants["native"])),
+            "dgsf_s": float(np.mean(variants["dgsf"])),
+        }
+        if include_lambda:
+            row["lambda_s"] = float(np.mean(variants["lambda"]))
+        if include_cpu:
+            row["cpu_s"] = float(np.mean(variants["cpu"]))
+        if include_migration:
+            row["migration_s"] = measure_migration_time(name)
+        row["paper_native_s"] = params.paper_native_s
+        row["paper_dgsf_s"] = params.paper_dgsf_s
+        rows.append(row)
+    return rows

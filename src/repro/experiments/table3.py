@@ -1,0 +1,46 @@
+"""Table III: heavy load — provider end-to-end and Σ function E2E.
+
+"To emulate a GPU server under heavy load we launch functions at
+intervals drawn from an exponential distribution with rate equal to 2"
+(mean 2 s between launches), 10 instances of each workload in a random
+but consistent order, on a 4-GPU server.  Configurations: no sharing,
+sharing (two API servers per GPU) best-fit, sharing worst-fit.  Columns
+for All Workloads (AW) and the four Smaller Workloads (SW).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DgsfConfig
+from repro.experiments.runner import make_plan, run_mixed_scenario
+from repro.workloads import ALL_WORKLOAD_NAMES, SMALLER_WORKLOAD_NAMES
+
+__all__ = ["run", "CONFIGS"]
+
+CONFIGS: list[tuple[str, dict]] = [
+    ("no_sharing", dict(api_servers_per_gpu=1, policy="best_fit")),
+    ("sharing2_best_fit", dict(api_servers_per_gpu=2, policy="best_fit")),
+    ("sharing2_worst_fit", dict(api_servers_per_gpu=2, policy="worst_fit")),
+]
+
+
+def run(seed: int = 0, copies: int = 10, num_gpus: int = 4,
+        mean_gap_s: float = 2.0) -> list[dict]:
+    rows = []
+    for label, overrides in CONFIGS:
+        row = {"config": label}
+        for subset_label, names in (
+            ("aw", ALL_WORKLOAD_NAMES),
+            ("sw", SMALLER_WORKLOAD_NAMES),
+        ):
+            plan = make_plan(
+                "exponential", seed=seed, copies=copies, names=names,
+                mean_gap_s=mean_gap_s,
+            )
+            cfg = DgsfConfig(num_gpus=num_gpus, seed=seed, **overrides)
+            result = run_mixed_scenario(cfg, plan)
+            row[f"{subset_label}_end_to_end_s"] = round(result.stats.provider_e2e_s, 1)
+            row[f"{subset_label}_fn_e2e_sum_s"] = round(
+                result.stats.function_e2e_sum_s, 1
+            )
+        rows.append(row)
+    return rows

@@ -1,0 +1,39 @@
+"""Table IV: light load with 4 vs 3 GPUs.
+
+"By increasing the rate of our exponential distribution to 3 (function
+launch every three seconds, on average) we emulate a GPU server under
+light load... By using three instead of four GPUs under a low load with
+sharing, the time taken by the provider to handle all function requests
+increases by 5.5%."
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DgsfConfig
+from repro.experiments.runner import make_plan, run_mixed_scenario
+from repro.experiments.table3 import CONFIGS
+from repro.workloads import ALL_WORKLOAD_NAMES
+
+__all__ = ["run"]
+
+
+def run(seed: int = 0, copies: int = 10, mean_gap_s: float = 4.0) -> list[dict]:
+    """Default gap 4 s: the paper's rate-3 light load normalized for this
+    reproduction's slightly longer mean GPU residency (≈16 s vs the
+    paper's 12 s), keeping the utilization operating point ρ ≈ 1."""
+    rows = []
+    for label, overrides in CONFIGS:
+        row = {"config": label}
+        for gpus in (4, 3):
+            plan = make_plan(
+                "exponential", seed=seed, copies=copies,
+                names=ALL_WORKLOAD_NAMES, mean_gap_s=mean_gap_s,
+            )
+            cfg = DgsfConfig(num_gpus=gpus, seed=seed, **overrides)
+            result = run_mixed_scenario(cfg, plan)
+            row[f"gpus{gpus}_end_to_end_s"] = round(result.stats.provider_e2e_s, 1)
+            row[f"gpus{gpus}_fn_e2e_sum_s"] = round(
+                result.stats.function_e2e_sum_s, 1
+            )
+        rows.append(row)
+    return rows

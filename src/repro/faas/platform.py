@@ -1,0 +1,277 @@
+"""The serverless platform: function registry and invoker.
+
+The platform is deliberately agnostic to what a function does with a GPU
+("DGSF is agnostic to the serverless functions platform", §VI).  A
+*gpu_provider* — installed by :mod:`repro.core.deployment` — is asked for
+a GPU runtime per invocation; with no provider, functions run CPU-only or
+use a locally attached GPU supplied by the handler itself.
+
+Each :class:`Invocation` records the timestamps and phase breakdown the
+paper's figures are built from (queueing vs execution delay, download /
+init / model-load / processing phases).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import ConfigurationError, ReproError
+from repro.sim.core import Environment, Event, Interrupt
+from repro.simnet.net import Host
+from repro.faas.container import ContainerPool
+from repro.faas.storage import ObjectStore
+
+__all__ = [
+    "FunctionSpec",
+    "FunctionContext",
+    "Invocation",
+    "ServerlessPlatform",
+    "FunctionTimeLimitExceeded",
+]
+
+
+class FunctionTimeLimitExceeded(ReproError):
+    """The provider killed a function that exceeded its time limit."""
+
+_inv_ids = itertools.count(1)
+
+
+@dataclass
+class FunctionSpec:
+    """A deployed function: code plus declared resource requirements.
+
+    Matching the paper's model, the developer declares host memory and —
+    with DGSF — the GPU memory the function needs ("the developer
+    specifies the amount of GPU memory a function requires just like it
+    does for host memory", §II).
+    """
+
+    name: str
+    #: generator function taking a FunctionContext
+    handler: Callable[["FunctionContext"], Generator]
+    memory_mb: int = 3008
+    #: GPU memory the function declares (0 = CPU-only function)
+    gpu_mem_bytes: int = 0
+    min_replicas: int = 10
+    #: optional runtime hint for shortest-function-first scheduling
+    expected_duration_s: float = 0.0
+    #: provider-imposed execution time limit (0 = unlimited); serverless
+    #: platforms always bound function runtime (paper §II)
+    max_duration_s: float = 0.0
+
+
+@dataclass
+class Invocation:
+    """One function invocation and its measured timeline."""
+
+    invocation_id: int
+    function_name: str
+    t_submit: float
+    t_start: float = -1.0
+    t_end: float = -1.0
+    status: str = "pending"
+    #: phase name -> accumulated seconds (download, cuda_init, model_load,
+    #: processing, gpu_queue, ...)
+    phases: dict[str, float] = field(default_factory=dict)
+    result: Any = None
+
+    @property
+    def e2e_s(self) -> float:
+        """Launch-to-completion time (the paper's function E2E)."""
+        if self.t_end < 0:
+            raise ValueError(f"invocation {self.invocation_id} not finished")
+        return self.t_end - self.t_submit
+
+    @property
+    def queue_s(self) -> float:
+        """Time spent before the handler began executing."""
+        if self.t_start < 0:
+            raise ValueError(f"invocation {self.invocation_id} never started")
+        return self.t_start - self.t_submit
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+
+class FunctionContext:
+    """Everything a handler needs: env, host, storage, GPU access, metrics."""
+
+    def __init__(
+        self,
+        env: Environment,
+        invocation: Invocation,
+        host: Host,
+        storage: Optional[ObjectStore],
+        platform: "ServerlessPlatform",
+        params: dict,
+        spec: "FunctionSpec" = None,
+    ):
+        self.env = env
+        self.invocation = invocation
+        self.host = host
+        self.storage = storage
+        self.platform = platform
+        self.spec = spec
+        #: per-invocation parameters passed to invoke()
+        self.params = params
+        #: populated by acquire_gpu()
+        self.gpu = None
+        self._gpu_lease = None
+
+    def acquire_gpu(self):
+        """Request a GPU at the point of first use (the guest library's
+        first interposed call, §V-A) — *after* downloads, matching the
+        paper's queueing dynamics.  Returns the GPU session facade."""
+        if self._gpu_lease is not None:
+            return self.gpu
+        provider = self.platform.gpu_provider
+        if provider is None:
+            raise ConfigurationError("no GPU provider installed")
+        self._gpu_lease = yield from provider.acquire(self, self.spec)
+        self.gpu = self._gpu_lease.gpu
+        return self.gpu
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        self.invocation.add_phase(name, seconds)
+
+    def timed_phase(self, name: str, gen) -> Generator:
+        """Run ``gen`` (a generator or an event) and account its duration
+        to phase ``name``."""
+        t0 = self.env.now
+        if isinstance(gen, Event):
+            result = yield gen
+        else:
+            result = yield from gen
+        self.add_phase(name, self.env.now - t0)
+        return result
+
+    def download(self, names: list[str]) -> Generator:
+        """Download objects, accounted to the 'download' phase."""
+        if self.storage is None:
+            raise ConfigurationError("no object store configured")
+        return (yield from self.timed_phase(
+            "download", self.storage.download_many(self.host, names)
+        ))
+
+
+class ServerlessPlatform:
+    """Function registry + invoker with warm-container pools."""
+
+    def __init__(
+        self,
+        env: Environment,
+        function_host: Host,
+        storage: Optional[ObjectStore] = None,
+    ):
+        self.env = env
+        self.function_host = function_host
+        self.storage = storage
+        self._specs: dict[str, FunctionSpec] = {}
+        self._pools: dict[str, ContainerPool] = {}
+        #: hook installed by repro.core.deployment: generator function
+        #: (FunctionContext) -> context-ish object with .gpu APIs + release
+        self.gpu_provider = None
+        self.invocations: list[Invocation] = []
+
+    # -- registry ---------------------------------------------------------------
+    def register(self, spec: FunctionSpec) -> None:
+        if spec.name in self._specs:
+            raise ConfigurationError(f"function {spec.name!r} already registered")
+        self._specs[spec.name] = spec
+        self._pools[spec.name] = ContainerPool(
+            self.env,
+            self.function_host,
+            spec.name,
+            replicas=spec.min_replicas,
+            memory_mb=spec.memory_mb,
+        )
+
+    def spec(self, name: str) -> FunctionSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown function {name!r}") from None
+
+    # -- invocation ---------------------------------------------------------------
+    def invoke(self, name: str, **params) -> tuple[Invocation, Event]:
+        """Submit an invocation now; returns (record, completion event)."""
+        spec = self.spec(name)
+        invocation = Invocation(
+            invocation_id=next(_inv_ids),
+            function_name=name,
+            t_submit=self.env.now,
+        )
+        self.invocations.append(invocation)
+        proc = self.env.process(
+            self._run(spec, invocation, params), name=f"inv-{invocation.invocation_id}"
+        )
+        return invocation, proc
+
+    def run_plan(self, plan, **params) -> Generator:
+        """Launch every entry of an :class:`ArrivalPlan`; wait for all.
+
+        Returns the invocation records in launch order.
+        """
+        records = []
+        procs = []
+        for t, name in plan:
+            if t > self.env.now:
+                yield self.env.timeout(t - self.env.now)
+            inv, proc = self.invoke(name, **params)
+            records.append(inv)
+            procs.append(proc)
+        yield self.env.all_of(procs)
+        return records
+
+    # -- internals -------------------------------------------------------------------
+    def _run(self, spec: FunctionSpec, invocation: Invocation, params: dict) -> Generator:
+        pool = self._pools[spec.name]
+        container, token = yield from pool.acquire()
+        invocation.status = "running"
+        invocation.t_start = self.env.now
+        ctx = FunctionContext(
+            self.env, invocation, container.host, self.storage, self, params,
+            spec=spec,
+        )
+        watchdog = None
+        try:
+            if spec.max_duration_s > 0:
+                body = self.env.process(
+                    spec.handler(ctx), name=f"body-{invocation.invocation_id}"
+                )
+                watchdog = self.env.process(
+                    self._watchdog(body, spec.max_duration_s),
+                    name=f"watchdog-{invocation.invocation_id}",
+                )
+                try:
+                    invocation.result = yield body
+                except Interrupt:
+                    invocation.status = "timeout"
+                    invocation.result = FunctionTimeLimitExceeded(
+                        f"{spec.name} exceeded its {spec.max_duration_s}s limit"
+                    )
+                    raise invocation.result
+                invocation.status = "completed"
+            else:
+                invocation.result = yield from spec.handler(ctx)
+                invocation.status = "completed"
+        except FunctionTimeLimitExceeded:
+            raise
+        except Exception as exc:
+            invocation.status = "failed"
+            invocation.result = exc
+            raise
+        finally:
+            invocation.t_end = self.env.now
+            if ctx._gpu_lease is not None:
+                yield from ctx._gpu_lease.release()
+            pool.release(container, token)
+
+    def _watchdog(self, body, limit_s: float):
+        """Kill the function body if it outlives the provider's limit."""
+        deadline = self.env.timeout(limit_s)
+        result = yield self.env.any_of([body, deadline])
+        if body.is_alive:
+            body.interrupt("time limit exceeded")

@@ -1,0 +1,135 @@
+"""S3-like object storage with bandwidth-limited downloads.
+
+Each workload begins by pulling its model and inputs from remote storage
+("All of the data required by each function, such as models and inputs
+are downloaded from AWS S3", paper §VI).  The cost model has two limits:
+
+* a per-stream throughput cap (S3 GET streams peak at a few Gbps),
+* the downloading host's ingress bandwidth, shared fairly by all
+  concurrent downloads on that host (max-min via
+  :class:`~repro.sim.sharing.FairShareEngine`).
+
+The Lambda profile has lower, *variable* per-stream throughput — this is
+what makes the network-heavy NLP and image-classification workloads spike
+on Lambda (§VIII-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.core import Environment
+from repro.sim.sharing import FairShareEngine
+from repro.simnet.net import Host
+
+__all__ = ["StorageProfile", "ObjectStore", "S3_DEFAULT", "S3_LAMBDA"]
+
+
+@dataclass(frozen=True)
+class StorageProfile:
+    """Characteristics of the path from one environment to object storage."""
+
+    #: nominal per-stream GET throughput (bytes/s)
+    per_stream_Bps: float
+    #: fixed per-GET latency (request + first byte)
+    get_latency_s: float = 0.030
+    #: if set, the per-stream throughput of each GET is drawn uniformly
+    #: from [lo, hi] — models Lambda's variable egress (§VIII-B)
+    per_stream_range: Optional[tuple[float, float]] = None
+
+    def sample_stream_Bps(self, rng: Optional[np.random.Generator]) -> float:
+        if self.per_stream_range is not None and rng is not None:
+            lo, hi = self.per_stream_range
+            return float(rng.uniform(lo, hi))
+        return self.per_stream_Bps
+
+
+#: OpenFaaS deployment on EC2: fast, stable S3 access (~2.8 Gbps/stream).
+S3_DEFAULT = StorageProfile(per_stream_Bps=350e6)
+
+#: AWS Lambda: lower and highly variable throughput.
+S3_LAMBDA = StorageProfile(
+    per_stream_Bps=80e6,
+    get_latency_s=0.050,
+    per_stream_range=(50e6, 110e6),
+)
+
+
+class ObjectStore:
+    """The object store plus per-host ingress contention model."""
+
+    def __init__(
+        self,
+        env: Environment,
+        profile: StorageProfile = S3_DEFAULT,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.env = env
+        self.profile = profile
+        self.rng = rng
+        self._objects: dict[str, int] = {}
+        self._ingress: dict[str, FairShareEngine] = {}
+        #: per-host ingress capacity (bytes/s); default 10 Gbps
+        self._ingress_Bps: dict[str, float] = {}
+
+    # -- catalog ----------------------------------------------------------------
+    def put_object(self, name: str, size_bytes: int) -> None:
+        if size_bytes <= 0:
+            raise ConfigurationError(f"object {name!r} must have positive size")
+        self._objects[name] = int(size_bytes)
+
+    def object_size(self, name: str) -> int:
+        try:
+            return self._objects[name]
+        except KeyError:
+            raise ConfigurationError(f"no such object {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._objects
+
+    # -- downloads -----------------------------------------------------------------
+    def set_host_ingress(self, host_name: str, bandwidth_Bps: float) -> None:
+        if host_name in self._ingress:
+            raise ConfigurationError(f"ingress for {host_name!r} already active")
+        self._ingress_Bps[host_name] = bandwidth_Bps
+
+    def download(self, host: Host | str, name: str) -> Generator:
+        """Download ``name`` to ``host``; returns the object size.
+
+        Concurrent downloads on the same host share its ingress bandwidth
+        (max-min fair); each stream is additionally capped at the profile's
+        per-stream throughput.
+        """
+        host_name = host.name if isinstance(host, Host) else host
+        size = self.object_size(name)
+        engine = self._engine_for(host_name)
+        stream_Bps = self.profile.sample_stream_Bps(self.rng)
+        demand = min(1.0, stream_Bps / self._capacity_for(host_name))
+        yield self.env.timeout(self.profile.get_latency_s)
+        # Work is expressed in "seconds at full host ingress"; demand caps
+        # the stream at its own throughput.
+        work = size / self._capacity_for(host_name)
+        yield engine.submit(work, demand=demand, owner=name)
+        return size
+
+    def download_many(self, host: Host | str, names: list[str]) -> Generator:
+        """Download several objects concurrently; returns total bytes."""
+        procs = [
+            self.env.process(self.download(host, name), name=f"get-{name}")
+            for name in names
+        ]
+        yield self.env.all_of(procs)
+        return sum(p.value for p in procs)
+
+    # -- internals --------------------------------------------------------------------
+    def _capacity_for(self, host_name: str) -> float:
+        return self._ingress_Bps.get(host_name, 1.25e9)  # 10 Gbps default
+
+    def _engine_for(self, host_name: str) -> FairShareEngine:
+        if host_name not in self._ingress:
+            self._ingress[host_name] = FairShareEngine(self.env, capacity=1.0)
+        return self._ingress[host_name]

@@ -1,0 +1,43 @@
+"""Client-side GPU libraries.
+
+The paper's workloads never call CUDA directly (except K-means and the
+synthetic microbenchmark): they go through TensorFlow, ONNX Runtime, CuPy
+or OpenCV, and it is those libraries' *API call streams* that DGSF
+interposes.  This package provides behavioural stand-ins that emit
+realistic call mixes against the GPU session facade:
+
+* :mod:`~repro.mllib.onnxrt` — ONNX-Runtime-like ``InferenceSession``:
+  descriptor-heavy model loading, per-batch descriptor churn, mixed
+  cuDNN/cuBLAS inference ops (DGSF cuts its forwarded calls by ~48%).
+* :mod:`~repro.mllib.tflib` — TensorFlow-1.x-like session: an even
+  chattier call stream (~96% reducible) plus the greedy arena allocator
+  whose transient peak forces CovidCTNet to request a whole GPU.
+* :mod:`~repro.mllib.cupylib` — CuPy-like arrays for scientific code.
+* :mod:`~repro.mllib.opencvlib` — OpenCV-CUDA-like image ops.
+
+Each library method is a generator; call with ``yield from`` inside a
+simulation process, passing the GPU session facade (a
+:class:`repro.core.guest.GuestLibrary` or
+:class:`repro.core.deployment.NativeGpuSession`).
+"""
+
+from repro.mllib.model import ModelSpec
+from repro.mllib.tensor import DeviceTensor
+from repro.mllib.onnxrt import OnnxInferenceSession
+from repro.mllib.tflib import TfSession
+from repro.mllib.cupylib import CupyContext, CupyArray
+from repro.mllib.opencvlib import CvGpuMat, cv_upload, cv_resize, cv_filter, cv_download
+
+__all__ = [
+    "ModelSpec",
+    "DeviceTensor",
+    "OnnxInferenceSession",
+    "TfSession",
+    "CupyContext",
+    "CupyArray",
+    "CvGpuMat",
+    "cv_upload",
+    "cv_resize",
+    "cv_filter",
+    "cv_download",
+]

@@ -1,0 +1,87 @@
+"""CuPy-like array library over the GPU session facade.
+
+Only the pieces scientific workloads need: array upload, elementwise
+kernels, reductions, download.  Arrays carry real payload windows, so
+``asnumpy(array)`` returns genuinely computed bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["CupyContext", "CupyArray"]
+
+
+@dataclass
+class CupyArray:
+    """Device array handle."""
+
+    ptr: int
+    nbytes: int
+    shape: tuple[int, ...]
+    dtype: str = "float32"
+
+
+class CupyContext:
+    """Factory/executor for CuPy-style operations on one GPU session."""
+
+    def __init__(self, env, gpu):
+        self.env = env
+        self.gpu = gpu
+        self._live: set[int] = set()
+
+    def array(self, host: np.ndarray) -> Generator:
+        """cp.array: allocate + H2D."""
+        nbytes = int(host.nbytes)
+        ptr = yield from self.gpu.cudaMalloc(nbytes)
+        yield from self.gpu.memcpyH2D(
+            ptr, nbytes, payload=np.ascontiguousarray(host).view(np.uint8).ravel()
+        )
+        self._live.add(ptr)
+        return CupyArray(ptr, nbytes, tuple(host.shape), str(host.dtype))
+
+    def empty(self, shape: tuple[int, ...], itemsize: int = 4) -> Generator:
+        n = int(np.prod(shape)) * itemsize
+        ptr = yield from self.gpu.cudaMalloc(max(n, 1))
+        self._live.add(ptr)
+        return CupyArray(ptr, max(n, 1), tuple(shape))
+
+    def axpy(self, a: float, x: CupyArray, y: CupyArray,
+             work_s: float = 1e-4) -> Generator:
+        """y = a*x + y, elementwise on the device."""
+        n = min(x.nbytes, y.nbytes) // 4
+        fptr = yield from self.gpu.cudaGetFunction("axpy")
+        yield from self.gpu.cudaLaunchKernel(
+            fptr, grid=(max(1, n // 256), 1, 1), block=(256, 1, 1),
+            args=(work_s, a, x.ptr, y.ptr, n),
+        )
+        return y
+
+    def fill(self, x: CupyArray, value: int, work_s: float = 1e-4) -> Generator:
+        fptr = yield from self.gpu.cudaGetFunction("fill")
+        yield from self.gpu.cudaLaunchKernel(
+            fptr, args=(work_s, x.ptr, x.nbytes, value)
+        )
+        return x
+
+    def asnumpy(self, x: CupyArray) -> Generator:
+        """Synchronize and download."""
+        yield from self.gpu.cudaDeviceSynchronize()
+        data = yield from self.gpu.memcpyD2H(x.ptr, x.nbytes)
+        return data
+
+    def free(self, x: CupyArray) -> Generator:
+        if x.ptr not in self._live:
+            raise SimulationError("double free of CupyArray")
+        self._live.discard(x.ptr)
+        yield from self.gpu.cudaFree(x.ptr)
+
+    def free_all(self) -> Generator:
+        for ptr in list(self._live):
+            yield from self.gpu.cudaFree(ptr)
+        self._live.clear()

@@ -1,0 +1,62 @@
+"""Model specifications: the knobs that shape a framework's call stream.
+
+The DGSF optimizations act on *call mixes* — how many descriptor calls a
+model load makes, how many enqueue-only launches an inference makes, how
+much actual GPU work there is.  A :class:`ModelSpec` captures exactly
+those quantities for one model; :mod:`repro.workloads.params` instantiates
+one per paper workload, calibrated so the phase breakdowns land near the
+paper's Figures 3/4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ModelSpec"]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Shape of one model's GPU API traffic."""
+
+    name: str
+    #: serialized model size (bytes uploaded H2D during load)
+    weight_bytes: int
+    #: persistent device working set besides weights (activations, workspace)
+    workspace_bytes: int
+    #: layers (drives per-layer load traffic)
+    n_layers: int
+    #: descriptor create+set call pairs during model *load*
+    load_descriptor_calls: int
+    #: descriptor create/set/destroy calls per inference *batch*
+    infer_descriptor_calls: int
+    #: enqueue-only kernel launches per batch (glue/elementwise kernels)
+    launches_per_batch: int
+    #: cuDNN ops per batch (conv/bn/act) and cuBLAS ops per batch (gemm)
+    cudnn_ops_per_batch: int
+    cublas_ops_per_batch: int
+    #: standalone GPU seconds of compute per batch
+    batch_work_s: float
+    #: SM occupancy of this model's kernels (processor-sharing demand)
+    gpu_demand: float
+    #: synchronous round trips interleaved with the op stream per batch
+    #: (stream queries, intermediate result reads, error checks) — these
+    #: cannot be batched and are the source of DGSF's residual inference
+    #: slowdown vs native (e.g. face detection +28%, §VIII-B)
+    sync_ops_per_batch: int = 0
+    #: host-side (CPU) seconds per batch: pre/post-processing
+    host_work_per_batch_s: float = 0.0
+    #: GPU seconds of load-time work (weight reformatting, warmup)
+    load_work_s: float = 0.05
+    uses_cudnn: bool = True
+    uses_cublas: bool = True
+
+    def __post_init__(self):
+        if self.weight_bytes <= 0:
+            raise ConfigurationError(f"{self.name}: weight_bytes must be positive")
+        if not 0 < self.gpu_demand <= 1.0:
+            raise ConfigurationError(f"{self.name}: gpu_demand must be in (0, 1]")
+        if self.batch_work_s < 0 or self.load_work_s < 0:
+            raise ConfigurationError(f"{self.name}: negative work")

@@ -1,0 +1,62 @@
+"""OpenCV-CUDA-like image operations over the GPU session facade.
+
+Used by image-preprocessing stages (and the examples): upload a frame,
+run resize/filter kernels, download the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+import numpy as np
+
+__all__ = ["CvGpuMat", "cv_upload", "cv_resize", "cv_filter", "cv_download"]
+
+
+@dataclass
+class CvGpuMat:
+    """GpuMat: a device image."""
+
+    ptr: int
+    nbytes: int
+    height: int
+    width: int
+    channels: int = 3
+
+
+def cv_upload(gpu, frame: np.ndarray) -> Generator:
+    """cv::cuda::GpuMat::upload."""
+    h, w = frame.shape[:2]
+    c = frame.shape[2] if frame.ndim == 3 else 1
+    nbytes = int(frame.nbytes)
+    ptr = yield from gpu.cudaMalloc(nbytes)
+    yield from gpu.memcpyH2D(ptr, nbytes, payload=frame.view(np.uint8).ravel())
+    return CvGpuMat(ptr, nbytes, h, w, c)
+
+
+def cv_resize(gpu, src: CvGpuMat, out_h: int, out_w: int,
+              work_s: float = 2e-4) -> Generator:
+    """cv::cuda::resize — allocates the destination and launches."""
+    nbytes = out_h * out_w * src.channels
+    dst_ptr = yield from gpu.cudaMalloc(max(nbytes, 1))
+    fptr = yield from gpu.cudaGetFunction("timed_light")
+    yield from gpu.cudaLaunchKernel(
+        fptr, grid=(max(1, out_h // 16), max(1, out_w // 16), 1),
+        block=(16, 16, 1), args=(work_s,),
+    )
+    return CvGpuMat(dst_ptr, max(nbytes, 1), out_h, out_w, src.channels)
+
+
+def cv_filter(gpu, src: CvGpuMat, work_s: float = 3e-4) -> Generator:
+    """In-place filter (Gaussian/normalization stand-in)."""
+    fptr = yield from gpu.cudaGetFunction("timed_light")
+    yield from gpu.cudaLaunchKernel(fptr, args=(work_s,))
+    return src
+
+
+def cv_download(gpu, mat: CvGpuMat) -> Generator:
+    """GpuMat::download — synchronizes then copies back."""
+    yield from gpu.cudaDeviceSynchronize()
+    data = yield from gpu.memcpyD2H(mat.ptr, mat.nbytes)
+    return data

@@ -1,0 +1,20 @@
+"""Device tensor handle shared by the client libraries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceTensor"]
+
+
+@dataclass
+class DeviceTensor:
+    """A chunk of device memory with shape metadata (host-side view)."""
+
+    ptr: int
+    nbytes: int
+    shape: tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if self.nbytes <= 0:
+            raise ValueError("tensor must have positive size")

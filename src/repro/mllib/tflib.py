@@ -1,0 +1,129 @@
+"""TensorFlow-1.x-like session.
+
+Two behaviours matter for the paper:
+
+* **Chattiness** — TF's runtime emits an extremely high rate of
+  enqueue-only and host-state calls (push-call-configurations, pointer
+  queries, small launches).  DGSF reduces TF's forwarded APIs "by up to
+  96%"; here that emerges because almost all of TF's traffic is
+  localizable or batchable.
+* **The greedy arena allocator** — TF grabs a large device arena up
+  front.  CovidCTNet runs *two* models whose allocators "for a brief
+  moment during execution" hold 13 538 MB together, forcing the function
+  to declare an entire GPU even though its steady working set is 7.8 GB
+  (paper §VII).  :meth:`TfSession.load` reproduces the transient spike.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.errors import SimulationError
+from repro.mllib.model import ModelSpec
+from repro.mllib.tensor import DeviceTensor
+
+__all__ = ["TfSession"]
+
+
+class TfSession:
+    """A TF-like session for one model."""
+
+    def __init__(self, env, gpu, spec: ModelSpec,
+                 arena_bytes: Optional[int] = None):
+        self.env = env
+        self.gpu = gpu
+        self.spec = spec
+        #: transient allocator arena; defaults to 1.7× the working set,
+        #: mimicking TF's growth-doubling allocator
+        self.arena_bytes = arena_bytes
+        self.arena: Optional[DeviceTensor] = None
+        self.weights: Optional[DeviceTensor] = None
+        self._cudnn = None
+        self._cublas = None
+        self._loaded = False
+
+    def load(self, trim: bool = True) -> Generator:
+        """Device discovery, arena grab, graph construction, weight upload.
+
+        With ``trim=False`` the transient arena is kept until an explicit
+        :meth:`trim_arena` — CovidCTNet loads *two* models whose arenas
+        coexist briefly, creating the 13 538 MB spike (§VII).
+        """
+        gpu, spec = self.gpu, self.spec
+        # TF "first asks how many GPUs there are, gets their properties and
+        # makes the best fitting one active" (§V-B)
+        count = yield from gpu.cudaGetDeviceCount()
+        for d in range(count):
+            yield from gpu.cudaGetDeviceProperties(d)
+        yield from gpu.cudaSetDevice(0)
+        self._cudnn = yield from gpu.cudnnCreate()
+        self._cublas = yield from gpu.cublasCreate()
+        # the greedy arena: transient allocation spike
+        working = spec.weight_bytes + spec.workspace_bytes
+        arena_size = self.arena_bytes if self.arena_bytes else int(working * 1.7)
+        arena_ptr = yield from gpu.cudaMalloc(arena_size)
+        self.arena = DeviceTensor(arena_ptr, arena_size)
+        # graph construction: heavy descriptor + host-state churn
+        for _ in range(spec.load_descriptor_calls):
+            d = yield from gpu.cudnnCreateDescriptor("tensor")
+            yield from gpu.cudnnSetDescriptor(d, layout="nhwc")
+        for _ in range(spec.load_descriptor_calls // 2):
+            hptr = yield from gpu.cudaMallocHost(4096)
+            yield from gpu.cudaFreeHost(hptr)
+        # weight upload into a dedicated allocation
+        weights_ptr = yield from gpu.cudaMalloc(spec.weight_bytes)
+        self.weights = DeviceTensor(weights_ptr, spec.weight_bytes)
+        yield from gpu.memcpyH2D(weights_ptr, spec.weight_bytes, sync=True)
+        yield from gpu.cudnnOp(self._cudnn, "graph_warmup", spec.load_work_s, sync=True)
+        self._loaded = True
+        if trim:
+            yield from self.trim_arena()
+
+    def trim_arena(self) -> Generator:
+        """Release the transient arena down to the steady working set."""
+        if self.arena is None:
+            raise SimulationError("no arena to trim")
+        yield from self.gpu.cudaFree(self.arena.ptr)
+        arena_ptr = yield from self.gpu.cudaMalloc(self.spec.workspace_bytes)
+        self.arena = DeviceTensor(arena_ptr, self.spec.workspace_bytes)
+
+    def run(self, input_bytes: int, output_bytes: int = 1 << 14) -> Generator:
+        """One batch through the TF graph executor."""
+        if not self._loaded:
+            raise SimulationError("session not loaded")
+        gpu, spec = self.gpu, self.spec
+        yield from gpu.memcpyH2D(self.arena.ptr, input_bytes, sync=True)
+        # host-side pre/post-processing (feed/fetch marshalling)
+        if spec.host_work_per_batch_s > 0:
+            yield self.env.timeout(spec.host_work_per_batch_s)
+        fptr = yield from gpu.cudaGetFunction("timed_light")
+        n_ops = spec.cudnn_ops_per_batch + spec.cublas_ops_per_batch
+        per_op = spec.batch_work_s / max(1, n_ops)
+        # TF interleaves several glue launches and placement checks with
+        # every heavy op — the source of its extreme chattiness
+        glue_per_op = max(3, (3 * spec.launches_per_batch) // max(1, n_ops))
+        for i in range(spec.cudnn_ops_per_batch):
+            for _ in range(glue_per_op):
+                yield from gpu.pushCallConfiguration()
+                yield from gpu.cudaLaunchKernel(fptr, args=(0.0,))
+            # pointer-attribute churn (TF checks feed/fetch placement)
+            yield from gpu.cudaPointerGetAttributes(self.arena.ptr)
+            yield from gpu.cudnnOp(self._cudnn, "conv_fwd", per_op)
+        for i in range(spec.cublas_ops_per_batch):
+            for _ in range(glue_per_op):
+                yield from gpu.pushCallConfiguration()
+                yield from gpu.cudaLaunchKernel(fptr, args=(0.0,))
+            yield from gpu.cublasOp(self._cublas, "gemm", per_op)
+        # TF-1.x session.run fetches force synchronous stream waits
+        for _ in range(spec.sync_ops_per_batch):
+            yield from gpu.cudaStreamSynchronize(0)
+        yield from gpu.cudaDeviceSynchronize()
+        out = yield from gpu.memcpyD2H(self.arena.ptr, output_bytes)
+        return out
+
+    def close(self) -> Generator:
+        for tensor in (self.arena, self.weights):
+            if tensor is not None:
+                yield from self.gpu.cudaFree(tensor.ptr)
+        self.arena = self.weights = None
+        self._loaded = False

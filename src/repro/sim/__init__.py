@@ -1,0 +1,56 @@
+"""Discrete-event simulation kernel.
+
+A from-scratch, generator-based DES in the style of SimPy, plus the two
+extensions the DGSF reproduction needs:
+
+* :class:`repro.sim.sharing.FairShareEngine` — a processor-sharing server
+  used to model concurrent kernels time-sharing a GPU (NVIDIA Hyper-Q).
+* :mod:`repro.sim.rng` — named, seeded random streams so every experiment
+  is reproducible bit-for-bit.
+
+Quick example::
+
+    from repro.sim import Environment
+
+    env = Environment()
+
+    def hello(env):
+        yield env.timeout(3.0)
+        return "done at %.1f" % env.now
+
+    proc = env.process(hello(env))
+    env.run()
+    assert env.now == 3.0 and proc.value == "done at 3.0"
+"""
+
+from repro.sim.core import (
+    Environment,
+    Event,
+    Timeout,
+    Process,
+    Interrupt,
+    AllOf,
+    AnyOf,
+    Condition,
+)
+from repro.sim.resources import Resource, PriorityResource, Container, Store
+from repro.sim.sharing import FairShareEngine, ShareTask
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Resource",
+    "PriorityResource",
+    "Container",
+    "Store",
+    "FairShareEngine",
+    "ShareTask",
+    "RngRegistry",
+]

@@ -1,0 +1,463 @@
+"""Core of the discrete-event simulation kernel.
+
+The design follows the classic event-loop-plus-coroutines architecture
+(SimPy's model): simulation activities are Python generators that ``yield``
+:class:`Event` objects; the :class:`Environment` owns a priority queue of
+scheduled events and resumes each waiting generator when the event it
+yielded fires.
+
+Only simulated time exists here — nothing sleeps on the wall clock, so a
+simulated multi-minute serverless trace executes in milliseconds, and runs
+are fully deterministic given seeded RNG streams (:mod:`repro.sim.rng`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "StopSimulation",
+]
+
+# Scheduling priorities: urgent events (process resumption bookkeeping) run
+# before normal events that share a timestamp.
+URGENT = 0
+NORMAL = 1
+
+
+class StopSimulation(Exception):
+    """Raised internally to terminate :meth:`Environment.run` early."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`.
+
+    ``cause`` carries the value given to ``interrupt()`` — e.g. a migration
+    request or a cancellation reason.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+_PENDING = object()  # sentinel: event value not yet decided
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    An event moves through three states: *pending* (created), *triggered*
+    (scheduled into the event queue with a value or an exception) and
+    *processed* (its callbacks have run).  Processes wait on events by
+    yielding them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        #: callables invoked with this event once it is processed; set to
+        #: ``None`` afterwards, which is how we detect the processed state.
+        self.callbacks: Optional[list] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    # -- state inspection ---------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled with a value/exception."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid when triggered."""
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception it failed with)."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it will not crash the run."""
+        self._defused = True
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        A process yielding this event will have ``exception`` thrown into
+        it.  If nobody handles the failure, the simulation run aborts —
+        silent error swallowing would make debugging impossible.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the outcome of ``event`` onto this event (callback form)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event.defuse()
+            self.fail(event._value)
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` units of simulated time in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Immediate urgent event used to start a new process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._schedule(self, URGENT, 0.0)
+
+
+class Process(Event):
+    """A running simulation activity wrapping a generator.
+
+    The process is itself an event: it triggers with the generator's return
+    value when the generator finishes, or fails with the exception that
+    escaped it.  Other processes can therefore ``yield proc`` to join it.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: the event this process is currently waiting on
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is waiting on an event detaches it from that event first.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        if self._target is self:
+            raise SimulationError("a process cannot interrupt itself")
+        # Deliver asynchronously via a failed urgent event so interrupts
+        # interleave deterministically with the event queue.
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, URGENT, 0.0)
+        # Detach from the event we were waiting on (it may still fire, but
+        # must no longer resume us).
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._target = None
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The event failed: throw its exception into the process.
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                # Process finished successfully.
+                self._ok = True
+                self._value = exc.value
+                self.env._schedule(self, NORMAL, 0.0)
+                break
+            except BaseException as exc:
+                # Process died; propagate to joiners (or crash the run).
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self, NORMAL, 0.0)
+                break
+
+            # The process yielded a new event to wait on.
+            if not isinstance(next_event, Event):
+                event = Event(self.env)
+                event._ok = False
+                event._value = TypeError(
+                    f"process {self.name!r} yielded non-event {next_event!r}"
+                )
+                event._defused = True
+                continue
+            if next_event.callbacks is not None:
+                # Event not yet processed: subscribe and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Event already processed: loop immediately with its outcome.
+            event = next_event
+
+        self.env._active_process = None
+
+
+class Condition(Event):
+    """Waits for a combination of events (used by AllOf / AnyOf).
+
+    Succeeds with a dict mapping each *triggered* constituent event to its
+    value once ``evaluate`` says the condition holds.  If any constituent
+    fails, the condition fails with that exception.
+    """
+
+    __slots__ = ("_events", "_evaluate", "_count")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[list, int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events from different environments")
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.callbacks is None:  # already processed
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> dict:
+        # Only events whose callbacks have run count as "happened"; a
+        # Timeout carries its value from construction but has not fired yet.
+        return {e: e._value for e in self._events if e.processed and e._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+
+class AllOf(Condition):
+    """Succeeds when *all* given events have succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda events, count: count == len(events), events)
+
+
+class AnyOf(Condition):
+    """Succeeds as soon as *any* of the given events succeeds."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda events, count: count >= 1, events)
+
+
+class Environment:
+    """The simulation driver: clock plus event queue.
+
+    All simulated components hold a reference to one environment and
+    create events/processes through it.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []  # heap of (time, priority, eid, event)
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+        #: events processed so far ("no optimization without measuring" —
+        #: the first thing to look at when a scenario runs slowly)
+        self.events_processed = 0
+        #: processes ever created
+        self.processes_created = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention in this repo)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    def stats(self) -> dict:
+        """Simulation-kernel counters for profiling scenario cost."""
+        return {
+            "now": self._now,
+            "events_processed": self.events_processed,
+            "processes_created": self.processes_created,
+            "events_pending": len(self._queue),
+        }
+
+    # -- event construction ------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        self.processes_created += 1
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling / running ------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event; raises :class:`SimulationError` if empty."""
+        try:
+            when, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise SimulationError("no scheduled events") from None
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        self.events_processed += 1
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # Unhandled failure: abort the run loudly.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, ``until`` time passes, or an event fires.
+
+        * ``until`` is ``None``: run until no events remain.
+        * ``until`` is a number: run until simulated time reaches it.
+        * ``until`` is an :class:`Event`: run until it triggers and return
+          its value (raising if it failed).
+        """
+        stop_event: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:  # already processed
+                if stop_event._ok:
+                    return stop_event._value
+                raise stop_event._value
+
+            def _stop(event: Event) -> None:
+                raise StopSimulation()
+
+            stop_event.callbacks.append(_stop)
+            deadline = float("inf")
+        elif until is None:
+            deadline = float("inf")
+        else:
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError(f"until={deadline} is in the past (now={self._now})")
+
+        try:
+            while self._queue and self.peek() <= deadline:
+                self.step()
+        except StopSimulation:
+            assert stop_event is not None
+            if stop_event._ok:
+                return stop_event._value
+            stop_event._defused = True
+            raise stop_event._value from None
+
+        if stop_event is not None and not stop_event.triggered:
+            raise SimulationError(
+                "run() ended before the awaited event triggered (deadlock?)"
+            )
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

@@ -1,0 +1,229 @@
+"""Shared-resource primitives for the simulation kernel.
+
+* :class:`Resource` — capacity-limited resource with FIFO queueing
+  (e.g. an API server that handles one function at a time).
+* :class:`PriorityResource` — like Resource but the wait queue is ordered
+  by a caller-supplied priority.
+* :class:`Container` — a continuous quantity (e.g. bytes of GPU memory).
+* :class:`Store` — a FIFO of Python objects (e.g. a message queue).
+
+All acquire/release operations are events, so processes compose them with
+timeouts and conditions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment, Event
+
+__all__ = ["Resource", "PriorityResource", "Container", "Store"]
+
+
+class Request(Event):
+    """Event representing a pending acquire on a :class:`Resource`.
+
+    Usable as a context manager so the common pattern reads::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+    """
+
+    __slots__ = ("resource", "priority", "_seq")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        resource._seq += 1
+        self._seq = resource._seq
+        resource._do_request(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request."""
+        if not self.triggered:
+            self.resource._cancel(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.triggered and self._ok:
+            self.resource.release(self)
+        else:
+            self.cancel()
+
+
+class Resource:
+    """A resource with integer capacity and a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: list = []  # heap of (priority, seq, request)
+        self._seq = 0
+
+    @property
+    def count(self) -> int:
+        """Number of users currently holding the resource."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        return Request(self)
+
+    def _do_request(self, req: Request) -> None:
+        if len(self.users) < self.capacity and not self.queue:
+            self.users.append(req)
+            req.succeed()
+        else:
+            heapq.heappush(self.queue, (req.priority, req._seq, req))
+
+    def _cancel(self, req: Request) -> None:
+        self.queue = [entry for entry in self.queue if entry[2] is not req]
+        heapq.heapify(self.queue)
+
+    def release(self, req: Request) -> None:
+        """Release a previously granted request and admit the next waiter."""
+        try:
+            self.users.remove(req)
+        except ValueError:
+            raise SimulationError("releasing a request that does not hold the resource")
+        while self.queue and len(self.users) < self.capacity:
+            _, _, nxt = heapq.heappop(self.queue)
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class PriorityResource(Resource):
+    """Resource whose waiters are served lowest-priority-value-first."""
+
+    def request(self, priority: int = 0) -> Request:  # type: ignore[override]
+        return Request(self, priority=priority)
+
+
+class Container:
+    """A continuous quantity with blocking get/put.
+
+    Used for byte-granularity accounting (GPU memory pools, link credits).
+    ``get`` blocks until the requested amount is available; ``put`` blocks
+    only if a ``capacity`` would be exceeded.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: list[tuple[float, Event]] = []
+        self._putters: list[tuple[float, Event]] = []
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def get(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        event = Event(self.env)
+        self._getters.append((amount, event))
+        self._trigger()
+        return event
+
+    def put(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        event = Event(self.env)
+        self._putters.append((amount, event))
+        self._trigger()
+        return event
+
+    def _trigger(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                amount, event = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._level += amount
+                    self._putters.pop(0)
+                    event.succeed()
+                    progress = True
+            if self._getters:
+                amount, event = self._getters[0]
+                if amount <= self._level:
+                    self._level -= amount
+                    self._getters.pop(0)
+                    event.succeed(amount)
+                    progress = True
+
+
+class Store:
+    """FIFO store of arbitrary items with blocking get.
+
+    ``put`` never blocks (unbounded unless ``capacity`` given); ``get``
+    blocks until an item is available.  An optional ``filter`` on get
+    supports selective receive (used by RPC reply matching).
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._getters: list[tuple[Optional[Callable[[Any], bool]], Event]] = []
+        self._putters: list[tuple[Any, Event]] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.env)
+        self._putters.append((item, event))
+        self._trigger()
+        return event
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> Event:
+        event = Event(self.env)
+        self._getters.append((filter, event))
+        self._trigger()
+        return event
+
+    def _trigger(self) -> None:
+        # Admit pending puts while there is capacity.
+        while self._putters and len(self.items) < self.capacity:
+            item, event = self._putters.pop(0)
+            self.items.append(item)
+            event.succeed()
+        # Satisfy getters (each scans for its first matching item).
+        made_progress = True
+        while made_progress:
+            made_progress = False
+            for gi, (flt, event) in enumerate(self._getters):
+                for ii, item in enumerate(self.items):
+                    if flt is None or flt(item):
+                        self.items.pop(ii)
+                        self._getters.pop(gi)
+                        event.succeed(item)
+                        made_progress = True
+                        break
+                if made_progress:
+                    break
+            # New space may admit queued putters.
+            while self._putters and len(self.items) < self.capacity:
+                item, event = self._putters.pop(0)
+                self.items.append(item)
+                event.succeed()
+                made_progress = True

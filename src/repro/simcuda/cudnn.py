@@ -1,0 +1,178 @@
+"""cuDNN: handle-based deep-learning primitives.
+
+Two properties of real cuDNN drive DGSF's optimizations and are modeled
+faithfully here:
+
+* ``cudnnCreate`` is *expensive* (≈1.2 s, ≈386 MB of device memory —
+  paper §V-C), so the API server pre-creates a pool of handles.
+* Descriptor-create/set/destroy calls are *cheap host-side* operations
+  ("simply allocate memory on the host side to hold the opaque
+  structure") but extremely frequent during model loading — which is why
+  pooling them on the guest side removes a large number of round trips.
+
+:class:`CudnnAPI` is the interface applications call; the local
+implementation executes against a context, and DGSF's guest library
+provides a remoting implementation with descriptor pooling.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.sim.core import Environment
+from repro.simcuda.context import CudaContext
+from repro.simcuda.costs import CostModel, DEFAULT_COSTS
+from repro.simcuda.errors import CudaError, cudaError
+from repro.simcuda.types import Dim3
+
+__all__ = [
+    "CudnnAPI",
+    "CudnnLibrary",
+    "CudnnHandle",
+    "CudnnDescriptor",
+    "DESCRIPTOR_KINDS",
+]
+
+_handle_ids = itertools.count(0x0DDD_0000)
+
+#: descriptor kinds the workloads create (subset of real cuDNN's)
+DESCRIPTOR_KINDS = (
+    "tensor",
+    "filter",
+    "convolution",
+    "activation",
+    "pooling",
+)
+
+
+@dataclass
+class CudnnHandle:
+    """An initialized cuDNN library handle bound to one context."""
+
+    handle: int
+    context_id: int
+    device_id: int
+
+
+@dataclass
+class CudnnDescriptor:
+    """An opaque host-side descriptor (tensor/filter/convolution/...)."""
+
+    handle: int
+    kind: str
+    settings: dict = field(default_factory=dict)
+
+
+class CudnnAPI:
+    """Abstract cuDNN surface used by :mod:`repro.mllib` and workloads."""
+
+    def cudnnCreate(self) -> Generator: ...
+    def cudnnDestroy(self, handle: int) -> Generator: ...
+    def cudnnCreateDescriptor(self, kind: str) -> Generator: ...
+    def cudnnSetDescriptor(self, desc: int, **settings) -> Generator: ...
+    def cudnnDestroyDescriptor(self, desc: int) -> Generator: ...
+    def cudnnConvolutionForward(self, handle: int, work: float, **io) -> Generator: ...
+    def cudnnActivationForward(self, handle: int, work: float, **io) -> Generator: ...
+    def cudnnBatchNormForward(self, handle: int, work: float, **io) -> Generator: ...
+    def cudnnOp(self, handle: int, op: str, work: float, **io) -> Generator: ...
+
+
+class CudnnLibrary(CudnnAPI):
+    """Local (native) cuDNN implementation bound to a context.
+
+    ``precreated_handles`` lets the DGSF API server hand in a pool built
+    off the critical path; native applications pay creation inline.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        context: CudaContext,
+        costs: CostModel = DEFAULT_COSTS,
+    ):
+        self.env = env
+        self.context = context
+        self.costs = costs
+        self._handles: dict[int, CudnnHandle] = {}
+        self._descriptors: dict[int, CudnnDescriptor] = {}
+
+    # -- handles ---------------------------------------------------------------
+    def cudnnCreate(self) -> Generator:
+        """Create a handle: 1.2 s and 386 MB on the context's GPU."""
+        self.context.device.reserve_bytes(self.costs.cudnn_handle_bytes)
+        yield self.env.timeout(self.costs.cudnn_handle_create_s)
+        handle = CudnnHandle(
+            handle=next(_handle_ids),
+            context_id=self.context.context_id,
+            device_id=self.context.device.device_id,
+        )
+        self._handles[handle.handle] = handle
+        return handle.handle
+
+    def cudnnDestroy(self, handle: int) -> Generator:
+        self._get_handle(handle)
+        del self._handles[handle]
+        self.context.device.unreserve_bytes(self.costs.cudnn_handle_bytes)
+        yield self.env.timeout(self.costs.api_call_local_s)
+
+    def adopt_handle(self, handle: CudnnHandle) -> None:
+        """Register an externally precreated handle (API server pooling)."""
+        self._handles[handle.handle] = handle
+
+    # -- descriptors ----------------------------------------------------------------
+    def cudnnCreateDescriptor(self, kind: str) -> Generator:
+        if kind not in DESCRIPTOR_KINDS:
+            raise CudaError(cudaError.cudaErrorInvalidValue, f"descriptor kind {kind!r}")
+        yield self.env.timeout(self.costs.cudnn_descriptor_create_s)
+        desc = CudnnDescriptor(handle=next(_handle_ids), kind=kind)
+        self._descriptors[desc.handle] = desc
+        return desc.handle
+
+    def cudnnSetDescriptor(self, desc: int, **settings) -> Generator:
+        self._get_descriptor(desc).settings.update(settings)
+        yield self.env.timeout(self.costs.api_call_local_s)
+
+    def cudnnDestroyDescriptor(self, desc: int) -> Generator:
+        self._get_descriptor(desc)
+        del self._descriptors[desc]
+        yield self.env.timeout(self.costs.api_call_local_s)
+
+    # -- compute ops --------------------------------------------------------------------
+    def cudnnConvolutionForward(self, handle: int, work: float, **io) -> Generator:
+        return (yield from self.cudnnOp(handle, "conv_fwd", work, **io))
+
+    def cudnnActivationForward(self, handle: int, work: float, **io) -> Generator:
+        return (yield from self.cudnnOp(handle, "act_fwd", work, **io))
+
+    def cudnnBatchNormForward(self, handle: int, work: float, **io) -> Generator:
+        return (yield from self.cudnnOp(handle, "bn_fwd", work, **io))
+
+    def cudnnOp(self, handle: int, op: str, work: float, **io) -> Generator:
+        """Launch one cuDNN compute op (async; returns completion event)."""
+        self._get_handle(handle)
+        if work < 0:
+            raise CudaError(cudaError.cudaErrorInvalidValue, "negative work")
+        fptr = self.context.get_function("timed")
+        yield self.env.timeout(self.costs.kernel_launch_s)
+        return self.context.launch_kernel(
+            fptr, Dim3(1), Dim3(1), (work,), stream_handle=io.get("stream", 0)
+        )
+
+    # -- internals -----------------------------------------------------------------------
+    def _get_handle(self, handle: int) -> CudnnHandle:
+        try:
+            return self._handles[handle]
+        except KeyError:
+            raise CudaError(
+                cudaError.cudaErrorInvalidResourceHandle, f"cudnn handle {handle:#x}"
+            ) from None
+
+    def _get_descriptor(self, desc: int) -> CudnnDescriptor:
+        try:
+            return self._descriptors[desc]
+        except KeyError:
+            raise CudaError(
+                cudaError.cudaErrorInvalidResourceHandle, f"cudnn descriptor {desc:#x}"
+            ) from None

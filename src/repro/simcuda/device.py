@@ -1,0 +1,126 @@
+"""The simulated GPU: memory, compute engine, copy engines.
+
+Compute follows the processor-sharing model of
+:class:`repro.sim.sharing.FairShareEngine` — kernels from multiple
+contexts (API servers) run concurrently à la Hyper-Q and share SM
+throughput.  Copies are served by per-direction DMA engines, which also
+fair-share when concurrent (a reasonable model of channel contention).
+"""
+
+from __future__ import annotations
+
+from repro.sim.core import Environment, Event
+from repro.sim.sharing import FairShareEngine
+from repro.simcuda.costs import CostModel, DEFAULT_COSTS
+from repro.simcuda.errors import CudaError, cudaError
+from repro.simcuda.phys import PhysicalAllocation
+from repro.simcuda.types import DeviceProperties, V100_PROPERTIES
+
+__all__ = ["SimGPU"]
+
+
+class SimGPU:
+    """One physical GPU in a GPU server."""
+
+    def __init__(
+        self,
+        env: Environment,
+        device_id: int,
+        properties: DeviceProperties = V100_PROPERTIES,
+        costs: CostModel = DEFAULT_COSTS,
+    ):
+        self.env = env
+        self.device_id = device_id
+        self.properties = properties
+        self.costs = costs
+        self.total_mem = properties.total_global_mem
+        self._mem_used = 0
+        self._allocations: set[PhysicalAllocation] = set()
+        #: SM compute (kernels)
+        self.compute = FairShareEngine(env, capacity=1.0)
+        #: DMA engines
+        self._h2d = FairShareEngine(env, capacity=1.0)
+        self._d2h = FairShareEngine(env, capacity=1.0)
+        self._d2d = FairShareEngine(env, capacity=1.0)
+
+    # -- memory -------------------------------------------------------------
+    @property
+    def mem_used(self) -> int:
+        return self._mem_used
+
+    @property
+    def mem_free(self) -> int:
+        return self.total_mem - self._mem_used
+
+    def alloc_phys(self, size: int) -> PhysicalAllocation:
+        """Allocate physical memory (``cuMemCreate``'s effect)."""
+        if size <= 0:
+            raise CudaError(cudaError.cudaErrorInvalidValue, "size must be > 0")
+        if size > self.mem_free:
+            raise CudaError(
+                cudaError.cudaErrorMemoryAllocation,
+                f"GPU {self.device_id}: requested {size} > free {self.mem_free}",
+            )
+        alloc = PhysicalAllocation(self.device_id, size, self.costs.payload_cap_bytes)
+        self._mem_used += size
+        self._allocations.add(alloc)
+        return alloc
+
+    def free_phys(self, alloc: PhysicalAllocation) -> None:
+        if alloc not in self._allocations:
+            raise CudaError(
+                cudaError.cudaErrorInvalidValue,
+                f"allocation {alloc!r} does not belong to GPU {self.device_id}",
+            )
+        self._allocations.discard(alloc)
+        self._mem_used -= alloc.size
+        alloc.release()
+
+    def reserve_bytes(self, size: int) -> None:
+        """Account for opaque runtime footprints (contexts, library handles)."""
+        if size > self.mem_free:
+            raise CudaError(
+                cudaError.cudaErrorMemoryAllocation,
+                f"GPU {self.device_id}: cannot reserve {size} bytes",
+            )
+        self._mem_used += size
+
+    def unreserve_bytes(self, size: int) -> None:
+        if size > self._mem_used:
+            raise CudaError(cudaError.cudaErrorInvalidValue, "unreserve underflow")
+        self._mem_used -= size
+
+    # -- compute ---------------------------------------------------------------
+    def launch(self, work_s: float, demand: float = 1.0, owner: object = None) -> Event:
+        """Submit a kernel's worth of compute; returns its completion event."""
+        return self.compute.submit(work_s, demand=demand, owner=owner)
+
+    # -- copies ----------------------------------------------------------------
+    def copy_h2d(self, size: int) -> Event:
+        return self._copy(self._h2d, size, self.costs.h2d_bandwidth_Bps)
+
+    def copy_d2h(self, size: int) -> Event:
+        return self._copy(self._d2h, size, self.costs.d2h_bandwidth_Bps)
+
+    def copy_d2d(self, size: int) -> Event:
+        """Device-to-device (possibly cross-GPU) copy; used by migration."""
+        return self._copy(self._d2d, size, self.costs.d2d_bandwidth_Bps)
+
+    def memset(self, size: int) -> Event:
+        return self._copy(self.compute, size, self.costs.memset_bandwidth_Bps)
+
+    def _copy(self, engine: FairShareEngine, size: int, bandwidth: float) -> Event:
+        if size < 0:
+            raise CudaError(cudaError.cudaErrorInvalidValue, "negative copy size")
+        return engine.submit(self.costs.memcpy_time(size, bandwidth))
+
+    # -- utilization (NVML view) ----------------------------------------------
+    def utilization(self, start: float, end: float) -> float:
+        """Fraction of [start, end] with ≥1 kernel resident (NVML semantics)."""
+        return self.compute.utilization(start, end)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SimGPU {self.device_id} used={self._mem_used // (1024*1024)}MB "
+            f"free={self.mem_free // (1024*1024)}MB tasks={self.compute.active_tasks}>"
+        )

@@ -1,0 +1,138 @@
+"""The CUDA driver API (``cuXxx``) used by DGSF's API servers.
+
+The paper's API server deliberately avoids ``cudaMalloc``-style general
+allocation and instead composes the CUDA 10.2 low-level primitives so it
+can rebuild an identical virtual address space on another GPU during
+migration (§V-B "Memory management", §V-D).  This module exposes exactly
+those primitives over the simulated devices.
+
+All time-consuming entry points are generators: callers ``yield from``
+them inside simulation processes.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.sim.core import Environment
+from repro.simcuda.context import CudaContext
+from repro.simcuda.costs import CostModel, DEFAULT_COSTS
+from repro.simcuda.device import SimGPU
+from repro.simcuda.errors import CudaError, CUresult
+from repro.simcuda.kernels import KernelRegistry, builtin_registry
+from repro.simcuda.phys import PhysicalAllocation
+from repro.simcuda.types import DeviceProperties
+
+__all__ = ["DriverAPI"]
+
+
+class DriverAPI:
+    """Driver-level access to a set of physical GPUs."""
+
+    def __init__(
+        self,
+        env: Environment,
+        devices: list[SimGPU],
+        kernel_registry: Optional[KernelRegistry] = None,
+        costs: CostModel = DEFAULT_COSTS,
+    ):
+        if not devices:
+            raise CudaError(CUresult.CUDA_ERROR_NOT_INITIALIZED, "no devices")
+        self.env = env
+        self.devices = devices
+        self.kernels = kernel_registry or builtin_registry()
+        self.costs = costs
+        self._initialized = False
+
+    # -- device discovery -------------------------------------------------------
+    def cuInit(self) -> None:
+        self._initialized = True
+
+    def cuDeviceGetCount(self) -> int:
+        self._check_init()
+        return len(self.devices)
+
+    def cuDeviceGetProperties(self, device_id: int) -> DeviceProperties:
+        return self._device(device_id).properties
+
+    # -- contexts ------------------------------------------------------------------
+    def cuCtxCreate(self, device_id: int) -> Generator:
+        """Create a context: the expensive 3.2 s / 303 MB initialization."""
+        self._check_init()
+        device = self._device(device_id)
+        device.reserve_bytes(self.costs.cuda_context_bytes)
+        yield self.env.timeout(self.costs.cuda_init_s)
+        return CudaContext(self.env, device, self.kernels)
+
+    def cuCtxDestroy(self, context: CudaContext) -> None:
+        context.destroy()
+        context.device.unreserve_bytes(self.costs.cuda_context_bytes)
+
+    # -- low-level memory management -------------------------------------------------
+    def cuMemCreate(self, device_id: int, size: int) -> Generator:
+        """Allocate unmapped physical device memory."""
+        self._check_init()
+        device = self._device(device_id)
+        yield self.env.timeout(self.costs.malloc_time(size))
+        return device.alloc_phys(size)
+
+    def cuMemRelease(self, allocation: PhysicalAllocation) -> Generator:
+        device = self._device(allocation.device_id)
+        yield self.env.timeout(self.costs.free_s)
+        device.free_phys(allocation)
+
+    def cuMemAddressReserve(
+        self, context: CudaContext, size: int, fixed_addr: Optional[int] = None
+    ) -> int:
+        """Reserve a VA range in ``context`` (optionally at a fixed address)."""
+        return context.address_space.reserve(size, fixed_addr=fixed_addr)
+
+    def cuMemAddressFree(self, context: CudaContext, va: int) -> None:
+        context.address_space.free_reservation(va)
+
+    def cuMemMap(self, context: CudaContext, va: int, allocation: PhysicalAllocation):
+        """Map physical memory into a reserved VA range.
+
+        The physical allocation must live on the context's device — mapping
+        a foreign GPU's memory is exactly what CUDA forbids and why
+        migration must copy data rather than remap it.
+        """
+        if allocation.device_id != context.device.device_id:
+            raise CudaError(
+                CUresult.CUDA_ERROR_MAP_FAILED,
+                f"allocation on GPU {allocation.device_id} cannot map into a "
+                f"context on GPU {context.device.device_id}",
+            )
+        return context.address_space.map(va, allocation)
+
+    def cuMemUnmap(self, context: CudaContext, va: int) -> PhysicalAllocation:
+        return context.address_space.unmap(va)
+
+    # -- copies ----------------------------------------------------------------------
+    def cuMemcpyDtoD(
+        self,
+        dst: PhysicalAllocation,
+        src: PhysicalAllocation,
+        size: int,
+    ) -> Generator:
+        """Copy between physical allocations (cross-GPU allowed: P2P/DMA).
+
+        Data (the materialized payload window) really moves; timing is
+        charged on the destination GPU's copy engine.
+        """
+        if size > src.size or size > dst.size:
+            raise CudaError(CUresult.CUDA_ERROR_INVALID_VALUE, "copy exceeds allocation")
+        device = self._device(dst.device_id)
+        yield device.copy_d2d(size)
+        dst.copy_payload_from(src)
+
+    # -- internals ----------------------------------------------------------------------
+    def _device(self, device_id: int) -> SimGPU:
+        for device in self.devices:
+            if device.device_id == device_id:
+                return device
+        raise CudaError(CUresult.CUDA_ERROR_INVALID_VALUE, f"no device {device_id}")
+
+    def _check_init(self) -> None:
+        if not self._initialized:
+            raise CudaError(CUresult.CUDA_ERROR_NOT_INITIALIZED, "call cuInit first")

@@ -1,0 +1,54 @@
+"""CUDA error codes and the exception used to surface them.
+
+Real CUDA returns status codes; raising an exception carrying the code is
+the natural Python idiom and keeps call sites honest (a forgotten check
+cannot silently continue).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ReproError
+
+__all__ = ["cudaError", "CUresult", "CudaError"]
+
+
+class cudaError(enum.IntEnum):
+    """Runtime API status codes (subset relevant to the reproduction)."""
+
+    cudaSuccess = 0
+    cudaErrorInvalidValue = 1
+    cudaErrorMemoryAllocation = 2
+    cudaErrorInitializationError = 3
+    cudaErrorInvalidDevice = 101
+    cudaErrorInvalidResourceHandle = 400
+    cudaErrorNotSupported = 801
+    cudaErrorInvalidAddressSpace = 717
+
+
+class CUresult(enum.IntEnum):
+    """Driver API status codes (subset)."""
+
+    CUDA_SUCCESS = 0
+    CUDA_ERROR_INVALID_VALUE = 1
+    CUDA_ERROR_OUT_OF_MEMORY = 2
+    CUDA_ERROR_NOT_INITIALIZED = 3
+    CUDA_ERROR_INVALID_CONTEXT = 201
+    CUDA_ERROR_MAP_FAILED = 205
+    CUDA_ERROR_ALREADY_MAPPED = 208
+    CUDA_ERROR_NOT_MAPPED = 211
+    CUDA_ERROR_INVALID_HANDLE = 400
+    CUDA_ERROR_NOT_FOUND = 500
+
+
+class CudaError(ReproError):
+    """A CUDA runtime/driver/library call failed.
+
+    ``code`` is the :class:`cudaError` or :class:`CUresult` member the real
+    API would have returned.
+    """
+
+    def __init__(self, code: enum.IntEnum, message: str = ""):
+        self.code = code
+        super().__init__(f"{code.name}: {message}" if message else code.name)

@@ -1,0 +1,194 @@
+"""Kernel definitions and the per-name registry.
+
+A :class:`KernelDef` couples a *timing model* (how many seconds of
+standalone SM time a launch consumes) with an optional *payload function*
+that really computes on the numpy buffers backing device memory.  The six
+paper workloads mostly use trace-calibrated timings, while K-means and the
+synthetic migration microbenchmark use real payload kernels so tests can
+verify data correctness end-to-end (including across migration).
+
+Kernel *function pointers* are per-context (see
+:meth:`repro.simcuda.context.CudaContext.get_function`) — the property
+that forces DGSF to re-resolve kernels after migrating an API server to a
+different GPU (paper §V-B, "Kernel launches").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.simcuda.types import Dim3
+
+__all__ = ["KernelDef", "KernelRegistry", "builtin_registry", "LaunchParams"]
+
+
+@dataclass(frozen=True)
+class LaunchParams:
+    """Launch configuration + arguments as seen by timing/payload models."""
+
+    grid: Dim3
+    block: Dim3
+    args: tuple
+
+    @property
+    def threads(self) -> int:
+        return self.grid.count * self.block.count
+
+
+# A timing model maps launch params to seconds of standalone SM work.
+TimingModel = Callable[[LaunchParams], float]
+# A payload function gets (resolve, params) where resolve(ptr, nbytes)
+# returns a writable numpy uint8 view of device memory.
+PayloadFn = Callable[[Callable[[int, int], np.ndarray], LaunchParams], None]
+
+
+@dataclass(frozen=True)
+class KernelDef:
+    name: str
+    timing: TimingModel
+    payload: Optional[PayloadFn] = None
+    #: SM occupancy demand of one launch (1.0 = can saturate the GPU).
+    demand: float = 1.0
+
+
+class KernelRegistry:
+    """Name → :class:`KernelDef`; shared by guest and server sides."""
+
+    def __init__(self):
+        self._defs: dict[str, KernelDef] = {}
+
+    def register(self, kernel: KernelDef) -> None:
+        if kernel.name in self._defs:
+            raise ConfigurationError(f"kernel {kernel.name!r} already registered")
+        self._defs[kernel.name] = kernel
+
+    def get(self, name: str) -> KernelDef:
+        try:
+            return self._defs[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown kernel {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._defs
+
+    def names(self) -> list[str]:
+        return sorted(self._defs)
+
+
+# --------------------------------------------------------------------------
+# Built-in kernels
+# --------------------------------------------------------------------------
+
+def _fixed_time(params: LaunchParams) -> float:
+    """First arg is the kernel's standalone duration in seconds."""
+    return float(params.args[0])
+
+
+def _payload_fill(resolve, params: LaunchParams) -> None:
+    """args: (_, ptr, nbytes, value) — fill device bytes with value."""
+    _, ptr, nbytes, value = params.args[:4]
+    view = resolve(int(ptr), int(nbytes))
+    view[:] = np.uint8(value & 0xFF)
+
+
+def _payload_increment(resolve, params: LaunchParams) -> None:
+    """args: (_, ptr, nbytes) — add 1 (mod 256) to each device byte.
+
+    Used by the migration microbenchmark: running it before and after a
+    migration proves the data really moved and pointers stayed valid.
+    """
+    _, ptr, nbytes = params.args[:3]
+    view = resolve(int(ptr), int(nbytes))
+    view += np.uint8(1)
+
+
+def _payload_axpy(resolve, params: LaunchParams) -> None:
+    """args: (_, a, x_ptr, y_ptr, n_f32) — y = a*x + y on float32 views."""
+    _, a, x_ptr, y_ptr, n = params.args[:5]
+    x = resolve(int(x_ptr), int(n) * 4).view(np.float32)
+    y = resolve(int(y_ptr), int(n) * 4).view(np.float32)
+    m = min(len(x), len(y))
+    y[:m] += np.float32(a) * x[:m]
+
+
+#: real-computation cap for the K-means payloads: enough points for the
+#: data-correctness tests/examples without dominating large trace runs
+_KMEANS_PAYLOAD_POINTS = 2048
+
+
+def _payload_kmeans_assign(resolve, params: LaunchParams) -> None:
+    """args: (_, pts_ptr, cent_ptr, asn_ptr, n, k, d) — nearest-centroid.
+
+    Operates on however many points fit in the materialized payload
+    window (capped); the timing model charges for the declared size.
+    """
+    _, pts_ptr, cent_ptr, asn_ptr, n, k, d = params.args[:7]
+    n, k, d = min(int(n), _KMEANS_PAYLOAD_POINTS), int(k), int(d)
+    pts = resolve(int(pts_ptr), n * d * 4).view(np.float32)
+    cents = resolve(int(cent_ptr), k * d * 4).view(np.float32)
+    n_avail = len(pts) // d
+    k_avail = len(cents) // d
+    if n_avail == 0 or k_avail == 0:
+        return
+    pts = pts[: n_avail * d].reshape(n_avail, d)
+    cents = cents[: k_avail * d].reshape(k_avail, d)
+    # Vectorized distance computation (guide: no per-point Python loops).
+    d2 = ((pts[:, None, :] - cents[None, :, :]) ** 2).sum(axis=2)
+    asn = resolve(int(asn_ptr), n_avail * 4).view(np.int32)
+    m = min(len(asn), n_avail)
+    asn[:m] = np.argmin(d2, axis=1)[:m].astype(np.int32)
+
+
+def _payload_kmeans_update(resolve, params: LaunchParams) -> None:
+    """args: (_, pts_ptr, cent_ptr, asn_ptr, n, k, d) — recompute centroids."""
+    _, pts_ptr, cent_ptr, asn_ptr, n, k, d = params.args[:7]
+    n, k, d = min(int(n), _KMEANS_PAYLOAD_POINTS), int(k), int(d)
+    pts = resolve(int(pts_ptr), n * d * 4).view(np.float32)
+    cents = resolve(int(cent_ptr), k * d * 4).view(np.float32)
+    n_avail = len(pts) // d
+    k_avail = len(cents) // d
+    if n_avail == 0 or k_avail == 0:
+        return
+    pts = pts[: n_avail * d].reshape(n_avail, d)
+    asn = resolve(int(asn_ptr), n_avail * 4).view(np.int32)[:n_avail]
+    cents = cents[: k_avail * d].reshape(k_avail, d)
+    for c in range(k_avail):
+        members = pts[asn[: len(pts)] == c]
+        if len(members):
+            cents[c] = members.mean(axis=0)
+
+
+def _payload_gemm(resolve, params: LaunchParams) -> None:
+    """args: (_, a_ptr, b_ptr, c_ptr, m, n, k) — C = A @ B on the window."""
+    _, a_ptr, b_ptr, c_ptr, m, n, k = params.args[:7]
+    m, n, k = int(m), int(n), int(k)
+    a = resolve(int(a_ptr), m * k * 4).view(np.float32)
+    b = resolve(int(b_ptr), k * n * 4).view(np.float32)
+    c = resolve(int(c_ptr), m * n * 4).view(np.float32)
+    if len(a) < m * k or len(b) < k * n or len(c) < m * n:
+        return  # problem larger than the materialized window: timing only
+    a = a[: m * k].reshape(m, k)
+    b = b[: k * n].reshape(k, n)
+    c[: m * n] = (a @ b).ravel()
+
+
+def builtin_registry() -> KernelRegistry:
+    """Registry with the kernels used by workloads, tests and benches."""
+    reg = KernelRegistry()
+    reg.register(KernelDef("timed", timing=_fixed_time))
+    reg.register(KernelDef("timed_light", timing=_fixed_time, demand=0.3))
+    reg.register(KernelDef("fill", timing=_fixed_time, payload=_payload_fill))
+    reg.register(KernelDef("increment", timing=_fixed_time, payload=_payload_increment))
+    reg.register(KernelDef("axpy", timing=_fixed_time, payload=_payload_axpy))
+    reg.register(
+        KernelDef("kmeans_assign", timing=_fixed_time, payload=_payload_kmeans_assign)
+    )
+    reg.register(
+        KernelDef("kmeans_update", timing=_fixed_time, payload=_payload_kmeans_update)
+    )
+    reg.register(KernelDef("gemm", timing=_fixed_time, payload=_payload_gemm))
+    return reg

@@ -1,0 +1,96 @@
+"""NVML-style GPU utilization sampling.
+
+The paper's Figure 7 methodology: "Utilization data is acquired from
+NVIDIA's NVML every 200 milliseconds and is defined as the percentage of
+time over the past sample period that one or more kernels were being
+executed.  For GPUs used in our evaluation, the sample time is 167
+milliseconds.  The figure shows a moving average window of size 5."
+
+:class:`NvmlSampler` polls each GPU at the query interval and reports the
+busy fraction of the trailing NVML sample window, then the experiment code
+applies :func:`moving_average`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.sim.core import Environment
+from repro.simcuda.device import SimGPU
+
+__all__ = ["NvmlSampler", "moving_average"]
+
+
+class NvmlSampler:
+    """Periodic utilization sampler over a set of GPUs."""
+
+    def __init__(
+        self,
+        env: Environment,
+        devices: list[SimGPU],
+        query_interval_s: float = 0.2,
+        sample_window_s: float = 0.167,
+    ):
+        if query_interval_s <= 0 or sample_window_s <= 0:
+            raise ValueError("intervals must be positive")
+        self.env = env
+        self.devices = devices
+        self.query_interval_s = query_interval_s
+        self.sample_window_s = sample_window_s
+        self.times: list[float] = []
+        #: device_id -> list of utilization samples in [0, 1]
+        self.samples: dict[int, list[float]] = {d.device_id: [] for d in devices}
+        self._proc = None
+        self._stopped = False
+
+    def start(self):
+        """Begin sampling; returns the sampler process."""
+        self._proc = self.env.process(self._loop(), name="nvml-sampler")
+        return self._proc
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _loop(self) -> Generator:
+        while not self._stopped:
+            yield self.env.timeout(self.query_interval_s)
+            now = self.env.now
+            start = max(0.0, now - self.sample_window_s)
+            if now <= start:
+                continue
+            self.times.append(now)
+            for device in self.devices:
+                self.samples[device.device_id].append(device.utilization(start, now))
+
+    def series(self, device_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """(times, utilization%) for one GPU."""
+        return (
+            np.asarray(self.times),
+            np.asarray(self.samples[device_id]) * 100.0,
+        )
+
+    def average_utilization(self, device_id: Optional[int] = None) -> float:
+        """Mean sampled utilization (%) for one GPU, or across all GPUs."""
+        if device_id is not None:
+            vals = self.samples[device_id]
+            return float(np.mean(vals)) * 100.0 if vals else 0.0
+        all_vals = [v for vals in self.samples.values() for v in vals]
+        return float(np.mean(all_vals)) * 100.0 if all_vals else 0.0
+
+
+def moving_average(values, window: int = 5) -> np.ndarray:
+    """Trailing moving average with a growing warm-up window (paper Fig. 7)."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return values
+    out = np.empty_like(values)
+    csum = np.cumsum(values)
+    for i in range(len(values)):
+        lo = max(0, i - window + 1)
+        total = csum[i] - (csum[lo - 1] if lo > 0 else 0.0)
+        out[i] = total / (i - lo + 1)
+    return out

@@ -1,0 +1,60 @@
+"""Plain data types of the CUDA surface (dim3, device properties, enums)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Dim3", "DeviceProperties", "MemcpyKind", "V100_PROPERTIES", "MB", "GB"]
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """CUDA's dim3 launch dimensions."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self):
+        if min(self.x, self.y, self.z) < 1:
+            raise ValueError(f"dim3 components must be >= 1, got {self}")
+
+    @property
+    def count(self) -> int:
+        return self.x * self.y * self.z
+
+
+@dataclass(frozen=True)
+class DeviceProperties:
+    """Subset of ``cudaDeviceProp`` the workloads query."""
+
+    name: str
+    total_global_mem: int
+    multiprocessor_count: int
+    clock_rate_khz: int
+    compute_capability: tuple[int, int]
+    pci_bus_id: int = 0
+
+
+#: The GPUs used in the paper's testbed (AWS p3.8xlarge: 4x V100 16 GB).
+V100_PROPERTIES = DeviceProperties(
+    name="Tesla V100-SXM2-16GB",
+    total_global_mem=16 * GB,
+    multiprocessor_count=80,
+    clock_rate_khz=1_530_000,
+    compute_capability=(7, 0),
+)
+
+
+class MemcpyKind(enum.IntEnum):
+    """``cudaMemcpyKind``."""
+
+    HostToHost = 0
+    HostToDevice = 1
+    DeviceToHost = 2
+    DeviceToDevice = 3
+    Default = 4

@@ -1,0 +1,38 @@
+"""Network model for API remoting.
+
+DGSF forwards CUDA API calls over TCP between the function's host (guest
+library) and the GPU server (API server).  The cost structure that matters
+to the paper is:
+
+* a fixed per-message propagation latency (round trips hurt chatty APIs —
+  the motivation for batching, §V-C),
+* NIC serialization at finite bandwidth (large memcpys and model uploads
+  are bandwidth-bound; AWS p3.8xlarge has a 10 Gbps NIC),
+* FIFO ordering per connection.
+
+:class:`Host` owns a NIC, :class:`Network` connects hosts with a latency
+matrix and optional jitter (used to model AWS Lambda's slower, noisier
+networking), :class:`Connection` gives socket-like FIFO endpoints and
+:mod:`repro.simnet.rpc` layers request/response and batch semantics on top.
+"""
+
+from repro.simnet.serialization import payload_size, MESSAGE_HEADER_BYTES
+from repro.simnet.link import NIC, NetworkProfile
+from repro.simnet.net import Network, Host, Connection, Endpoint
+from repro.simnet.rpc import RpcClient, RpcServer, RpcRequest, RpcReply, RpcError
+
+__all__ = [
+    "payload_size",
+    "MESSAGE_HEADER_BYTES",
+    "NIC",
+    "NetworkProfile",
+    "Network",
+    "Host",
+    "Connection",
+    "Endpoint",
+    "RpcClient",
+    "RpcServer",
+    "RpcRequest",
+    "RpcReply",
+    "RpcError",
+]

@@ -1,0 +1,145 @@
+"""Hosts, the network fabric, and socket-like connections."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.core import Environment, Event, Timeout
+from repro.sim.resources import Store
+from repro.simnet.link import NIC, NetworkProfile
+from repro.simnet.serialization import payload_size, MESSAGE_HEADER_BYTES
+
+__all__ = ["Network", "Host", "Connection", "Endpoint"]
+
+
+class Host:
+    """A machine on the network, owning one egress NIC.
+
+    All connections originating at this host share the NIC's bandwidth
+    (FIFO serialization), which is how a burst of concurrent function
+    downloads contends on the function server's 10 Gbps interface.
+    """
+
+    def __init__(self, network: "Network", name: str, bandwidth_bps: float):
+        self.network = network
+        self.name = name
+        self.nic = NIC(network.env, bandwidth_bps)
+
+    def __repr__(self) -> str:
+        return f"<Host {self.name}>"
+
+
+class Connection:
+    """A bidirectional, FIFO, reliable byte-counted channel between hosts."""
+
+    def __init__(self, network: "Network", a: Host, b: Host):
+        self.network = network
+        self.a = Endpoint(self, a, b)
+        self.b = Endpoint(self, b, a)
+        self.a._peer = self.b
+        self.b._peer = self.a
+
+    @property
+    def endpoints(self) -> tuple["Endpoint", "Endpoint"]:
+        return (self.a, self.b)
+
+
+class Endpoint:
+    """One side of a :class:`Connection`.
+
+    ``send`` is non-blocking (the NIC model charges wire time via delivery
+    delay); ``recv`` returns an event that fires with the next (optionally
+    filtered) message.
+    """
+
+    def __init__(self, connection: Connection, local: Host, remote: Host):
+        self.connection = connection
+        self.local = local
+        self.remote = remote
+        self.inbox: Store = Store(connection.network.env)
+        self._peer: Optional["Endpoint"] = None
+        self._last_delivery = 0.0
+        #: messages sent / received counters (for optimization accounting)
+        self.messages_sent = 0
+        self.bytes_out = 0
+
+    @property
+    def env(self) -> Environment:
+        return self.connection.network.env
+
+    def send(self, payload: Any, extra_bytes: int = 0) -> float:
+        """Transmit ``payload`` to the peer; returns the delivery time.
+
+        ``extra_bytes`` lets callers charge for bulk data that rides along
+        with the structured payload (e.g. a memcpy's buffer) without
+        materializing it.
+        """
+        assert self._peer is not None
+        network = self.connection.network
+        profile = network.profile_for(self.local, self.remote)
+        rng = network.rng
+        size = MESSAGE_HEADER_BYTES + payload_size(payload) + max(0, int(extra_bytes))
+        factor = profile.sample_bandwidth_factor(rng)
+        if factor <= 0:
+            raise ConfigurationError("bandwidth factor must be positive")
+        # Derated paths behave like a slower NIC: inflate occupied wire time.
+        effective_size = int(round(size / factor))
+        serialize_delay = self.local.nic.transmit(effective_size)
+        latency = profile.sample_latency(rng)
+        deliver_at = self.env.now + serialize_delay + latency
+        # Enforce per-direction FIFO despite latency jitter.
+        deliver_at = max(deliver_at, self._last_delivery)
+        self._last_delivery = deliver_at
+        self.messages_sent += 1
+        self.bytes_out += size
+        peer_inbox = self._peer.inbox
+        delivery = Timeout(self.env, deliver_at - self.env.now)
+        delivery.callbacks.append(lambda _ev: peer_inbox.put(payload))
+        return deliver_at
+
+    def recv(self, filter: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Event firing with the next message (matching ``filter`` if given)."""
+        return self.inbox.get(filter)
+
+
+class Network:
+    """The fabric: hosts, latency profiles, and an optional jitter RNG."""
+
+    def __init__(
+        self,
+        env: Environment,
+        default_profile: Optional[NetworkProfile] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.env = env
+        self.default_profile = default_profile or NetworkProfile()
+        self.rng = rng
+        self._hosts: dict[str, Host] = {}
+        self._profiles: dict[tuple[str, str], NetworkProfile] = {}
+
+    def add_host(self, name: str, bandwidth_bps: float = 10e9) -> Host:
+        if name in self._hosts:
+            raise ConfigurationError(f"duplicate host {name!r}")
+        host = Host(self, name, bandwidth_bps)
+        self._hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        return self._hosts[name]
+
+    def set_profile(self, src: str, dst: str, profile: NetworkProfile) -> None:
+        """Set the path profile for src→dst (directional)."""
+        self._profiles[(src, dst)] = profile
+
+    def profile_for(self, src: Host, dst: Host) -> NetworkProfile:
+        return self._profiles.get((src.name, dst.name), self.default_profile)
+
+    def connect(self, a: Host | str, b: Host | str) -> Connection:
+        if isinstance(a, str):
+            a = self.host(a)
+        if isinstance(b, str):
+            b = self.host(b)
+        return Connection(self, a, b)

@@ -1,0 +1,220 @@
+"""Request/response RPC over :class:`~repro.simnet.net.Connection`.
+
+This is the transport the guest library uses to remote CUDA API calls to
+an API server.  It supports:
+
+* synchronous calls (``yield from client.call(...)``) — one round trip,
+* one-way calls (no reply awaited) — used for enqueue-only APIs,
+* batch calls — several requests in a single message, amortizing the
+  per-message latency (the "batching" optimization of §V-C).
+
+Handlers on the server side are generator functions so they can consume
+simulated time (e.g. launch a kernel and wait for it).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import ReproError
+from repro.sim.core import Environment
+from repro.simnet.net import Endpoint
+from repro.simnet.serialization import payload_size
+
+__all__ = ["RpcRequest", "RpcReply", "RpcClient", "RpcServer", "RpcError"]
+
+
+class RpcError(ReproError):
+    """A remote handler failed; carries the remote exception message."""
+
+
+@dataclass
+class RpcRequest:
+    """One remoted call (or a batch of them when ``batch`` is set)."""
+
+    msg_id: int
+    method: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    #: bulk payload bytes accompanying the call (e.g. memcpy H2D buffer)
+    extra_bytes: int = 0
+    #: if True, the client does not wait for (and the server does not send) a reply
+    oneway: bool = False
+    #: sub-requests when this is a batch message
+    batch: Optional[list["RpcRequest"]] = None
+
+    def wire_size(self) -> int:
+        size = 16 + payload_size(self.method) + payload_size(self.args)
+        size += payload_size(self.kwargs) if self.kwargs else 0
+        if self.batch:
+            size += sum(r.wire_size() for r in self.batch)
+        return size
+
+
+@dataclass
+class RpcReply:
+    msg_id: int
+    value: Any = None
+    error: Optional[str] = None
+    #: bulk payload bytes riding back (e.g. memcpy D2H buffer)
+    extra_bytes: int = 0
+
+    def wire_size(self) -> int:
+        return 16 + payload_size(self.value) + (payload_size(self.error) if self.error else 0)
+
+
+class RpcClient:
+    """Client side: issues requests over an endpoint, matches replies by id."""
+
+    def __init__(self, endpoint: Endpoint):
+        self.endpoint = endpoint
+        self._ids = itertools.count(1)
+        #: counters used by the evaluation to report "forwarded API" counts
+        self.calls_sent = 0
+        self.messages_sent = 0
+
+    @property
+    def env(self) -> Environment:
+        return self.endpoint.env
+
+    def call(
+        self,
+        method: str,
+        *args: Any,
+        extra_bytes: int = 0,
+        reply_extra_bytes: int = 0,
+        **kwargs: Any,
+    ) -> Generator:
+        """Remote a call and wait for its reply (``yield from`` this).
+
+        ``extra_bytes``/``reply_extra_bytes`` account for bulk buffers in
+        the request/response directions respectively.
+        """
+        msg_id = next(self._ids)
+        request = RpcRequest(
+            msg_id=msg_id,
+            method=method,
+            args=args,
+            kwargs=kwargs,
+            extra_bytes=extra_bytes,
+        )
+        request._reply_extra = reply_extra_bytes  # hint carried to the server
+        self.calls_sent += 1
+        self.messages_sent += 1
+        self.endpoint.send(request, extra_bytes=extra_bytes)
+        reply = yield self.endpoint.recv(
+            lambda m: isinstance(m, RpcReply) and m.msg_id == msg_id
+        )
+        if reply.error is not None:
+            raise RpcError(f"remote {method} failed: {reply.error}")
+        return reply.value
+
+    def call_oneway(self, method: str, *args: Any, extra_bytes: int = 0, **kwargs: Any) -> None:
+        """Fire-and-forget request (no reply; still costs one message)."""
+        request = RpcRequest(
+            msg_id=next(self._ids),
+            method=method,
+            args=args,
+            kwargs=kwargs,
+            extra_bytes=extra_bytes,
+            oneway=True,
+        )
+        self.calls_sent += 1
+        self.messages_sent += 1
+        self.endpoint.send(request, extra_bytes=extra_bytes)
+
+    def call_batch(self, calls: list[tuple], oneway: bool = False) -> Generator:
+        """Send several calls in one message.
+
+        ``calls`` is a list of ``(method, args, extra_bytes)`` tuples.  With
+        ``oneway`` the batch is fire-and-forget (used for enqueue-only API
+        streams); otherwise returns the list of per-call results.
+        """
+        if not calls:
+            return [] if not oneway else None
+        subs = [
+            RpcRequest(msg_id=0, method=m, args=tuple(a), extra_bytes=x)
+            for (m, a, x) in calls
+        ]
+        msg_id = next(self._ids)
+        batch = RpcRequest(
+            msg_id=msg_id,
+            method="__batch__",
+            batch=subs,
+            oneway=oneway,
+            extra_bytes=sum(s.extra_bytes for s in subs),
+        )
+        self.calls_sent += len(subs)
+        self.messages_sent += 1
+        self.endpoint.send(batch, extra_bytes=batch.extra_bytes)
+        if oneway:
+            return None
+        reply = yield self.endpoint.recv(
+            lambda m: isinstance(m, RpcReply) and m.msg_id == msg_id
+        )
+        if reply.error is not None:
+            raise RpcError(f"remote batch failed: {reply.error}")
+        return reply.value
+
+
+class RpcServer:
+    """Server side: dispatch loop invoking a generator handler per request.
+
+    ``handler(request)`` must be a generator function returning the reply
+    value; it may yield simulation events to consume time.  Exceptions it
+    raises are marshalled back as :class:`RpcError` on the client.
+    """
+
+    def __init__(self, endpoint: Endpoint, handler: Callable[[RpcRequest], Generator],
+                 batch_handler: Optional[Callable[[list], Generator]] = None):
+        self.endpoint = endpoint
+        self.handler = handler
+        #: optional fast path executing a whole batch in one invocation
+        self.batch_handler = batch_handler
+        self.requests_handled = 0
+        self._stopped = False
+        self._proc = None
+
+    @property
+    def env(self) -> Environment:
+        return self.endpoint.env
+
+    def start(self):
+        """Begin serving; returns the dispatch loop process."""
+        self._proc = self.env.process(self._loop(), name="rpc-server")
+        return self._proc
+
+    def stop(self) -> None:
+        """Stop after the in-flight request (if any) completes."""
+        self._stopped = True
+
+    def _loop(self) -> Generator:
+        while not self._stopped:
+            request = yield self.endpoint.recv(lambda m: isinstance(m, RpcRequest))
+            yield from self._dispatch(request)
+
+    def _dispatch(self, request: RpcRequest) -> Generator:
+        self.requests_handled += 1
+        reply_extra = getattr(request, "_reply_extra", 0)
+        try:
+            if request.batch is not None:
+                if self.batch_handler is not None:
+                    value = yield from self.batch_handler(request.batch)
+                else:
+                    values = []
+                    for sub in request.batch:
+                        values.append((yield from self.handler(sub)))
+                    value = values
+            else:
+                value = yield from self.handler(request)
+        except Exception as exc:  # marshal remote failures, don't kill the loop
+            if not request.oneway:
+                self.endpoint.send(RpcReply(request.msg_id, error=str(exc)))
+            return
+        if not request.oneway:
+            self.endpoint.send(
+                RpcReply(request.msg_id, value=value, extra_bytes=reply_extra),
+                extra_bytes=reply_extra,
+            )

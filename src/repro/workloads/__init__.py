@@ -1,0 +1,40 @@
+"""The six paper workloads plus the synthetic migration microbenchmark.
+
+Each workload (paper §VII) is a handler generator against the GPU session
+facade, with four execution variants sharing one code path:
+
+* **native** — locally attached GPU (first call pays CUDA init),
+* **DGSF** — remoted through the guest library (OpenFaaS network),
+* **DGSF on Lambda** — same, over the degraded Lambda network profile,
+* **CPU** — the calibrated CPU baseline (see DESIGN.md substitutions).
+
+Workload parameters (downloads, call mixes, kernel work, memory
+footprints) live in :mod:`repro.workloads.params`, each constant traced
+back to a paper number.
+"""
+
+from repro.workloads.params import (
+    WorkloadParams,
+    WORKLOADS,
+    ALL_WORKLOAD_NAMES,
+    SMALLER_WORKLOAD_NAMES,
+)
+from repro.workloads.registry import (
+    make_handler,
+    make_cpu_handler,
+    register_workloads,
+    stage_objects,
+)
+from repro.workloads.synthetic import synthetic_migration_workload
+
+__all__ = [
+    "WorkloadParams",
+    "WORKLOADS",
+    "ALL_WORKLOAD_NAMES",
+    "SMALLER_WORKLOAD_NAMES",
+    "make_handler",
+    "make_cpu_handler",
+    "register_workloads",
+    "stage_objects",
+    "synthetic_migration_workload",
+]

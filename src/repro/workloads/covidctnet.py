@@ -1,0 +1,53 @@
+"""CovidCTNet workload (TensorFlow, two models — §VII).
+
+Diagnoses COVID-19 from CT scans using *two* TensorFlow models whose
+greedy allocators briefly coexist: "for a brief moment during execution,
+allocates a large amount of memory: 13538MB.  If we didn't oversize the
+function requirements, this workload would fail due to an out of memory
+error."  Both arenas are grabbed before either is trimmed, reproducing
+the spike and hence the whole-GPU declaration.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.mllib.tflib import TfSession
+from repro.simcuda.types import MB
+from repro.workloads.params import WorkloadParams
+
+__all__ = ["covid_gpu_phase", "ARENA_BYTES_PER_MODEL"]
+
+#: each model's transient arena: 2 × 6769 MB = the 13 538 MB spike
+ARENA_BYTES_PER_MODEL = 6_769 * MB
+
+
+def covid_gpu_phase(fc, params: WorkloadParams) -> Generator:
+    env = fc.env
+
+    t0 = env.now
+    gpu = yield from fc.acquire_gpu()
+    yield from gpu.cudaGetDeviceCount()
+    fc.add_phase("cuda_init", env.now - t0 - fc.invocation.phases.get("gpu_queue", 0.0))
+
+    # -- model load: both models, arenas coexisting --
+    t0 = env.now
+    lung_model = TfSession(env, gpu, params.spec, arena_bytes=ARENA_BYTES_PER_MODEL)
+    covid_model = TfSession(env, gpu, params.spec, arena_bytes=ARENA_BYTES_PER_MODEL)
+    yield from lung_model.load(trim=False)
+    yield from covid_model.load(trim=False)       # spike: both arenas live
+    yield from lung_model.trim_arena()
+    yield from covid_model.trim_arena()
+    fc.add_phase("model_load", env.now - t0)
+
+    # -- processing: scans go through both models --
+    t0 = env.now
+    out = None
+    for batch in range(params.n_batches):
+        session = lung_model if batch % 2 == 0 else covid_model
+        out = yield from session.run(params.input_bytes_per_batch)
+    fc.add_phase("processing", env.now - t0)
+
+    yield from lung_model.close()
+    yield from covid_model.close()
+    return out is not None

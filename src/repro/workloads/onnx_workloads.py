@@ -1,0 +1,40 @@
+"""The four ONNX Runtime workloads (§VII).
+
+Face detection (RetinaFace), face identification (ArcFace), question
+answering (BERT/SQuAD) and image classification (ResNet-50) share one GPU
+phase: create an inference session, load the model, run the batches.
+Their differences — call mixes, work, memory, demand — live entirely in
+their :class:`~repro.workloads.params.WorkloadParams`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.mllib.onnxrt import OnnxInferenceSession
+from repro.workloads.params import WorkloadParams
+
+__all__ = ["onnx_gpu_phase"]
+
+
+def onnx_gpu_phase(fc, params: WorkloadParams) -> Generator:
+    env = fc.env
+
+    t0 = env.now
+    gpu = yield from fc.acquire_gpu()
+    yield from gpu.cudaGetDeviceCount()
+    fc.add_phase("cuda_init", env.now - t0 - fc.invocation.phases.get("gpu_queue", 0.0))
+
+    t0 = env.now
+    session = OnnxInferenceSession(env, gpu, params.spec)
+    yield from session.load()
+    fc.add_phase("model_load", env.now - t0)
+
+    t0 = env.now
+    out = None
+    for _ in range(params.n_batches):
+        out = yield from session.run(params.input_bytes_per_batch)
+    fc.add_phase("processing", env.now - t0)
+
+    yield from session.close()
+    return out is not None

@@ -1,0 +1,261 @@
+"""Calibrated parameters for the six paper workloads (§VII, Table II).
+
+Every number is anchored to the paper where one exists:
+
+* download sizes: §VII's per-workload model/input sizes,
+* peak GPU memory: Table II's "Peak GPU Memory Usage" row,
+* declared GPU memory: the requirement the developer states — for
+  CovidCTNet this is "the memory of an entire GPU" because TF's
+  allocators spike to 13 538 MB (§VII),
+* compute/work splits: derived from Table II's native runtimes minus the
+  known components (3.2 s CUDA init, bandwidth-limited downloads), and
+  from Figure 3/4's phase breakdowns,
+* call-mix counts: chosen so that the ablation's per-optimization savings
+  land near Figure 4 given the modeled per-call remoting overhead
+  (≈2.4 ms per synchronous round trip; one modeled call stands for a
+  small burst of real calls, keeping simulated-event counts tractable
+  while preserving every aggregate the paper reports).
+
+``host_prep_s`` captures input decode/pre-processing the paper folds into
+its download phase (image decoding, CT-scan preparation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mllib.model import ModelSpec
+from repro.simcuda.types import MB
+
+__all__ = [
+    "WorkloadParams",
+    "WORKLOADS",
+    "ALL_WORKLOAD_NAMES",
+    "SMALLER_WORKLOAD_NAMES",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Everything needed to run one workload in any execution variant."""
+
+    name: str
+    #: "onnx" | "tf" | "cuda"
+    framework: str
+    #: (object name, bytes) downloaded from storage at invocation start
+    model_object: Optional[tuple[str, int]]
+    input_object: tuple[str, int]
+    #: CPU-side input decode/preparation (accounted to the download phase)
+    host_prep_s: float
+    #: GPU memory the function declares to the platform
+    declared_gpu_bytes: int
+    #: Table II peak for reference/assertions
+    paper_peak_bytes: int
+    #: model call-mix/work spec (None for the raw-CUDA K-means)
+    spec: Optional[ModelSpec]
+    #: inference batches per invocation
+    n_batches: int
+    #: input bytes uploaded per batch
+    input_bytes_per_batch: int
+    #: Table II CPU runtime (6 threads), reproduced as calibrated compute
+    cpu_run_s: float
+    #: Table II native/DGSF runtimes (for bench assertions/reports)
+    paper_native_s: float = 0.0
+    paper_dgsf_s: float = 0.0
+    paper_lambda_s: float = 0.0
+    #: K-means only: iteration structure
+    kmeans_rounds: int = 0
+    kmeans_round_work_s: float = 0.0
+
+
+def _onnx(name, weights_mb, workspace_mb, layers, load_desc, infer_desc,
+          launches, cudnn_ops, cublas_ops, batch_work, demand,
+          load_work, sync_ops=0, host_work=0.0) -> ModelSpec:
+    return ModelSpec(
+        name=name,
+        weight_bytes=int(weights_mb * MB),
+        workspace_bytes=int(workspace_mb * MB),
+        n_layers=layers,
+        load_descriptor_calls=load_desc,
+        infer_descriptor_calls=infer_desc,
+        launches_per_batch=launches,
+        cudnn_ops_per_batch=cudnn_ops,
+        cublas_ops_per_batch=cublas_ops,
+        batch_work_s=batch_work,
+        gpu_demand=demand,
+        load_work_s=load_work,
+        sync_ops_per_batch=sync_ops,
+        host_work_per_batch_s=host_work,
+    )
+
+
+WORKLOADS: dict[str, WorkloadParams] = {}
+
+
+def _register(p: WorkloadParams) -> None:
+    WORKLOADS[p.name] = p
+
+
+# ----------------------------------------------------------------------
+# K-means (Altis CUDA implementation): 1M 16-d points, 16 clusters.
+# Input 235.3 MB; peak 323 MB; native 14.0 s, DGSF 9.9 s, CPU 429.1 s.
+# Uses no cuDNN/cuBLAS — benefits only from context pre-creation (§VIII-C).
+# ----------------------------------------------------------------------
+_register(WorkloadParams(
+    name="kmeans",
+    framework="cuda",
+    model_object=None,
+    input_object=("kmeans/points", int(235.3 * MB)),
+    host_prep_s=0.2,
+    declared_gpu_bytes=600 * MB,
+    paper_peak_bytes=323 * MB,
+    spec=None,
+    n_batches=0,
+    input_bytes_per_batch=0,
+    cpu_run_s=429.1,
+    paper_native_s=14.0,
+    paper_dgsf_s=9.9,
+    paper_lambda_s=9.9,
+    kmeans_rounds=400,
+    kmeans_round_work_s=10.1 / 400,
+))
+
+# ----------------------------------------------------------------------
+# CovidCTNet (TensorFlow, two models): models 47.3 MB, 2 CT scans 155.5 MB.
+# Steady peak 7 802 MB but a transient 13 538 MB allocator spike forces a
+# whole-GPU declaration (§VII).  native 25.1 s, DGSF 22.4 s, CPU 99.2 s.
+# ----------------------------------------------------------------------
+_register(WorkloadParams(
+    name="covidctnet",
+    framework="tf",
+    model_object=("covid/models", int(47.3 * MB)),
+    input_object=("covid/scans", int(155.5 * MB)),
+    host_prep_s=0.6,
+    declared_gpu_bytes=14_000 * MB,
+    paper_peak_bytes=7_802 * MB,
+    # per model (two are created): arena spike handled by the workload
+    spec=_onnx("covidctnet", 23.6, 3_877, 24, 225, 22, 110, 10, 2,
+               batch_work=0.8, demand=0.7, load_work=1.1, sync_ops=149,
+               host_work=1.2),
+    n_batches=8,
+    input_bytes_per_batch=int(155.5 * MB / 8),
+    cpu_run_s=99.2,
+    paper_native_s=25.1,
+    paper_dgsf_s=22.4,
+    paper_lambda_s=24.6,
+))
+
+# ----------------------------------------------------------------------
+# Face detection (RetinaFace/ResNet50 on ONNX Runtime): model 104.4 MB,
+# 256 WIDER-FACE images ≈ 30 MB, batch 16.  Peak 13 194 MB.
+# native 18.5 s (download+prep ≈ 4.4, init 3.2, load 1.7, infer 9.1 — §VIII-B),
+# DGSF 16.4 s (load 1.1, infer 11.7).  CPU 71.0 s.
+# ----------------------------------------------------------------------
+_register(WorkloadParams(
+    name="face_detection",
+    framework="onnx",
+    model_object=("facedet/retinaface", int(104.4 * MB)),
+    input_object=("facedet/widerface", 30 * MB),
+    host_prep_s=4.0,
+    declared_gpu_bytes=13_500 * MB,
+    paper_peak_bytes=13_194 * MB,
+    spec=_onnx("retinaface", 104.4, 13_050, 56, 350, 8, 10, 18, 5,
+               batch_work=0.21, demand=0.8, load_work=1.45, sync_ops=36,
+               host_work=9.1 / 16 - 0.21),
+    n_batches=16,
+    input_bytes_per_batch=(30 * MB) // 16,
+    cpu_run_s=71.0,
+    paper_native_s=18.5,
+    paper_dgsf_s=16.4,
+    paper_lambda_s=17.9,
+))
+
+# ----------------------------------------------------------------------
+# Face identification (ArcFace LResNet100E-IR on ONNX Runtime):
+# model 249 MB, 256 LFW faces ≈ 17 MB, batch 16.  Peak 3 514 MB.
+# The Fig. 4 exemplar: unoptimized processing 14.5 s → 4.7 s fully
+# optimized (handle pooling −4.9, descriptor pooling −1.5, batching −3.4).
+# native 13.4 s, DGSF 10.5 s, Lambda 18.0 s, CPU 42.1 s.
+# ----------------------------------------------------------------------
+_register(WorkloadParams(
+    name="face_identification",
+    framework="onnx",
+    model_object=("faceid/arcface", 249 * MB),
+    input_object=("faceid/lfw_pairs", 17 * MB),
+    host_prep_s=4.9,
+    declared_gpu_bytes=4_000 * MB,
+    paper_peak_bytes=3_514 * MB,
+    spec=_onnx("arcface", 249, 3_230, 100, 500, 19, 33, 14, 7,
+               batch_work=0.05, demand=0.6, load_work=0.85, sync_ops=41,
+               host_work=2.1 / 16 - 0.05),
+    n_batches=16,
+    input_bytes_per_batch=(17 * MB) // 16,
+    cpu_run_s=42.1,
+    paper_native_s=13.4,
+    paper_dgsf_s=10.5,
+    paper_lambda_s=18.0,
+))
+
+# ----------------------------------------------------------------------
+# Question answering (BERT/SQuAD via MLPerf on ONNX Runtime):
+# model 1.2 GB, 512 questions ≈ 61.7 MB, batch 16.  Peak 4 028 MB.
+# Compute-heavy (demand 1.0) — two NLP instances "don't share the GPU
+# well" (§VIII-E).  native 34.3 s, DGSF 32.4 s, Lambda 60.4 s, CPU 347 s.
+# ----------------------------------------------------------------------
+_register(WorkloadParams(
+    name="nlp_qa",
+    framework="onnx",
+    model_object=("nlp/bert_large", 1_228 * MB),
+    input_object=("nlp/squad_inputs", int(61.7 * MB)),
+    host_prep_s=1.0,
+    declared_gpu_bytes=4_500 * MB,
+    paper_peak_bytes=4_028 * MB,
+    spec=_onnx("bert", 1_228, 2_700, 24, 275, 6, 7, 5, 8,
+               batch_work=0.71, demand=1.0, load_work=1.6, sync_ops=17,
+               host_work=23.5 / 32 - 0.71),
+    n_batches=32,
+    input_bytes_per_batch=int(61.7 * MB) // 32,
+    cpu_run_s=347.0,
+    paper_native_s=34.3,
+    paper_dgsf_s=32.4,
+    paper_lambda_s=60.4,
+))
+
+# ----------------------------------------------------------------------
+# Image classification (ResNet-50 v1.5 via MLPerf on ONNX Runtime):
+# model 97.4 MB, 2048 preprocessed ImageNet images ≈ 1.2 GB.  Peak 7 650 MB.
+# (We run 32 batches of 64 instead of 128 batches of 16 to bound event
+# count; per-invocation totals are identical.)  native 26.7 s, DGSF 24.8 s,
+# Lambda 47.1 s, CPU 66.7 s.
+# ----------------------------------------------------------------------
+_register(WorkloadParams(
+    name="image_classification",
+    framework="onnx",
+    model_object=("imgclass/resnet50", int(97.4 * MB)),
+    input_object=("imgclass/imagenet_npy", 1_228 * MB),
+    host_prep_s=1.3,
+    declared_gpu_bytes=8_000 * MB,
+    paper_peak_bytes=7_650 * MB,
+    spec=_onnx("resnet50", 97.4, 7_514, 53, 300, 20, 30, 11, 4,
+               batch_work=0.20, demand=0.55, load_work=1.3, sync_ops=15,
+               host_work=0.30),
+    n_batches=32,
+    input_bytes_per_batch=(1_228 * MB) // 32,
+    cpu_run_s=66.7,
+    paper_native_s=26.7,
+    paper_dgsf_s=24.8,
+    paper_lambda_s=47.1,
+))
+
+
+ALL_WORKLOAD_NAMES = list(WORKLOADS)
+
+#: Table III's "Smaller Workloads": the four with smaller memory
+#: footprints (excludes CovidCTNet's whole-GPU claim and face detection).
+SMALLER_WORKLOAD_NAMES = [
+    "kmeans",
+    "face_identification",
+    "nlp_qa",
+    "image_classification",
+]

@@ -1,0 +1,51 @@
+"""Synthetic migration microbenchmark (paper §VIII-E, Table V).
+
+"We create a synthetic workload that allocates a fixed size, single array
+of GPU memory, zeroes the array using cudaMemset and launches two kernels
+that perform simple arithmetic operations on the array elements.  This is
+the worst case for migration since there is a single large array."
+
+The experiment forcefully migrates the API server between the two kernel
+launches; Table V reports end-to-end and migration time for array sizes
+taken from the workloads' footprints (323 / 3514 / 7802 / 13194 MB).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+__all__ = ["synthetic_migration_workload"]
+
+
+def synthetic_migration_workload(
+    env,
+    gpu,
+    array_bytes: int,
+    kernel_work_s: float = 0.005,
+    between_kernels: Optional[object] = None,
+) -> Generator:
+    """Run the §VIII-E microbenchmark on an attached GPU session.
+
+    ``between_kernels``: optional zero-argument callable returning a
+    generator, run between the two kernel launches — the hook the
+    experiment uses to force a migration at that exact point.  Returns
+    the first bytes of the array for correctness checks (each ``increment``
+    kernel adds one to every element; after memset(0) + 2 kernels the
+    array holds 2s).
+    """
+    ptr = yield from gpu.cudaMalloc(array_bytes)
+    yield from gpu.cudaMemset(ptr, 0, array_bytes)
+    inc = yield from gpu.cudaGetFunction("increment")
+
+    yield from gpu.cudaLaunchKernel(inc, args=(kernel_work_s, ptr, array_bytes))
+    yield from gpu.cudaDeviceSynchronize()
+
+    if between_kernels is not None:
+        yield from between_kernels()
+
+    yield from gpu.cudaLaunchKernel(inc, args=(kernel_work_s, ptr, array_bytes))
+    yield from gpu.cudaDeviceSynchronize()
+
+    head = yield from gpu.memcpyD2H(ptr, 64)
+    yield from gpu.cudaFree(ptr)
+    return head

@@ -1,0 +1,138 @@
+"""Calibration validation: keep the workload table honest.
+
+The per-workload parameters in :mod:`repro.workloads.params` encode many
+numbers from the paper; this module checks their *internal consistency*
+so a future edit cannot silently break an invariant the experiments rely
+on (e.g. a declared GPU budget smaller than the workload's own peak, or
+ONNX buffer sizes that no longer add up to Table II's peak column).
+
+Run :func:`validate_all` in tests or ad hoc:
+
+    python -c "from repro.workloads.validation import validate_all; validate_all()"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.simcuda.costs import DEFAULT_COSTS
+from repro.simcuda.types import GB, MB
+from repro.workloads.params import (
+    WORKLOADS,
+    SMALLER_WORKLOAD_NAMES,
+    WorkloadParams,
+)
+
+__all__ = ["ValidationIssue", "validate_workload", "validate_all"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    workload: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.workload}: {self.message}"
+
+
+def _onnx_peak_estimate(p: WorkloadParams) -> int:
+    """What the ONNX session will actually hold at peak."""
+    spec = p.spec
+    return (
+        spec.weight_bytes
+        + spec.workspace_bytes
+        + max(p.input_bytes_per_batch, 1)
+        + (1 << 14)  # output buffer
+    )
+
+
+def validate_workload(p: WorkloadParams) -> list[ValidationIssue]:
+    issues: list[ValidationIssue] = []
+
+    def bad(msg: str) -> None:
+        issues.append(ValidationIssue(p.name, msg))
+
+    # --- declared budget must cover the workload's own peak -----------------
+    if p.framework == "onnx":
+        est = _onnx_peak_estimate(p)
+        if est > p.declared_gpu_bytes:
+            bad(f"declared {p.declared_gpu_bytes} < estimated peak {est}")
+        # the estimate should match Table II's peak within 10%
+        if abs(est - p.paper_peak_bytes) > 0.10 * p.paper_peak_bytes:
+            bad(
+                f"buffer sizes imply peak {est / MB:.0f} MB but Table II "
+                f"says {p.paper_peak_bytes / MB:.0f} MB"
+            )
+    if p.framework == "tf":
+        # CovidCTNet: two arenas spike to ~13538 MB (§VII)
+        from repro.workloads.covidctnet import ARENA_BYTES_PER_MODEL
+
+        spike = 2 * ARENA_BYTES_PER_MODEL + 2 * p.spec.weight_bytes
+        if spike > p.declared_gpu_bytes:
+            bad(f"arena spike {spike} exceeds declared {p.declared_gpu_bytes}")
+        steady = 2 * (p.spec.workspace_bytes + p.spec.weight_bytes)
+        if abs(steady - p.paper_peak_bytes) > 0.05 * p.paper_peak_bytes:
+            bad(
+                f"steady working set {steady / MB:.0f} MB vs Table II "
+                f"{p.paper_peak_bytes / MB:.0f} MB"
+            )
+
+    # --- the declaration must fit on a GPU next to static footprints --------
+    static_per_gpu = (
+        2 * 755 * MB      # two home API servers (sharing level 2)
+        + 303 * MB        # spare migration-slot context
+        + (386 + 70) * MB # one shared pool handle set
+    )
+    if p.declared_gpu_bytes + static_per_gpu > 16 * GB:
+        bad(
+            f"declared {p.declared_gpu_bytes / MB:.0f} MB cannot fit next "
+            f"to the {static_per_gpu / MB:.0f} MB static footprint"
+        )
+
+    # --- batch structure ------------------------------------------------------
+    if p.framework != "cuda":
+        if p.n_batches <= 0:
+            bad("ML workloads need at least one batch")
+        if p.spec.batch_work_s + p.spec.host_work_per_batch_s <= 0:
+            bad("batch must consume time")
+        total_input = p.input_bytes_per_batch * p.n_batches
+        declared_input = p.input_object[1]
+        if total_input > declared_input * 1.05:
+            bad(
+                f"batches upload {total_input} B but the input object is "
+                f"only {declared_input} B"
+            )
+    else:
+        if p.kmeans_rounds <= 0 or p.kmeans_round_work_s <= 0:
+            bad("CUDA workloads need an iteration structure")
+
+    # --- paper anchors present -----------------------------------------------
+    if p.paper_native_s <= 0 or p.paper_dgsf_s <= 0:
+        bad("missing Table II anchors")
+    if p.cpu_run_s <= p.paper_native_s:
+        bad("CPU baseline should be slower than the GPU paths")
+    # native must be long enough to contain the CUDA init it pays
+    if p.paper_native_s < DEFAULT_COSTS.cuda_init_s:
+        bad("native runtime shorter than the CUDA init it includes")
+
+    return issues
+
+
+def validate_all(raise_on_issue: bool = True) -> list[ValidationIssue]:
+    issues: list[ValidationIssue] = []
+    for params in WORKLOADS.values():
+        issues.extend(validate_workload(params))
+    # cross-workload invariants
+    for name in SMALLER_WORKLOAD_NAMES:
+        if name not in WORKLOADS:
+            issues.append(ValidationIssue(name, "SW subset references unknown workload"))
+    big = {"covidctnet", "face_detection"}
+    for name in big & set(SMALLER_WORKLOAD_NAMES):
+        issues.append(ValidationIssue(name, "whole-GPU workload in the SW subset"))
+    if raise_on_issue and issues:
+        raise ConfigurationError(
+            "workload calibration inconsistent:\n  "
+            + "\n  ".join(str(i) for i in issues)
+        )
+    return issues

@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite (thin wrapper over repro.testing)."""
+
+import pytest
+
+from repro.testing import DgsfWorld, make_world  # noqa: F401 (re-export)
+from repro.core import DgsfConfig
+
+
+@pytest.fixture
+def world() -> DgsfWorld:
+    """Default 4-GPU, no-sharing, all-optimizations world."""
+    return make_world()
+
+
+@pytest.fixture
+def world_2gpu_sharing() -> DgsfWorld:
+    return make_world(DgsfConfig(num_gpus=2, api_servers_per_gpu=2))

@@ -1,0 +1,114 @@
+"""Tests for the multi-GPU-server backend (§IV scaling)."""
+
+import pytest
+
+from repro.core import DgsfConfig
+from repro.core.backend import GpuBackend
+from repro.core.deployment import DgsfDeployment
+from repro.errors import ConfigurationError
+from repro.faas import FunctionSpec
+from repro.simcuda.types import GB, MB
+
+
+def gpu_handler(fc):
+    gpu = yield from fc.acquire_gpu()
+    ptr = yield from gpu.cudaMalloc(16 * MB)
+    fptr = yield from gpu.cudaGetFunction("timed")
+    yield from gpu.cudaLaunchKernel(fptr, args=(1.0,))
+    yield from gpu.cudaDeviceSynchronize()
+    yield from gpu.cudaFree(ptr)
+    return "done"
+
+
+def make(num_servers, policy="least_loaded", gpus=1):
+    dep = DgsfDeployment(DgsfConfig(
+        num_gpus=gpus, num_gpu_servers=num_servers, backend_policy=policy,
+    ))
+    dep.setup()
+    dep.platform.register(
+        FunctionSpec(name="f", handler=gpu_handler, gpu_mem_bytes=1 * GB)
+    )
+    return dep
+
+
+def test_backend_validates_policy():
+    with pytest.raises(ConfigurationError):
+        GpuBackend(policy="magic")
+    with pytest.raises(ConfigurationError):
+        DgsfConfig(backend_policy="magic")
+    with pytest.raises(ConfigurationError):
+        DgsfConfig(num_gpu_servers=0)
+
+
+def test_backend_requires_registered_servers():
+    backend = GpuBackend()
+    with pytest.raises(ConfigurationError):
+        backend.choose(1 * GB)
+
+
+def test_all_servers_come_up_and_register():
+    dep = make(num_servers=3)
+    assert len(dep.gpu_servers) == 3
+    assert len(dep.backend.servers) == 3
+    assert all(s.ready.triggered for s in dep.gpu_servers)
+    # each server has its own network host
+    hosts = {s.host.name for s in dep.gpu_servers}
+    assert len(hosts) == 3
+
+
+def test_least_loaded_spreads_concurrent_functions():
+    dep = make(num_servers=2, policy="least_loaded")
+    inv1, p1 = dep.platform.invoke("f")
+    inv2, p2 = dep.platform.invoke("f")
+    dep.env.run(until=dep.env.all_of([p1, p2]))
+    routed = sorted(dep.backend.routed.values())
+    assert routed == [1, 1]  # one function per server
+    # neither function queued: two servers, one API server each
+    assert inv1.phases["gpu_queue"] < 0.1
+    assert inv2.phases["gpu_queue"] < 0.1
+
+
+def test_single_server_would_have_queued():
+    dep = make(num_servers=1)
+    inv1, p1 = dep.platform.invoke("f")
+    inv2, p2 = dep.platform.invoke("f")
+    dep.env.run(until=dep.env.all_of([p1, p2]))
+    waits = sorted([inv1.phases["gpu_queue"], inv2.phases["gpu_queue"]])
+    assert waits[1] > 0.5  # one of them had to wait
+
+
+def test_round_robin_alternates():
+    dep = make(num_servers=2, policy="round_robin")
+    for _ in range(4):
+        inv, proc = dep.platform.invoke("f")
+        dep.env.run(until=proc)
+    routed = sorted(dep.backend.routed.values())
+    assert routed == [2, 2]
+
+
+def test_backend_skips_servers_too_small_for_request():
+    backend = GpuBackend()
+
+    class FakeServer:
+        def __init__(self, cap):
+            self.monitor = type("M", (), {"schedulable_capacity": {0: cap},
+                                          "queue_length": 0})()
+            self.api_servers = []
+
+    small = FakeServer(2 * GB)
+    big = FakeServer(14 * GB)
+    backend.register(small)
+    backend.register(big)
+    assert backend.choose(10 * GB) is big
+    with pytest.raises(ConfigurationError):
+        backend.choose(20 * GB)
+
+
+def test_releases_go_back_to_the_owning_server():
+    dep = make(num_servers=2)
+    for _ in range(6):
+        inv, proc = dep.platform.invoke("f")
+        dep.env.run(until=proc)
+    for server in dep.gpu_servers:
+        assert all(not a.busy for a in server.api_servers)
+        assert all(v == 0 for v in server.monitor.committed.values())

@@ -1,0 +1,105 @@
+"""Container pool elasticity (cold-start scale-out extension)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faas import ContainerPool
+from repro.sim import Environment
+from repro.simnet import Network
+
+
+def make(replicas=1, cold_start_s=2.0, max_replicas=3):
+    env = Environment()
+    net = Network(env)
+    host = net.add_host("fn")
+    pool = ContainerPool(env, host, "f", replicas=replicas,
+                         cold_start_s=cold_start_s, max_replicas=max_replicas)
+    return env, pool
+
+
+def test_warm_replicas_are_instant():
+    env, pool = make()
+
+    def user(env):
+        t0 = env.now
+        c, token = yield from pool.acquire()
+        waited = env.now - t0
+        pool.release(c, token)
+        return waited
+
+    p = env.process(user(env))
+    env.run(until=p)
+    assert p.value == 0.0
+    assert pool.cold_starts == 0
+
+
+def test_scale_out_pays_cold_start():
+    env, pool = make(replicas=1, cold_start_s=2.0, max_replicas=2)
+    starts = []
+
+    def user(env, hold):
+        c, token = yield from pool.acquire()
+        starts.append(env.now)
+        yield env.timeout(hold)
+        pool.release(c, token)
+
+    env.process(user(env, 10.0))
+    env.process(user(env, 1.0))
+    env.run()
+    assert starts[0] == 0.0
+    assert starts[1] == pytest.approx(2.0)  # cold container boot
+    assert pool.cold_starts == 1
+    assert pool.replicas == 2
+
+
+def test_scale_out_bounded_by_max_replicas():
+    env, pool = make(replicas=1, cold_start_s=0.5, max_replicas=2)
+    starts = []
+
+    def user(env, name):
+        c, token = yield from pool.acquire()
+        starts.append((name, env.now))
+        yield env.timeout(5.0)
+        pool.release(c, token)
+
+    for name in "abc":
+        env.process(user(env, name))
+    env.run()
+    # third user had to wait for a release (cap 2)
+    assert starts[2][1] >= 5.0
+    assert pool.replicas == 2
+
+
+def test_default_pool_never_scales():
+    env = Environment()
+    net = Network(env)
+    pool = ContainerPool(env, net.add_host("x"), "f", replicas=2)
+    assert pool.max_replicas == 2
+    assert pool.cold_starts == 0
+
+
+def test_invalid_max_replicas_rejected():
+    env = Environment()
+    net = Network(env)
+    with pytest.raises(ConfigurationError):
+        ContainerPool(env, net.add_host("x"), "f", replicas=4, max_replicas=2)
+
+
+def test_cold_containers_become_warm_for_reuse():
+    env, pool = make(replicas=1, cold_start_s=1.0, max_replicas=2)
+    log = []
+
+    def user(env, name, delay, hold):
+        yield env.timeout(delay)
+        t0 = env.now
+        c, token = yield from pool.acquire()
+        log.append((name, env.now - t0))
+        yield env.timeout(hold)
+        pool.release(c, token)
+
+    env.process(user(env, "a", 0.0, 5.0))
+    env.process(user(env, "b", 0.0, 5.0))   # cold start
+    env.process(user(env, "c", 8.0, 1.0))   # both containers warm by then
+    env.run()
+    assert dict((n, w) for n, w in log)["c"] == 0.0
+    assert pool.cold_starts == 1

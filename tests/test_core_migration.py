@@ -1,0 +1,181 @@
+"""Tests for VA-preserving live migration (paper §V-D)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DgsfConfig
+from repro.core.migration import migrate_api_server
+from repro.errors import SimulationError
+from repro.simcuda.types import GB, MB
+from repro.testing import make_world
+
+
+@pytest.fixture
+def world():
+    return make_world(DgsfConfig(num_gpus=2))
+
+
+def migrate(world, server, target):
+    proc = world.env.process(migrate_api_server(server, target))
+    return world.env.run(until=proc)
+
+
+def test_migration_preserves_virtual_addresses_and_data(world):
+    guest, server, rpc = world.attach_guest(declared_bytes=1 * GB)
+    data = np.arange(1024, dtype=np.uint8)
+    ptr = world.drive(guest.cudaMalloc(1 * MB))
+    world.drive(guest.memcpyH2D(ptr, 1 * MB, payload=data))
+    snapshot_before = server.context.address_space.snapshot()
+
+    record = migrate(world, server, target=1)
+
+    assert server.current_device_id == 1
+    assert record.moved_bytes == 1 * MB
+    # the address map is byte-identical in the destination context
+    assert server.context.address_space.snapshot() == snapshot_before
+    # and the *same pointer* still reads the same data, now from GPU 1
+    back = world.drive(guest.memcpyD2H(ptr, 1024))
+    assert np.array_equal(back[:1024], data)
+    world.detach_guest(guest, server, rpc)
+
+
+def test_migration_moves_physical_memory_between_gpus(world):
+    guest, server, rpc = world.attach_guest(declared_bytes=2 * GB)
+    g0, g1 = world.gpu_server.devices
+    used0_before = g0.mem_used
+    used1_before = g1.mem_used
+    world.drive(guest.cudaMalloc(512 * MB))
+    assert g0.mem_used == used0_before + 512 * MB
+    migrate(world, server, target=1)
+    assert g0.mem_used == used0_before
+    assert g1.mem_used == used1_before + 512 * MB
+    world.detach_guest(guest, server, rpc)
+
+
+def test_kernels_resolve_in_new_context_after_migration(world):
+    """Function pointers are per-context; launches after migration must
+    use the destination context's pointers (§V-B)."""
+    guest, server, rpc = world.attach_guest(declared_bytes=1 * GB)
+    ptr = world.drive(guest.cudaMalloc(16))
+    inc = world.drive(guest.cudaGetFunction("increment"))
+
+    def launch_and_sync(env):
+        yield from guest.cudaLaunchKernel(inc, args=(0.001, ptr, 16))
+        yield from guest.cudaDeviceSynchronize()
+
+    world.drive(launch_and_sync(world.env))
+    migrate(world, server, target=1)
+    world.drive(launch_and_sync(world.env))  # must not raise
+    back = world.drive(guest.memcpyD2H(ptr, 16))
+    assert np.all(back[:16] == 2)
+    world.detach_guest(guest, server, rpc)
+
+
+def test_streams_translated_after_migration(world):
+    guest, server, rpc = world.attach_guest(declared_bytes=1 * GB)
+    stream = world.drive(guest.cudaStreamCreate())
+    fptr = world.drive(guest.cudaGetFunction("timed"))
+    migrate(world, server, target=1)
+
+    def run(env):
+        yield from guest.cudaLaunchKernel(fptr, args=(0.2,), stream=stream)
+        t0 = env.now
+        yield from guest.cudaStreamSynchronize(stream)
+        return env.now - t0
+
+    waited = world.drive(run(world.env))
+    assert waited == pytest.approx(0.2, abs=0.05)
+    world.detach_guest(guest, server, rpc)
+
+
+def test_cudnn_handle_twin_installed_on_migration(world):
+    guest, server, rpc = world.attach_guest(declared_bytes=2 * GB)
+    handle = world.drive(guest.cudnnCreate())
+    migrate(world, server, target=1)
+    # the op must find a twin handle on GPU 1 via the translation map
+    world.drive(guest.cudnnOp(handle, "conv_fwd", 0.05, sync=True))
+    world.detach_guest(guest, server, rpc)
+
+
+def test_migration_waits_for_pending_kernels(world):
+    guest, server, rpc = world.attach_guest(declared_bytes=1 * GB)
+    fptr = world.drive(guest.cudaGetFunction("timed"))
+
+    def launch(env):
+        yield from guest.cudaLaunchKernel(fptr, args=(2.0,))
+        # a cheap sync call flushes the batch so the launch reaches the
+        # server, but returns while the kernel is still running
+        yield from guest.cudaGetDeviceCount()
+
+    world.drive(launch(world.env))
+    t0 = world.env.now
+    migrate(world, server, target=1)
+    # migration had to wait for the 2 s kernel to drain
+    assert world.env.now - t0 >= 2.0
+    world.detach_guest(guest, server, rpc)
+
+
+def test_migration_cost_scales_with_moved_bytes(world):
+    durations = {}
+    for size_mb in (323, 3514):
+        guest, server, rpc = world.attach_guest(declared_bytes=14 * GB)
+        world.drive(guest.cudaMalloc(size_mb * MB))
+        record = migrate(world, server, target=1)
+        durations[size_mb] = record.duration_s
+        world.detach_guest(guest, server, rpc)
+    assert durations[3514] > durations[323]
+    # Table V scale: 323 MB ≈ 0.4–0.6 s, 3514 MB under ~1.2 s
+    assert 0.3 <= durations[323] <= 0.7
+    assert durations[3514] <= 1.3
+
+
+def test_migrating_idle_server_rejected(world):
+    server = world.gpu_server.api_servers[0]
+    with pytest.raises(SimulationError):
+        migrate(world, server, target=1)
+
+
+def test_migrating_to_same_gpu_rejected(world):
+    guest, server, rpc = world.attach_guest()
+    with pytest.raises(SimulationError):
+        migrate(world, server, target=server.current_device_id)
+    world.detach_guest(guest, server, rpc)
+
+
+def test_server_returns_home_after_function_ends(world):
+    guest, server, rpc = world.attach_guest(declared_bytes=1 * GB)
+    world.drive(guest.cudaMalloc(1 * MB))
+    migrate(world, server, target=1)
+    assert server.migrated
+    world.detach_guest(guest, server, rpc)
+    assert server.current_device_id == server.home_device_id
+    # the migration slot on GPU 1 is free again
+    assert world.gpu_server.migration_slot_available(1)
+
+
+def test_migration_blocks_api_calls_until_done(world):
+    """API calls issued during a migration wait at the exec lock."""
+    guest, server, rpc = world.attach_guest(declared_bytes=14 * GB)
+    world.drive(guest.cudaMalloc(3 * GB))
+    t0 = world.env.now
+
+    mig_proc = world.env.process(migrate_api_server(server, 1))
+    # while migrating, issue a malloc from the guest
+    call_proc = world.env.process(guest.cudaMalloc(1 * MB))
+    world.env.run(until=world.env.all_of([mig_proc, call_proc]))
+    record = mig_proc.value
+    # the call could not complete before the migration finished
+    assert record.duration_s > 0.3
+    world.detach_guest(guest, server, rpc)
+
+
+def test_second_migration_releases_previous_slot():
+    world = make_world(DgsfConfig(num_gpus=3))
+    guest, server, rpc = world.attach_guest(declared_bytes=1 * GB)
+    world.drive(guest.cudaMalloc(1 * MB))
+    migrate(world, server, target=1)
+    assert not world.gpu_server.migration_slot_available(1)
+    migrate(world, server, target=2)
+    assert world.gpu_server.migration_slot_available(1)
+    assert not world.gpu_server.migration_slot_available(2)
+    world.detach_guest(guest, server, rpc)

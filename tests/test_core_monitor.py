@@ -1,0 +1,145 @@
+"""Tests for the monitor: FCFS queueing, policies, scheduling accounting."""
+
+import pytest
+
+from repro.core import DgsfConfig
+from repro.errors import SimulationError
+from repro.simcuda.types import GB, MB
+from repro.testing import make_world
+
+
+def grant_value(world, request):
+    """Run until a request is granted; return the assigned API server."""
+    return world.env.run(until=request.granted)
+
+
+def release_server(world, server):
+    world.drive(_end(server))
+    world.monitor.release(server)
+
+
+def _end(server):
+    yield from server.end_session()
+
+
+def begin(world, server, declared):
+    server.begin_session(declared)
+
+
+def test_immediate_grant_when_idle():
+    world = make_world(DgsfConfig(num_gpus=2))
+    req = world.monitor.submit_request(1 * GB)
+    server = grant_value(world, req)
+    assert not server.busy  # session begins at the provider, not the monitor
+    assert world.monitor.committed[server.home_device_id] == 1 * GB
+
+
+def test_fcfs_queueing_when_all_busy():
+    world = make_world(DgsfConfig(num_gpus=1))
+    r1 = world.monitor.submit_request(1 * GB)
+    s1 = grant_value(world, r1)
+    begin(world, s1, 1 * GB)
+    r2 = world.monitor.submit_request(1 * GB)
+    world.env.run(until=world.env.now + 1.0)
+    assert not r2.granted.triggered
+    assert world.monitor.queue_length == 1
+    release_server(world, s1)
+    s2 = grant_value(world, r2)
+    assert s2 is s1
+
+
+def test_head_of_line_blocking_is_fcfs():
+    """A large queued request blocks later small ones (paper §VIII-D)."""
+    world = make_world(DgsfConfig(num_gpus=1, api_servers_per_gpu=2))
+    # occupy one API server with a big function
+    r1 = world.monitor.submit_request(10 * GB)
+    s1 = grant_value(world, r1)
+    begin(world, s1, 10 * GB)
+    # big request that doesn't fit next to it → queues
+    r_big = world.monitor.submit_request(12 * GB)
+    # small request that *would* fit, but FCFS must not overtake
+    r_small = world.monitor.submit_request(1 * GB)
+    world.env.run(until=world.env.now + 0.5)
+    assert not r_big.granted.triggered
+    assert not r_small.granted.triggered
+
+
+def test_request_larger_than_any_gpu_rejected():
+    world = make_world(DgsfConfig(num_gpus=1))
+    with pytest.raises(SimulationError):
+        world.monitor.submit_request(20 * GB)
+    with pytest.raises(SimulationError):
+        world.monitor.submit_request(0)
+
+
+def test_best_fit_packs_two_small_on_one_gpu():
+    world = make_world(DgsfConfig(num_gpus=2, api_servers_per_gpu=2, policy="best_fit"))
+    r1 = world.monitor.submit_request(2 * GB)
+    s1 = grant_value(world, r1)
+    begin(world, s1, 2 * GB)
+    r2 = world.monitor.submit_request(2 * GB)
+    s2 = grant_value(world, r2)
+    # best fit condenses: both land on the same GPU
+    assert s2.home_device_id == s1.home_device_id
+
+
+def test_worst_fit_spreads_across_gpus():
+    world = make_world(DgsfConfig(num_gpus=2, api_servers_per_gpu=2, policy="worst_fit"))
+    r1 = world.monitor.submit_request(2 * GB)
+    s1 = grant_value(world, r1)
+    begin(world, s1, 2 * GB)
+    r2 = world.monitor.submit_request(2 * GB)
+    s2 = grant_value(world, r2)
+    assert s2.home_device_id != s1.home_device_id
+
+
+def test_no_sharing_means_one_function_per_gpu():
+    world = make_world(DgsfConfig(num_gpus=2, api_servers_per_gpu=1))
+    servers = []
+    for _ in range(2):
+        req = world.monitor.submit_request(1 * GB)
+        s = grant_value(world, req)
+        begin(world, s, 1 * GB)
+        servers.append(s)
+    r3 = world.monitor.submit_request(1 * GB)
+    world.env.run(until=world.env.now + 0.5)
+    assert not r3.granted.triggered  # both GPUs' single servers busy
+
+
+def test_release_uncommits_memory():
+    world = make_world(DgsfConfig(num_gpus=1))
+    req = world.monitor.submit_request(4 * GB)
+    s = grant_value(world, req)
+    begin(world, s, 4 * GB)
+    dev = s.home_device_id
+    assert world.monitor.committed[dev] == 4 * GB
+    release_server(world, s)
+    assert world.monitor.committed[dev] == 0
+
+
+def test_release_unknown_server_rejected():
+    world = make_world(DgsfConfig(num_gpus=1))
+    with pytest.raises(SimulationError):
+        world.monitor.release(world.gpu_server.api_servers[0])
+
+
+def test_memory_fit_respects_committed():
+    """Two 8 GB functions cannot share one 16 GB GPU (static + committed)."""
+    world = make_world(DgsfConfig(num_gpus=1, api_servers_per_gpu=2))
+    r1 = world.monitor.submit_request(8 * GB)
+    s1 = grant_value(world, r1)
+    begin(world, s1, 8 * GB)
+    r2 = world.monitor.submit_request(8 * GB)
+    world.env.run(until=world.env.now + 0.5)
+    assert not r2.granted.triggered
+
+
+def test_queue_metrics():
+    world = make_world(DgsfConfig(num_gpus=1))
+    r1 = world.monitor.submit_request(1 * GB)
+    s1 = grant_value(world, r1)
+    begin(world, s1, 1 * GB)
+    world.monitor.submit_request(1 * GB)
+    world.monitor.submit_request(1 * GB)
+    assert world.monitor.requests_total == 3
+    assert world.monitor.requests_queued_peak == 2

@@ -1,0 +1,292 @@
+"""Unit tests for the serverless substrate (storage, containers, platform)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import Environment
+from repro.simnet import Network
+from repro.faas import (
+    ObjectStore,
+    StorageProfile,
+    S3_LAMBDA,
+    ContainerPool,
+    ServerlessPlatform,
+    FunctionSpec,
+    exponential_gap_arrivals,
+    burst_arrivals,
+    uniform_arrivals,
+    interleave_workloads,
+)
+
+
+@pytest.fixture
+def world():
+    env = Environment()
+    net = Network(env)
+    host = net.add_host("fn-server")
+    return env, net, host
+
+
+def drive(env, gen):
+    p = env.process(gen)
+    return env.run(until=p)
+
+
+# --- storage --------------------------------------------------------------------
+
+def test_download_time_per_stream_capped(world):
+    env, net, host = world
+    store = ObjectStore(env, StorageProfile(per_stream_Bps=100e6, get_latency_s=0.0))
+    store.put_object("model", 100_000_000)  # 100 MB at 100 MB/s → 1 s
+    size = drive(env, store.download(host, "model"))
+    assert size == 100_000_000
+    assert env.now == pytest.approx(1.0, rel=0.01)
+
+
+def test_download_includes_get_latency(world):
+    env, net, host = world
+    store = ObjectStore(env, StorageProfile(per_stream_Bps=1e9, get_latency_s=0.5))
+    store.put_object("tiny", 1)
+    drive(env, store.download(host, "tiny"))
+    assert env.now >= 0.5
+
+
+def test_concurrent_downloads_share_host_ingress(world):
+    env, net, host = world
+    # Per-stream cap = host ingress → two streams halve each other.
+    store = ObjectStore(env, StorageProfile(per_stream_Bps=1.25e9, get_latency_s=0.0))
+    store.put_object("a", 1_250_000_000)
+    store.put_object("b", 1_250_000_000)
+    total = drive(env, store.download_many(host, ["a", "b"]))
+    assert total == 2_500_000_000
+    assert env.now == pytest.approx(2.0, rel=0.02)
+
+
+def test_missing_object_raises(world):
+    env, net, host = world
+    store = ObjectStore(env)
+    with pytest.raises(ConfigurationError):
+        store.object_size("ghost")
+
+
+def test_invalid_object_size_rejected(world):
+    env, net, host = world
+    store = ObjectStore(env)
+    with pytest.raises(ConfigurationError):
+        store.put_object("zero", 0)
+
+
+def test_lambda_profile_is_slower_and_variable(world):
+    env, net, host = world
+    rng = np.random.default_rng(0)
+    lo, hi = S3_LAMBDA.per_stream_range
+    sampled = S3_LAMBDA.sample_stream_Bps(rng)
+    assert lo <= sampled <= hi
+    # Without an rng the nominal value is used.
+    assert S3_LAMBDA.sample_stream_Bps(None) == S3_LAMBDA.per_stream_Bps
+    # Lambda's nominal throughput is well below the default profile's.
+    from repro.faas import S3_DEFAULT
+    assert S3_LAMBDA.per_stream_Bps < S3_DEFAULT.per_stream_Bps / 2
+
+
+# --- containers ---------------------------------------------------------------------
+
+def test_container_pool_limits_concurrency(world):
+    env, net, host = world
+    pool = ContainerPool(env, host, "fn", replicas=2)
+    active = []
+    peak = []
+
+    def user(env):
+        container, token = yield from pool.acquire()
+        active.append(container)
+        peak.append(len(active))
+        yield env.timeout(1.0)
+        active.remove(container)
+        pool.release(container, token)
+
+    for _ in range(5):
+        env.process(user(env))
+    env.run()
+    assert max(peak) == 2
+    assert pool.available == 2
+
+
+def test_container_pool_validation(world):
+    env, net, host = world
+    with pytest.raises(ConfigurationError):
+        ContainerPool(env, host, "fn", replicas=0)
+
+
+def test_container_counts_invocations(world):
+    env, net, host = world
+    pool = ContainerPool(env, host, "fn", replicas=1)
+
+    def user(env):
+        c, token = yield from pool.acquire()
+        yield env.timeout(0.1)
+        pool.release(c, token)
+
+    for _ in range(3):
+        env.process(user(env))
+    env.run()
+    assert sum(c.invocations_served for c in pool._containers) == 3
+
+
+# --- platform -----------------------------------------------------------------------
+
+def make_platform(env, host, storage=None):
+    return ServerlessPlatform(env, host, storage=storage)
+
+
+def test_invoke_runs_handler_and_records_times(world):
+    env, net, host = world
+    platform = make_platform(env, host)
+
+    def handler(fc):
+        yield fc.env.timeout(2.0)
+        return "ok"
+
+    platform.register(FunctionSpec(name="f", handler=handler))
+    inv, proc = platform.invoke("f")
+    env.run(until=proc)
+    assert inv.status == "completed"
+    assert inv.result == "ok"
+    assert inv.e2e_s == pytest.approx(2.0)
+    assert inv.queue_s == pytest.approx(0.0)
+
+
+def test_invocations_queue_when_replicas_busy(world):
+    env, net, host = world
+    platform = make_platform(env, host)
+
+    def handler(fc):
+        yield fc.env.timeout(1.0)
+
+    platform.register(FunctionSpec(name="f", handler=handler, min_replicas=1))
+    inv1, p1 = platform.invoke("f")
+    inv2, p2 = platform.invoke("f")
+    env.run()
+    assert inv1.queue_s == pytest.approx(0.0)
+    assert inv2.queue_s == pytest.approx(1.0)
+    assert inv2.e2e_s == pytest.approx(2.0)
+
+
+def test_handler_failure_marks_invocation(world):
+    env, net, host = world
+    platform = make_platform(env, host)
+
+    def handler(fc):
+        yield fc.env.timeout(0.1)
+        raise RuntimeError("boom")
+
+    platform.register(FunctionSpec(name="f", handler=handler))
+    inv, proc = platform.invoke("f")
+    with pytest.raises(RuntimeError):
+        env.run(until=proc)
+    assert inv.status == "failed"
+
+
+def test_duplicate_function_rejected(world):
+    env, net, host = world
+    platform = make_platform(env, host)
+    spec = FunctionSpec(name="f", handler=lambda fc: iter(()))
+    platform.register(spec)
+    with pytest.raises(ConfigurationError):
+        platform.register(spec)
+
+
+def test_unknown_function_rejected(world):
+    env, net, host = world
+    platform = make_platform(env, host)
+    with pytest.raises(ConfigurationError):
+        platform.invoke("ghost")
+
+
+def test_phase_accounting_via_context(world):
+    env, net, host = world
+    store = ObjectStore(env, StorageProfile(per_stream_Bps=100e6, get_latency_s=0.0))
+    store.put_object("model", 50_000_000)
+    platform = make_platform(env, host, storage=store)
+
+    def handler(fc):
+        yield from fc.download(["model"])
+        yield from fc.timed_phase("processing", fc.env.timeout(1.5))
+        return None
+
+    platform.register(FunctionSpec(name="f", handler=handler))
+    inv, proc = platform.invoke("f")
+    env.run(until=proc)
+    assert inv.phases["download"] == pytest.approx(0.5, rel=0.02)
+    assert inv.phases["processing"] == pytest.approx(1.5)
+
+
+def test_run_plan_launches_at_scheduled_times(world):
+    env, net, host = world
+    platform = make_platform(env, host)
+    started = []
+
+    def handler(fc):
+        started.append(fc.env.now)
+        yield fc.env.timeout(0.1)
+
+    platform.register(FunctionSpec(name="f", handler=handler))
+    plan = uniform_arrivals(["f", "f", "f"], gap_s=2.0)
+    records = drive(env, platform.run_plan(plan))
+    assert started == [0.0, 2.0, 4.0]
+    assert len(records) == 3
+    assert all(r.status == "completed" for r in records)
+
+
+def test_invocation_accessors_before_completion(world):
+    env, net, host = world
+    platform = make_platform(env, host)
+
+    def handler(fc):
+        yield fc.env.timeout(5.0)
+
+    platform.register(FunctionSpec(name="f", handler=handler))
+    inv, proc = platform.invoke("f")
+    env.run(until=1.0)
+    with pytest.raises(ValueError):
+        _ = inv.e2e_s
+
+
+# --- arrival generators ------------------------------------------------------------------
+
+def test_interleave_is_reproducible():
+    rng1 = np.random.default_rng(9)
+    rng2 = np.random.default_rng(9)
+    s1 = interleave_workloads(["a", "b", "c"], 10, rng1)
+    s2 = interleave_workloads(["a", "b", "c"], 10, rng2)
+    assert s1 == s2
+    assert sorted(s1) == sorted(["a"] * 10 + ["b"] * 10 + ["c"] * 10)
+
+
+def test_exponential_gap_mean_is_respected():
+    rng = np.random.default_rng(3)
+    names = ["w"] * 5000
+    plan = exponential_gap_arrivals(names, mean_gap_s=2.0, rng=rng)
+    gaps = np.diff(plan.times)
+    assert abs(gaps.mean() - 2.0) < 0.1
+    assert plan.times[0] == 0.0
+
+
+def test_burst_arrivals_structure():
+    plan = burst_arrivals(["a", "b"], bursts=3, burst_gap_s=2.0)
+    assert len(plan) == 6
+    times = plan.times
+    assert list(times) == [0.0, 0.0, 2.0, 2.0, 4.0, 4.0]
+
+
+def test_arrival_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ConfigurationError):
+        exponential_gap_arrivals(["a"], mean_gap_s=0, rng=rng)
+    with pytest.raises(ConfigurationError):
+        burst_arrivals(["a"], bursts=0, burst_gap_s=1)
+    with pytest.raises(ConfigurationError):
+        uniform_arrivals(["a"], gap_s=-1)
+    with pytest.raises(ConfigurationError):
+        interleave_workloads(["a"], 0, rng)

@@ -1,0 +1,137 @@
+"""Tests for the alternative migration strategies (Table I comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DgsfConfig
+from repro.core.migration import migrate_api_server
+from repro.core.migration_strategies import (
+    MIGRATION_STRATEGIES,
+    checkpoint_restore_migration,
+    peer_access_migration,
+)
+from repro.errors import SimulationError
+from repro.simcuda.types import GB, MB
+from repro.testing import make_world
+
+
+@pytest.fixture
+def world():
+    return make_world(DgsfConfig(num_gpus=2))
+
+
+def run(world, gen):
+    proc = world.env.process(gen)
+    return world.env.run(until=proc)
+
+
+def test_registry_contains_all_strategies():
+    assert set(MIGRATION_STRATEGIES) == {"dgsf", "checkpoint_restore", "peer_access"}
+
+
+def test_checkpoint_restore_moves_data_but_changes_addresses(world):
+    guest, server, rpc = world.attach_guest(declared_bytes=2 * GB)
+    ptr = world.drive(guest.cudaMalloc(256 * MB))
+    world.drive(guest.memcpyH2D(ptr, 256 * MB,
+                                payload=np.arange(64, dtype=np.uint8)))
+    va_before = set(server.session.allocations)
+    outcome = run(world, checkpoint_restore_migration(server, 1))
+    assert outcome.moved_bytes == 256 * MB
+    assert outcome.residual_source_bytes == 0
+    # addresses are NOT preserved — the paper's generality argument
+    va_after = set(server.session.allocations)
+    assert va_before != va_after
+    # the data itself did survive the host round trip
+    new_ptr = next(iter(va_after))
+    mapping, _ = server.context.address_space.translate(new_ptr)
+    assert np.array_equal(mapping.allocation.read(0, 64),
+                          np.arange(64, dtype=np.uint8))
+    # the old guest pointer is dead — exactly why this breaks transparency
+    with pytest.raises(Exception):
+        server.context.address_space.translate(ptr)
+    world.detach_guest(guest, server, rpc)
+
+
+def test_checkpoint_restore_slower_than_dgsf_for_same_data(world):
+    """Two PCIe crossings + snapshot bookkeeping beat one D2D copy — DGSF
+    must migrate faster."""
+    durations = {}
+    for label, strategy in (
+        ("dgsf", migrate_api_server),
+        ("ckpt", checkpoint_restore_migration),
+    ):
+        w = make_world(DgsfConfig(num_gpus=2))
+        guest, server, rpc = w.attach_guest(declared_bytes=14 * GB)
+        w.drive(guest.cudaMalloc(4 * GB))
+        outcome = run(w, strategy(server, 1))
+        durations[label] = (
+            outcome.duration_s if hasattr(outcome, "duration_s") else outcome
+        )
+        w.detach_guest(guest, server, rpc)
+    assert durations["dgsf"] < durations["ckpt"]
+
+
+def test_peer_access_is_fast_but_leaves_memory_behind(world):
+    guest, server, rpc = world.attach_guest(declared_bytes=2 * GB)
+    world.drive(guest.cudaMalloc(512 * MB))
+    g0, g1 = world.gpu_server.devices
+    used0 = g0.mem_used
+    outcome = run(world, peer_access_migration(server, 1))
+    assert outcome.duration_s < 0.2
+    assert outcome.residual_source_bytes == 512 * MB
+    assert outcome.post_access_penalty > 1.0
+    # the source GPU still holds the data (cannot host another function)
+    assert g0.mem_used == used0
+    assert server.current_device_id == 1
+    assert server.memory_device_id == 0
+    world.detach_guest(guest, server, rpc)
+
+
+def test_peer_access_slows_subsequent_kernels(world):
+    guest, server, rpc = world.attach_guest(declared_bytes=2 * GB)
+    world.drive(guest.cudaMalloc(64 * MB))
+    fptr = world.drive(guest.cudaGetFunction("timed"))
+
+    def timed_launch(env):
+        t0 = env.now
+        yield from guest.cudaLaunchKernel(fptr, args=(1.0,), work=1.0)
+        yield from guest.cudaDeviceSynchronize()
+        return env.now - t0
+
+    before = world.drive(timed_launch(world.env))
+    run(world, peer_access_migration(server, 1))
+    after = world.drive(timed_launch(world.env))
+    assert after > before * 2.0  # the 2.5x remote-access penalty
+    world.detach_guest(guest, server, rpc)
+
+
+def test_peer_access_memory_ops_still_work(world):
+    """Frees and copies route to the source context after a peer move."""
+    guest, server, rpc = world.attach_guest(declared_bytes=2 * GB)
+    data = np.arange(100, dtype=np.uint8)
+    ptr = world.drive(guest.cudaMalloc(64 * MB))
+    world.drive(guest.memcpyH2D(ptr, 64 * MB, payload=data))
+    run(world, peer_access_migration(server, 1))
+    back = world.drive(guest.memcpyD2H(ptr, 100))
+    assert np.array_equal(back[:100], data)
+    world.drive(guest.cudaFree(ptr))
+    world.detach_guest(guest, server, rpc)
+
+
+def test_dgsf_cannot_migrate_peer_split_session(world):
+    guest, server, rpc = world.attach_guest(declared_bytes=2 * GB)
+    world.drive(guest.cudaMalloc(1 * MB))
+    run(world, peer_access_migration(server, 1))
+    with pytest.raises(SimulationError, match="peer-access"):
+        run(world, migrate_api_server(server, 0))
+    world.detach_guest(guest, server, rpc)
+
+
+def test_session_end_resets_peer_state(world):
+    guest, server, rpc = world.attach_guest(declared_bytes=2 * GB)
+    world.drive(guest.cudaMalloc(1 * MB))
+    run(world, peer_access_migration(server, 1))
+    world.detach_guest(guest, server, rpc)
+    assert server.memory_device_id == server.home_device_id
+    assert server.kernel_work_multiplier == 1.0
+    assert world.gpu_server.migration_slot_available(1)

@@ -1,0 +1,194 @@
+"""Tests for the ML client libraries (ONNX-like, TF-like, CuPy, OpenCV)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DgsfConfig
+from repro.errors import SimulationError, ConfigurationError
+from repro.mllib import (
+    ModelSpec,
+    OnnxInferenceSession,
+    TfSession,
+    CupyContext,
+)
+from repro.mllib.opencvlib import cv_upload, cv_resize, cv_filter, cv_download
+from repro.simcuda.types import GB, MB
+from repro.testing import make_world
+
+
+SMALL_SPEC = ModelSpec(
+    name="toy",
+    weight_bytes=10 * MB,
+    workspace_bytes=20 * MB,
+    n_layers=4,
+    load_descriptor_calls=12,
+    infer_descriptor_calls=4,
+    launches_per_batch=8,
+    cudnn_ops_per_batch=4,
+    cublas_ops_per_batch=2,
+    batch_work_s=0.12,
+    gpu_demand=0.8,
+)
+
+
+@pytest.fixture(scope="module")
+def shared_world():
+    return make_world(DgsfConfig(num_gpus=1))
+
+
+@pytest.fixture
+def session(shared_world):
+    guest, server, rpc = shared_world.attach_guest(declared_bytes=4 * GB)
+    yield shared_world, guest
+    shared_world.detach_guest(guest, server, rpc)
+
+
+def test_model_spec_validation():
+    with pytest.raises(ConfigurationError):
+        ModelSpec(
+            name="bad", weight_bytes=0, workspace_bytes=0, n_layers=1,
+            load_descriptor_calls=0, infer_descriptor_calls=0,
+            launches_per_batch=0, cudnn_ops_per_batch=0,
+            cublas_ops_per_batch=0, batch_work_s=0.0, gpu_demand=1.0,
+        )
+    with pytest.raises(ConfigurationError):
+        ModelSpec(
+            name="bad", weight_bytes=1, workspace_bytes=0, n_layers=1,
+            load_descriptor_calls=0, infer_descriptor_calls=0,
+            launches_per_batch=0, cudnn_ops_per_batch=0,
+            cublas_ops_per_batch=0, batch_work_s=0.0, gpu_demand=1.5,
+        )
+
+
+def test_onnx_session_load_and_run(session):
+    world, guest = session
+    sess = OnnxInferenceSession(world.env, guest, SMALL_SPEC)
+    world.drive(sess.load())
+    t0 = world.env.now
+    out = world.drive(sess.run(input_bytes=1 * MB))
+    took = world.env.now - t0
+    assert out is not None
+    # the batch's GPU work dominates: ≈ batch_work_s plus small overheads
+    assert SMALL_SPEC.batch_work_s <= took <= SMALL_SPEC.batch_work_s + 0.2
+    world.drive(sess.close())
+
+
+def test_onnx_run_before_load_rejected(session):
+    world, guest = session
+    sess = OnnxInferenceSession(world.env, guest, SMALL_SPEC)
+    with pytest.raises(SimulationError):
+        world.drive(sess.run(input_bytes=1024))
+
+
+def test_onnx_close_frees_device_memory(shared_world):
+    device = shared_world.gpu_server.devices[0]
+    guest, server, rpc = shared_world.attach_guest(declared_bytes=4 * GB)
+    base = device.mem_used
+    sess = OnnxInferenceSession(shared_world.env, guest, SMALL_SPEC)
+    shared_world.drive(sess.load())
+    shared_world.drive(sess.run(input_bytes=1 * MB))
+    assert device.mem_used > base
+    shared_world.drive(sess.close())
+    assert device.mem_used == base
+    shared_world.detach_guest(guest, server, rpc)
+
+
+def test_tf_arena_spike_and_trim(shared_world):
+    """TF's allocator transiently holds the arena, then trims it."""
+    device = shared_world.gpu_server.devices[0]
+    guest, server, rpc = shared_world.attach_guest(declared_bytes=8 * GB)
+    base = device.mem_used
+    spec = SMALL_SPEC
+    sess = TfSession(shared_world.env, guest, spec, arena_bytes=2 * GB)
+    shared_world.drive(sess.load())
+    peak = server.session.peak_bytes
+    assert peak >= 2 * GB  # the transient spike
+    steady = device.mem_used - base
+    assert steady < 1 * GB  # trimmed back to the working set
+    out = shared_world.drive(sess.run(input_bytes=1 * MB))
+    assert out is not None
+    shared_world.drive(sess.close())
+    assert device.mem_used == base
+    shared_world.detach_guest(guest, server, rpc)
+
+
+def test_tf_spike_exceeding_declared_fails(shared_world):
+    """Under-declaring GPU memory kills the TF workload at the arena grab —
+    exactly why CovidCTNet must request a whole GPU (paper §VII)."""
+    from repro.simcuda.errors import CudaError
+
+    guest, server, rpc = shared_world.attach_guest(declared_bytes=1 * GB)
+    sess = TfSession(shared_world.env, guest, SMALL_SPEC, arena_bytes=2 * GB)
+    with pytest.raises(CudaError, match="cudaErrorMemoryAllocation"):
+        shared_world.drive(sess.load())
+    shared_world.detach_guest(guest, server, rpc)
+
+
+def test_tf_is_chattier_than_onnx(shared_world):
+    """TF's call stream must contain far more interceptable calls per op —
+    the substrate of the paper's 96% vs 48% reduction numbers."""
+    guest, server, rpc = shared_world.attach_guest(declared_bytes=4 * GB)
+    onnx = OnnxInferenceSession(shared_world.env, guest, SMALL_SPEC)
+    shared_world.drive(onnx.load())
+    before = guest.calls_intercepted
+    shared_world.drive(onnx.run(input_bytes=1 * MB))
+    onnx_calls = guest.calls_intercepted - before
+    shared_world.drive(onnx.close())
+    shared_world.detach_guest(guest, server, rpc)
+
+    guest, server, rpc = shared_world.attach_guest(declared_bytes=4 * GB)
+    tf = TfSession(shared_world.env, guest, SMALL_SPEC, arena_bytes=100 * MB)
+    shared_world.drive(tf.load())
+    before = guest.calls_intercepted
+    shared_world.drive(tf.run(input_bytes=1 * MB))
+    tf_calls = guest.calls_intercepted - before
+    shared_world.drive(tf.close())
+    shared_world.detach_guest(guest, server, rpc)
+
+    assert tf_calls > onnx_calls
+
+
+def test_cupy_array_roundtrip(session):
+    world, guest = session
+    cp = CupyContext(world.env, guest)
+    host = np.arange(64, dtype=np.float32)
+    arr = world.drive(cp.array(host))
+    back = world.drive(cp.asnumpy(arr))
+    assert np.array_equal(back[: host.nbytes].view(np.float32), host)
+    world.drive(cp.free(arr))
+
+
+def test_cupy_axpy_computes(session):
+    world, guest = session
+    cp = CupyContext(world.env, guest)
+    x = world.drive(cp.array(np.ones(16, dtype=np.float32)))
+    y = world.drive(cp.array(np.full(16, 2.0, dtype=np.float32)))
+    world.drive(cp.axpy(3.0, x, y))
+    back = world.drive(cp.asnumpy(y))
+    assert np.allclose(back[:64].view(np.float32), 5.0)
+    world.drive(cp.free_all())
+
+
+def test_cupy_double_free_rejected(session):
+    world, guest = session
+    cp = CupyContext(world.env, guest)
+    arr = world.drive(cp.empty((4, 4)))
+    world.drive(cp.free(arr))
+    with pytest.raises(SimulationError):
+        world.drive(cp.free(arr))
+
+
+def test_opencv_pipeline(session):
+    world, guest = session
+    frame = np.random.default_rng(0).integers(
+        0, 255, size=(64, 64, 3), dtype=np.uint8
+    )
+    mat = world.drive(cv_upload(guest, frame))
+    assert mat.height == 64 and mat.channels == 3
+    resized = world.drive(cv_resize(guest, mat, 32, 32))
+    assert resized.nbytes == 32 * 32 * 3
+    world.drive(cv_filter(guest, resized))
+    data = world.drive(cv_download(guest, resized))
+    assert len(data) == 32 * 32 * 3
+    world.drive(guest.cudaFree(mat.ptr))
+    world.drive(guest.cudaFree(resized.ptr))

@@ -1,0 +1,60 @@
+"""§V-A step ③: periodic API-server update messages + GPU-server shutdown."""
+
+import pytest
+
+from repro.core import DgsfConfig
+from repro.errors import SimulationError
+from repro.simcuda.types import GB, MB
+from repro.testing import make_world
+
+
+def test_servers_report_stats_periodically():
+    world = make_world(DgsfConfig(num_gpus=2))
+    world.env.run(until=world.env.now + 2.0)
+    monitor = world.monitor
+    assert set(monitor.last_stats) == {0, 1}
+    for stats in monitor.last_stats.values():
+        assert not stats.busy
+        assert stats.used_bytes == 0
+
+
+def test_stats_reflect_session_state():
+    world = make_world(DgsfConfig(num_gpus=1))
+    guest, server, rpc = world.attach_guest(declared_bytes=2 * GB)
+    world.drive(guest.cudaMalloc(256 * MB))
+    world.env.run(until=world.env.now + 1.0)
+    stats = world.monitor.last_stats[server.server_id]
+    assert stats.busy
+    assert stats.used_bytes == 256 * MB
+    assert stats.api_calls > 0
+    world.detach_guest(guest, server, rpc)
+    world.env.run(until=world.env.now + 1.0)
+    stats = world.monitor.last_stats[server.server_id]
+    assert not stats.busy
+
+
+def test_stats_lag_behind_live_state():
+    """The monitor's view is reported, hence slightly stale."""
+    world = make_world(DgsfConfig(num_gpus=1))
+    world.env.run(until=world.env.now + 1.0)
+    guest, server, rpc = world.attach_guest()
+    # immediately after attach, the last report may still say idle
+    stats = world.monitor.last_stats[server.server_id]
+    assert stats.t <= world.env.now
+    world.detach_guest(guest, server, rpc)
+
+
+def test_shutdown_releases_all_static_memory():
+    world = make_world(DgsfConfig(num_gpus=2))
+    assert all(d.mem_used > 0 for d in world.gpu_server.devices)
+    world.drive(world.gpu_server.shutdown())
+    assert all(d.mem_used == 0 for d in world.gpu_server.devices)
+
+
+def test_shutdown_with_busy_server_rejected():
+    world = make_world(DgsfConfig(num_gpus=1))
+    guest, server, rpc = world.attach_guest()
+    with pytest.raises(SimulationError):
+        world.drive(world.gpu_server.shutdown())
+    world.detach_guest(guest, server, rpc)
+    world.drive(world.gpu_server.shutdown())

@@ -1,0 +1,125 @@
+"""Full coverage of the native GPU session facade (interface parity with
+the guest library — the same workload code must run on both)."""
+
+import numpy as np
+import pytest
+
+from repro.core.deployment import NativeGpuSession
+from repro.simcuda import LocalCudaRuntime, SimGPU, CudaError
+from repro.simcuda.types import GB, MB
+from repro.sim import Environment
+
+
+@pytest.fixture
+def native():
+    env = Environment()
+    gpu = SimGPU(env, 0)
+    session = NativeGpuSession(env, LocalCudaRuntime(env, [gpu]))
+    return env, gpu, session
+
+
+def drive(env, gen):
+    proc = env.process(gen)
+    return env.run(until=proc)
+
+
+def test_facade_method_parity_with_guest():
+    """Every public GPU-API method of the guest must exist on the native
+    facade with the same name (the workload contract)."""
+    from repro.core.guest import GuestLibrary
+
+    guest_api = {
+        name for name in dir(GuestLibrary)
+        if name.startswith(("cuda", "cudnn", "cublas", "memcpy", "pushCall"))
+    }
+    native_api = {
+        name for name in dir(NativeGpuSession)
+        if name.startswith(("cuda", "cudnn", "cublas", "memcpy", "pushCall"))
+    }
+    missing = guest_api - native_api
+    assert not missing, f"native facade missing: {sorted(missing)}"
+
+
+def test_device_management(native):
+    env, gpu, s = native
+    assert drive(env, s.cudaGetDeviceCount()) == 1
+    props = drive(env, s.cudaGetDeviceProperties(0))
+    assert "V100" in props["name"]
+    drive(env, s.cudaSetDevice(0))
+
+
+def test_memory_roundtrip(native):
+    env, gpu, s = native
+    data = np.arange(512, dtype=np.uint8)
+    ptr = drive(env, s.cudaMalloc(512))
+    drive(env, s.memcpyH2D(ptr, 512, payload=data))
+    back = drive(env, s.memcpyD2H(ptr, 512))
+    assert np.array_equal(back[:512], data)
+    drive(env, s.cudaFree(ptr))
+
+
+def test_d2d_and_memset(native):
+    env, gpu, s = native
+    a = drive(env, s.cudaMalloc(128))
+    b = drive(env, s.cudaMalloc(128))
+    drive(env, s.cudaMemset(a, 0x3C, 128))
+    drive(env, s.memcpyD2D(b, a, 128))
+    back = drive(env, s.memcpyD2H(b, 128))
+    assert np.all(back[:128] == 0x3C)
+
+
+def test_host_memory_and_attrs(native):
+    env, gpu, s = native
+    hptr = drive(env, s.cudaMallocHost(4096))
+    attrs = drive(env, s.cudaPointerGetAttributes(hptr))
+    assert not attrs.is_device
+    drive(env, s.cudaFreeHost(hptr))
+    dptr = drive(env, s.cudaMalloc(4096))
+    attrs = drive(env, s.cudaPointerGetAttributes(dptr))
+    assert attrs.is_device
+
+
+def test_kernels_streams_events(native):
+    env, gpu, s = native
+    fptr = drive(env, s.cudaGetFunction("timed"))
+    stream = drive(env, s.cudaStreamCreate())
+    event = drive(env, s.cudaEventCreate())
+
+    def run(env):
+        yield from s.pushCallConfiguration(grid=(2, 1, 1), block=(32, 1, 1))
+        yield from s.cudaLaunchKernel(fptr, grid=(2, 1, 1), block=(32, 1, 1),
+                                      args=(0.4,), stream=stream)
+        yield from s.cudaEventRecord(event, stream)
+        t0 = env.now
+        yield from s.cudaEventSynchronize(event)
+        return env.now - t0
+
+    waited = drive(env, run(env))
+    assert waited == pytest.approx(0.4, abs=0.02)
+    drive(env, s.cudaStreamDestroy(stream))
+
+
+def test_cudnn_and_cublas(native):
+    env, gpu, s = native
+    h = drive(env, s.cudnnCreate())
+    d = drive(env, s.cudnnCreateDescriptor("tensor"))
+    drive(env, s.cudnnSetDescriptor(d, n=4))
+    drive(env, s.cudnnDestroyDescriptor(d))
+    t0 = env.now
+    drive(env, s.cudnnOp(h, "conv_fwd", 0.3, sync=True))
+    assert env.now - t0 == pytest.approx(0.3, abs=0.02)
+    hb = drive(env, s.cublasCreate())
+    drive(env, s.cublasOp(hb, "gemm", 0.1, sync=True))
+
+
+def test_device_synchronize_and_counters(native):
+    env, gpu, s = native
+    fptr = drive(env, s.cudaGetFunction("timed"))
+
+    def run(env):
+        yield from s.cudaLaunchKernel(fptr, args=(0.2,))
+        yield from s.cudaDeviceSynchronize()
+
+    drive(env, run(env))
+    assert s.calls_intercepted > 0
+    assert s.calls_forwarded == 0  # nothing crosses a network natively

@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for the simulation kernel."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Environment, FairShareEngine
+from repro.sim.rng import RngRegistry
+from repro.simcuda.nvml import moving_average
+
+
+works = st.lists(
+    st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+    min_size=1, max_size=8,
+)
+
+
+@given(works)
+@settings(max_examples=60, deadline=None)
+def test_fairshare_conserves_total_work(work_list):
+    """All tasks submitted at t=0 to a capacity-1 engine finish exactly at
+    t = Σ work (processor sharing conserves service)."""
+    env = Environment()
+    eng = FairShareEngine(env)
+    events = [eng.submit(w) for w in work_list]
+    env.run(until=env.all_of(events))
+    assert abs(env.now - sum(work_list)) < 1e-6 * max(1.0, sum(work_list))
+
+
+@given(works)
+@settings(max_examples=60, deadline=None)
+def test_fairshare_completion_order_matches_work_order(work_list):
+    """With simultaneous arrival and equal demand, smaller jobs never
+    finish after larger ones (PS is size-monotone)."""
+    env = Environment()
+    eng = FairShareEngine(env)
+    finish = {}
+
+    def waiter(env, idx, done):
+        yield done
+        finish[idx] = env.now
+
+    for i, w in enumerate(work_list):
+        env.process(waiter(env, i, eng.submit(w)))
+    env.run()
+    order = sorted(range(len(work_list)), key=lambda i: finish[i])
+    for a, b in zip(order, order[1:]):
+        assert work_list[a] <= work_list[b] + 1e-9
+
+
+@given(
+    works,
+    st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_fairshare_never_exceeds_capacity(work_list, gaps):
+    """Total service delivered can never exceed elapsed time × capacity."""
+    env = Environment()
+    eng = FairShareEngine(env)
+
+    submitted = list(zip(work_list, gaps))  # zip truncates to the shorter
+
+    def driver(env):
+        for w, g in submitted:
+            eng.submit(w)
+            yield env.timeout(g)
+
+    env.process(driver(env))
+    env.run()
+    total_work = sum(w for w, _ in submitted)
+    # everything completed by `now`; service ≤ capacity × elapsed time
+    assert total_work <= env.now + 1e-9
+
+
+@given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50),
+       st.integers(min_value=1, max_value=10))
+@settings(max_examples=60, deadline=None)
+def test_moving_average_stays_within_bounds(values, window):
+    out = moving_average(values, window)
+    assert len(out) == len(values)
+    assert out.min() >= min(values) - 1e-9
+    assert out.max() <= max(values) + 1e-9
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.text(min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_rng_streams_deterministic(seed, name):
+    a = RngRegistry(seed).stream(name).random(8)
+    b = RngRegistry(seed).stream(name).random(8)
+    assert np.array_equal(a, b)
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=3.0), min_size=1, max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_timeouts_fire_in_order(delays):
+    """Events scheduled at increasing times are processed in time order."""
+    env = Environment()
+    fired = []
+
+    def proc(env, d):
+        yield env.timeout(d)
+        fired.append(d)
+
+    for d in delays:
+        env.process(proc(env, d))
+    env.run()
+    assert fired == sorted(delays)

@@ -1,0 +1,312 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Event, Interrupt
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        yield env.timeout(2.5)
+        log.append(env.now)
+        yield env.timeout(1.5)
+        log.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert log == [2.5, 4.0]
+    assert env.now == 4.0
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+
+    def proc(env):
+        got = yield env.timeout(1.0, value="payload")
+        return got
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == "payload"
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return 42
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 42
+
+
+def test_process_join():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(3)
+        return "child-result"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return (env.now, result)
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == (3, "child-result")
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+
+    def opener(env):
+        yield env.timeout(5)
+        gate.succeed("open")
+
+    def waiter(env):
+        value = yield gate
+        return (env.now, value)
+
+    env.process(opener(env))
+    w = env.process(waiter(env))
+    env.run()
+    assert w.value == (5, "open")
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    gate = env.event()
+
+    def failer(env):
+        yield env.timeout(1)
+        gate.fail(RuntimeError("boom"))
+
+    def waiter(env):
+        try:
+            yield gate
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    env.process(failer(env))
+    w = env.process(waiter(env))
+    env.run()
+    assert w.value == "caught boom"
+
+
+def test_unhandled_process_failure_propagates():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise ValueError("unhandled")
+
+    env.process(bad(env))
+    with pytest.raises(ValueError, match="unhandled"):
+        env.run()
+
+
+def test_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_run_until_time():
+    env = Environment()
+
+    def ticker(env):
+        while True:
+            yield env.timeout(1)
+
+    env.process(ticker(env))
+    env.run(until=10)
+    assert env.now == 10
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(7)
+        return "done"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "done"
+    assert env.now == 7
+
+
+def test_run_until_past_time_rejected():
+    env = Environment(initial_time=10)
+    with pytest.raises(ValueError):
+        env.run(until=5)
+
+
+def test_deadlock_detected_when_awaited_event_never_fires():
+    env = Environment()
+    never = env.event()
+
+    def waiter(env):
+        yield never
+
+    p = env.process(waiter(env))
+    with pytest.raises(SimulationError, match="deadlock"):
+        env.run(until=p)
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as i:
+            return ("interrupted", i.cause, env.now)
+
+    def attacker(env, target):
+        yield env.timeout(2)
+        target.interrupt("migrate")
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert v.value == ("interrupted", "migrate", 2)
+
+
+def test_interrupt_dead_process_is_error():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_interrupted_process_can_rewait():
+    env = Environment()
+    log = []
+
+    def victim(env):
+        start = env.now
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            log.append(env.now)
+        yield env.timeout(3)
+        log.append(env.now)
+
+    def attacker(env, target):
+        yield env.timeout(2)
+        target.interrupt()
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert log == [2, 5]
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1, value="a")
+        t2 = env.timeout(5, value="b")
+        results = yield env.all_of([t1, t2])
+        return (env.now, sorted(results.values()))
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (5, ["a", "b"])
+
+
+def test_any_of_returns_first():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1, value="fast")
+        t2 = env.timeout(5, value="slow")
+        results = yield env.any_of([t1, t2])
+        return (env.now, list(results.values()))
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (1, ["fast"])
+
+
+def test_empty_all_of_fires_immediately():
+    env = Environment()
+
+    def proc(env):
+        result = yield env.all_of([])
+        return result
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == {}
+
+
+def test_yielding_non_event_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(TypeError):
+        env.run()
+
+
+def test_events_at_same_time_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(1)
+        order.append(name)
+
+    for name in "abc":
+        env.process(proc(env, name))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_step_on_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_peek_empty_is_inf():
+    env = Environment()
+    assert env.peek() == float("inf")
+
+
+def test_already_processed_event_resumes_immediately():
+    env = Environment()
+
+    def proc(env):
+        t = env.timeout(1, value="x")
+        yield env.timeout(5)  # t processes long before we wait on it
+        value = yield t
+        return (env.now, value)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (5, "x")

@@ -1,0 +1,47 @@
+"""Unit tests for named RNG streams."""
+
+import numpy as np
+
+from repro.sim import RngRegistry
+
+
+def test_same_seed_same_stream():
+    a = RngRegistry(seed=42).stream("arrivals")
+    b = RngRegistry(seed=42).stream("arrivals")
+    assert np.array_equal(a.random(10), b.random(10))
+
+
+def test_different_names_are_independent():
+    reg = RngRegistry(seed=42)
+    a = reg.stream("arrivals").random(10)
+    b = reg.stream("network").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(seed=1).stream("x").random(10)
+    b = RngRegistry(seed=2).stream("x").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_creation_order_does_not_matter():
+    r1 = RngRegistry(seed=7)
+    r1.stream("zzz")
+    x1 = r1.stream("aaa").random(5)
+    r2 = RngRegistry(seed=7)
+    x2 = r2.stream("aaa").random(5)
+    assert np.array_equal(x1, x2)
+
+
+def test_stream_is_cached():
+    reg = RngRegistry(seed=0)
+    assert reg.stream("s") is reg.stream("s")
+    assert "s" in reg
+
+
+def test_reset_restarts_streams():
+    reg = RngRegistry(seed=3)
+    first = reg.stream("s").random(4)
+    reg.reset()
+    again = reg.stream("s").random(4)
+    assert np.array_equal(first, again)

@@ -1,0 +1,183 @@
+"""Unit tests for the processor-sharing GPU compute model."""
+
+import pytest
+
+from repro.sim import Environment, FairShareEngine
+
+
+def run_until(env, event):
+    env.run(until=event)
+    return env.now
+
+
+def test_single_task_runs_at_full_rate():
+    env = Environment()
+    eng = FairShareEngine(env)
+    done = eng.submit(work=4.0)
+    assert run_until(env, done) == pytest.approx(4.0)
+
+
+def test_two_tasks_halve_each_other():
+    env = Environment()
+    eng = FairShareEngine(env)
+    d1 = eng.submit(work=2.0)
+    d2 = eng.submit(work=2.0)
+    env.run(until=env.all_of([d1, d2]))
+    # Both share the engine at rate 1/2 → each takes 4s.
+    assert env.now == pytest.approx(4.0)
+
+
+def test_unequal_tasks_finish_in_order():
+    env = Environment()
+    eng = FairShareEngine(env)
+    short = eng.submit(work=1.0)
+    long = eng.submit(work=3.0)
+    t_short = run_until(env, short)
+    t_long = run_until(env, long)
+    # Shared at 0.5 until short finishes at t=2 (long has 2.0 left),
+    # then long runs alone → finishes at t=4.
+    assert t_short == pytest.approx(2.0)
+    assert t_long == pytest.approx(4.0)
+
+
+def test_late_arrival_slows_running_task():
+    env = Environment()
+    eng = FairShareEngine(env)
+    results = {}
+
+    def first(env):
+        done = eng.submit(work=4.0)
+        yield done
+        results["first"] = env.now
+
+    def second(env):
+        yield env.timeout(2.0)
+        done = eng.submit(work=1.0)
+        yield done
+        results["second"] = env.now
+
+    env.process(first(env))
+    env.process(second(env))
+    env.run()
+    # first runs alone 0-2 (2 units done), then shares: needs 2 more units at
+    # rate .5 → would finish at t=6; second needs 1 unit at rate .5 → t=4.
+    # After second finishes at 4, first has 1 unit left at full rate → t=5.
+    assert results["second"] == pytest.approx(4.0)
+    assert results["first"] == pytest.approx(5.0)
+
+
+def test_low_demand_task_does_not_consume_full_share():
+    env = Environment()
+    eng = FairShareEngine(env)
+    # demand 0.25 task alone: runs at 0.25 → work 1.0 takes 4s.
+    done = eng.submit(work=1.0, demand=0.25)
+    assert run_until(env, done) == pytest.approx(4.0)
+
+
+def test_max_min_fairness_redistributes_surplus():
+    env = Environment()
+    eng = FairShareEngine(env)
+    small = eng.submit(work=0.3, demand=0.2)  # capped at 0.2
+    big = eng.submit(work=8.0, demand=1.0)    # gets the remaining 0.8
+    t_small = run_until(env, small)
+    assert t_small == pytest.approx(0.3 / 0.2)
+    t_big = run_until(env, big)
+    # big did 0.8*1.5=1.2 units by t=1.5, then full rate: 6.8 more → t=8.3
+    assert t_big == pytest.approx(1.5 + 6.8)
+
+
+def test_zero_work_completes_immediately():
+    env = Environment()
+    eng = FairShareEngine(env)
+    done = eng.submit(work=0.0)
+
+    def waiter(env):
+        yield done
+        return env.now
+
+    p = env.process(waiter(env))
+    env.run()
+    assert p.value == 0.0
+
+
+def test_invalid_parameters():
+    env = Environment()
+    eng = FairShareEngine(env)
+    with pytest.raises(ValueError):
+        eng.submit(work=-1.0)
+    with pytest.raises(ValueError):
+        eng.submit(work=1.0, demand=0.0)
+    with pytest.raises(ValueError):
+        eng.submit(work=1.0, demand=1.5)
+    with pytest.raises(ValueError):
+        FairShareEngine(env, capacity=0)
+
+
+def test_cancel_removes_task():
+    env = Environment()
+    eng = FairShareEngine(env)
+    keep = eng.submit(work=2.0)
+    drop = eng.submit(work=2.0)
+
+    def canceller(env):
+        yield env.timeout(1.0)
+        assert eng.cancel(drop) is True
+        assert eng.cancel(drop) is False  # already gone
+
+    env.process(canceller(env))
+    t = run_until(env, keep)
+    # 0-1: shared (0.5 units done); 1-: alone, 1.5 left → t=2.5
+    assert t == pytest.approx(2.5)
+
+
+def test_utilization_tracks_busy_time():
+    env = Environment()
+    eng = FairShareEngine(env)
+
+    def driver(env):
+        done = eng.submit(work=2.0)
+        yield done
+        yield env.timeout(2.0)  # idle gap
+        done = eng.submit(work=1.0)
+        yield done
+
+    p = env.process(driver(env))
+    env.run(until=p)
+    assert env.now == pytest.approx(5.0)
+    assert eng.utilization(0.0, 5.0) == pytest.approx(3.0 / 5.0)
+    assert eng.utilization(2.0, 4.0) == pytest.approx(0.0)
+    assert eng.utilization(0.0, 2.0) == pytest.approx(1.0)
+
+
+def test_utilization_open_interval_counts_running_task():
+    env = Environment()
+    eng = FairShareEngine(env)
+    eng.submit(work=10.0)
+    env.run(until=4.0)
+    assert eng.utilization(0.0, 4.0) == pytest.approx(1.0)
+
+
+def test_utilization_invalid_window():
+    env = Environment()
+    eng = FairShareEngine(env)
+    with pytest.raises(ValueError):
+        eng.utilization(2.0, 2.0)
+
+
+def test_capacity_scales_rates():
+    env = Environment()
+    eng = FairShareEngine(env, capacity=2.0)
+    d1 = eng.submit(work=2.0, demand=1.0)
+    d2 = eng.submit(work=2.0, demand=1.0)
+    env.run(until=env.all_of([d1, d2]))
+    # capacity 2 with two demand-1 tasks → both at rate 1 → 2s.
+    assert env.now == pytest.approx(2.0)
+
+
+def test_many_tasks_complete_and_engine_drains():
+    env = Environment()
+    eng = FairShareEngine(env)
+    events = [eng.submit(work=1.0) for _ in range(10)]
+    env.run(until=env.all_of(events))
+    assert env.now == pytest.approx(10.0)
+    assert eng.active_tasks == 0

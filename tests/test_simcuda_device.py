@@ -1,0 +1,103 @@
+"""Unit tests for the simulated GPU device."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.simcuda import SimGPU, CudaError
+from repro.simcuda.costs import CostModel
+from repro.simcuda.types import GB, MB
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def gpu(env):
+    return SimGPU(env, device_id=0)
+
+
+def test_memory_accounting(gpu):
+    assert gpu.mem_free == 16 * GB
+    alloc = gpu.alloc_phys(1 * GB)
+    assert gpu.mem_used == 1 * GB
+    gpu.free_phys(alloc)
+    assert gpu.mem_used == 0
+
+
+def test_out_of_memory_raises(gpu):
+    gpu.alloc_phys(15 * GB)
+    with pytest.raises(CudaError, match="cudaErrorMemoryAllocation"):
+        gpu.alloc_phys(2 * GB)
+
+
+def test_free_foreign_allocation_rejected(env):
+    gpu0 = SimGPU(env, 0)
+    gpu1 = SimGPU(env, 1)
+    alloc = gpu0.alloc_phys(1 * MB)
+    with pytest.raises(CudaError):
+        gpu1.free_phys(alloc)
+
+
+def test_reserve_bytes_for_runtime_footprints(gpu):
+    gpu.reserve_bytes(303 * MB)
+    assert gpu.mem_used == 303 * MB
+    gpu.unreserve_bytes(303 * MB)
+    assert gpu.mem_used == 0
+    with pytest.raises(CudaError):
+        gpu.unreserve_bytes(1)
+
+
+def test_reserve_beyond_capacity_rejected(gpu):
+    with pytest.raises(CudaError):
+        gpu.reserve_bytes(17 * GB)
+
+
+def test_kernel_launch_takes_work_time(env, gpu):
+    done = gpu.launch(work_s=2.0)
+    env.run(until=done)
+    assert env.now == pytest.approx(2.0)
+
+
+def test_concurrent_kernels_share_compute(env, gpu):
+    d1 = gpu.launch(1.0)
+    d2 = gpu.launch(1.0)
+    env.run(until=env.all_of([d1, d2]))
+    assert env.now == pytest.approx(2.0)
+
+
+def test_h2d_copy_time_matches_bandwidth(env):
+    costs = CostModel(h2d_bandwidth_Bps=10e9, memcpy_overhead_s=0.0)
+    gpu = SimGPU(env, 0, costs=costs)
+    done = gpu.copy_h2d(10_000_000_000)
+    env.run(until=done)
+    assert env.now == pytest.approx(1.0)
+
+
+def test_d2d_copy_engine_is_separate_from_compute(env, gpu):
+    """A migration copy must not be slowed by a running kernel."""
+    k = gpu.launch(5.0)
+    c = gpu.copy_d2d(7_500_000_000)  # 1 s at 7.5 GB/s
+    env.run(until=c)
+    assert env.now == pytest.approx(1.0, rel=0.01)
+    env.run(until=k)
+    assert env.now == pytest.approx(5.0)
+
+
+def test_negative_copy_rejected(gpu):
+    with pytest.raises(CudaError):
+        gpu.copy_h2d(-1)
+
+
+def test_utilization_reflects_kernel_residency(env, gpu):
+    def driver(env):
+        done = gpu.launch(1.0)
+        yield done
+        yield env.timeout(1.0)
+        done = gpu.launch(2.0)
+        yield done
+
+    p = env.process(driver(env))
+    env.run(until=p)
+    assert gpu.utilization(0.0, 4.0) == pytest.approx(3.0 / 4.0)

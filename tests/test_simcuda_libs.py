@@ -1,0 +1,145 @@
+"""Unit tests for the cuDNN and cuBLAS library models."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.simcuda import (
+    CudaError,
+    CudnnLibrary,
+    CublasLibrary,
+    DriverAPI,
+    SimGPU,
+)
+from repro.simcuda.cudnn import DESCRIPTOR_KINDS
+from repro.simcuda.types import MB
+
+
+@pytest.fixture
+def setup():
+    env = Environment()
+    gpu = SimGPU(env, 0)
+    drv = DriverAPI(env, [gpu])
+    drv.cuInit()
+    p = env.process(drv.cuCtxCreate(0))
+    ctx = env.run(until=p)
+    return env, gpu, ctx
+
+
+def drive(env, gen):
+    p = env.process(gen)
+    return env.run(until=p)
+
+
+def test_cudnn_handle_costs_time_and_memory(setup):
+    env, gpu, ctx = setup
+    lib = CudnnLibrary(env, ctx)
+    t0 = env.now
+    handle = drive(env, lib.cudnnCreate())
+    assert env.now - t0 == pytest.approx(1.2)
+    assert gpu.mem_used == 303 * MB + 386 * MB
+    drive(env, lib.cudnnDestroy(handle))
+    assert gpu.mem_used == 303 * MB
+
+
+def test_cublas_handle_costs_time_and_memory(setup):
+    env, gpu, ctx = setup
+    lib = CublasLibrary(env, ctx)
+    t0 = env.now
+    handle = drive(env, lib.cublasCreate())
+    assert env.now - t0 == pytest.approx(0.2)
+    assert gpu.mem_used == 303 * MB + 70 * MB
+    drive(env, lib.cublasDestroy(handle))
+    assert gpu.mem_used == 303 * MB
+
+
+def test_idle_api_server_footprint_matches_paper(setup):
+    """Context + cuDNN + cuBLAS handles ≈ 755 MB (paper §V-C: 759 MB raw,
+    reported as 755 MB)."""
+    env, gpu, ctx = setup
+    cudnn = CudnnLibrary(env, ctx)
+    cublas = CublasLibrary(env, ctx)
+    drive(env, cudnn.cudnnCreate())
+    drive(env, cublas.cublasCreate())
+    total_mb = gpu.mem_used / MB
+    assert 750 <= total_mb <= 765
+
+
+def test_cudnn_descriptor_lifecycle(setup):
+    env, gpu, ctx = setup
+    lib = CudnnLibrary(env, ctx)
+    for kind in DESCRIPTOR_KINDS:
+        desc = drive(env, lib.cudnnCreateDescriptor(kind))
+        drive(env, lib.cudnnSetDescriptor(desc, n=1, c=3, h=224, w=224))
+        drive(env, lib.cudnnDestroyDescriptor(desc))
+        with pytest.raises(CudaError):
+            drive(env, lib.cudnnDestroyDescriptor(desc))
+
+
+def test_cudnn_descriptor_bad_kind(setup):
+    env, gpu, ctx = setup
+    lib = CudnnLibrary(env, ctx)
+    with pytest.raises(CudaError):
+        drive(env, lib.cudnnCreateDescriptor("not-a-kind"))
+
+
+def test_cudnn_op_requires_valid_handle(setup):
+    env, gpu, ctx = setup
+    lib = CudnnLibrary(env, ctx)
+    with pytest.raises(CudaError):
+        drive(env, lib.cudnnConvolutionForward(0xBAD, 0.001))
+
+
+def test_cudnn_op_executes_on_gpu(setup):
+    env, gpu, ctx = setup
+    lib = CudnnLibrary(env, ctx)
+    handle = drive(env, lib.cudnnCreate())
+
+    def run(env):
+        done = yield from lib.cudnnConvolutionForward(handle, 0.5)
+        yield done
+
+    t0 = env.now
+    drive(env, run(env))
+    assert env.now - t0 == pytest.approx(0.5, abs=0.01)
+
+
+def test_cublas_gemm_executes_on_gpu(setup):
+    env, gpu, ctx = setup
+    lib = CublasLibrary(env, ctx)
+    handle = drive(env, lib.cublasCreate())
+
+    def run(env):
+        done = yield from lib.cublasSgemm(handle, 0.25)
+        yield done
+
+    t0 = env.now
+    drive(env, run(env))
+    assert env.now - t0 == pytest.approx(0.25, abs=0.01)
+
+
+def test_negative_work_rejected(setup):
+    env, gpu, ctx = setup
+    cudnn = CudnnLibrary(env, ctx)
+    cublas = CublasLibrary(env, ctx)
+    h1 = drive(env, cudnn.cudnnCreate())
+    h2 = drive(env, cublas.cublasCreate())
+    with pytest.raises(CudaError):
+        drive(env, cudnn.cudnnOp(h1, "x", -1.0))
+    with pytest.raises(CudaError):
+        drive(env, cublas.cublasOp(h2, "x", -1.0))
+
+
+def test_adopted_handles_are_usable(setup):
+    """API servers pool handles created elsewhere; the library must accept
+    an adopted handle as its own."""
+    env, gpu, ctx = setup
+    lib1 = CudnnLibrary(env, ctx)
+    handle = drive(env, lib1.cudnnCreate())
+    lib2 = CudnnLibrary(env, ctx)
+    lib2.adopt_handle(lib1._handles[handle])
+
+    def run(env):
+        done = yield from lib2.cudnnConvolutionForward(handle, 0.01)
+        yield done
+
+    drive(env, run(env))  # no error

@@ -1,0 +1,76 @@
+"""Unit tests for NVML-style utilization sampling."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+from repro.simcuda import NvmlSampler, SimGPU, moving_average
+
+
+def test_sampler_sees_busy_gpu():
+    env = Environment()
+    gpu = SimGPU(env, 0)
+    sampler = NvmlSampler(env, [gpu])
+    sampler.start()
+    gpu.launch(1.0)
+    env.run(until=2.0)
+    sampler.stop()
+    times, utils = sampler.series(0)
+    # Samples within the first second should read ~100%, later ones 0%.
+    early = utils[times <= 1.0]
+    late = utils[times >= 1.4]
+    assert np.all(early > 99)
+    assert np.all(late < 1)
+
+
+def test_sampler_partial_window():
+    env = Environment()
+    gpu = SimGPU(env, 0)
+    sampler = NvmlSampler(env, [gpu], query_interval_s=0.2, sample_window_s=0.2)
+    sampler.start()
+    gpu.launch(0.1)  # busy for half of the first window
+    env.run(until=0.25)
+    times, utils = sampler.series(0)
+    assert utils[0] == pytest.approx(50.0, abs=1.0)
+
+
+def test_average_utilization_across_gpus():
+    env = Environment()
+    g0, g1 = SimGPU(env, 0), SimGPU(env, 1)
+    sampler = NvmlSampler(env, [g0, g1])
+    sampler.start()
+    g0.launch(2.0)  # g1 stays idle
+    env.run(until=2.0)
+    avg = sampler.average_utilization()
+    assert 40 <= avg <= 60
+    assert sampler.average_utilization(0) > 90
+    assert sampler.average_utilization(1) < 5
+
+
+def test_sampler_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        NvmlSampler(env, [], query_interval_s=0)
+
+
+def test_moving_average_basic():
+    vals = [0, 10, 20, 30, 40]
+    out = moving_average(vals, window=2)
+    assert out == pytest.approx([0, 5, 15, 25, 35])
+
+
+def test_moving_average_window_one_is_identity():
+    vals = np.array([3.0, 1.0, 4.0])
+    assert np.array_equal(moving_average(vals, 1), vals)
+
+
+def test_moving_average_warmup_grows():
+    out = moving_average([10, 20, 30, 40, 50], window=5)
+    assert out[0] == 10
+    assert out[4] == pytest.approx(30)
+
+
+def test_moving_average_empty_and_invalid():
+    assert moving_average([], 5).size == 0
+    with pytest.raises(ValueError):
+        moving_average([1], 0)

@@ -1,0 +1,137 @@
+"""Hypothesis stateful test: random API sequences with random migrations.
+
+Drives a guest↔API-server pair with arbitrary interleavings of malloc,
+free, H2D/D2H copies, kernel launches, syncs and forced migrations, and
+checks the global invariants after every step:
+
+* device memory accounting always balances what the model thinks is live,
+* data written to an allocation reads back intact — including across any
+  number of migrations,
+* the virtual address map stays consistent (every live pointer resolves).
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.core import DgsfConfig
+from repro.core.migration import migrate_api_server
+from repro.simcuda.types import GB, MB
+from repro.testing import make_world
+
+
+class DgsfMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.world = make_world(DgsfConfig(num_gpus=2))
+        guest, server, rpc = self.world.attach_guest(declared_bytes=13 * GB)
+        self.guest = guest
+        self.server = server
+        self.rpc = rpc
+        #: ptr -> (size, expected bytes written so far)
+        self.live: dict[int, tuple[int, np.ndarray]] = {}
+        self.static_mem = {
+            d.device_id: d.mem_used for d in self.world.gpu_server.devices
+        }
+        self.counter = 0
+
+    # -- actions -------------------------------------------------------------
+    @rule(size_kb=st.integers(min_value=1, max_value=2048))
+    def malloc(self, size_kb):
+        if len(self.live) >= 12:
+            return
+        size = size_kb * 1024
+        ptr = self.world.drive(self.guest.cudaMalloc(size))
+        self.live[ptr] = (size, np.zeros(min(size, 256), dtype=np.uint8))
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def write(self, data):
+        ptr = data.draw(st.sampled_from(sorted(self.live)))
+        size, _ = self.live[ptr]
+        self.counter = (self.counter + 1) % 250
+        payload = np.full(min(size, 256), self.counter, dtype=np.uint8)
+        self.world.drive(self.guest.memcpyH2D(ptr, size, payload=payload))
+        self.live[ptr] = (size, payload.copy())
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def read_back(self, data):
+        ptr = data.draw(st.sampled_from(sorted(self.live)))
+        size, expected = self.live[ptr]
+        got = self.world.drive(self.guest.memcpyD2H(ptr, len(expected)))
+        assert np.array_equal(got[: len(expected)], expected), (
+            f"data mismatch at {ptr:#x} on GPU {self.server.current_device_id}"
+        )
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def increment_kernel(self, data):
+        ptr = data.draw(st.sampled_from(sorted(self.live)))
+        size, expected = self.live[ptr]
+        fptr = self.world.drive(self.guest.cudaGetFunction("increment"))
+
+        def run(env):
+            yield from self.guest.cudaLaunchKernel(
+                fptr, args=(0.001, ptr, len(expected))
+            )
+            yield from self.guest.cudaDeviceSynchronize()
+
+        self.world.drive(run(self.world.env))
+        self.live[ptr] = (size, (expected + 1).astype(np.uint8))
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def free(self, data):
+        ptr = data.draw(st.sampled_from(sorted(self.live)))
+        self.world.drive(self.guest.cudaFree(ptr))
+        del self.live[ptr]
+
+    @rule()
+    def sync(self):
+        self.world.drive(self.guest.cudaDeviceSynchronize())
+
+    @rule()
+    def migrate(self):
+        target = 1 - self.server.current_device_id
+        proc = self.world.env.process(migrate_api_server(self.server, target))
+        self.world.env.run(until=proc)
+        assert self.server.current_device_id == target
+
+    # -- invariants -----------------------------------------------------------
+    @invariant()
+    def memory_accounting_balances(self):
+        if not hasattr(self, "world"):
+            return
+        live_bytes = sum(size for size, _ in self.live.values())
+        devices = self.world.gpu_server.devices
+        total_static = sum(self.static_mem.values())
+        total_used = sum(d.mem_used for d in devices)
+        assert total_used == total_static + live_bytes
+
+    @invariant()
+    def all_live_pointers_resolve(self):
+        if not hasattr(self, "world"):
+            return
+        space = self.server.context.address_space
+        for ptr in self.live:
+            mapping, offset = space.translate(ptr)
+            assert offset == 0
+            assert mapping.allocation.device_id == self.server.current_device_id
+
+    def teardown(self):
+        if hasattr(self, "world"):
+            self.world.detach_guest(self.guest, self.server, self.rpc)
+
+
+TestDgsfStateful = DgsfMachine.TestCase
+TestDgsfStateful.settings = settings(
+    max_examples=12, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,98 @@
+"""Function execution time limits (paper §II: providers bound runtime)."""
+
+import pytest
+
+from repro.core import DgsfConfig
+from repro.core.deployment import DgsfDeployment
+from repro.faas import FunctionSpec
+from repro.faas.platform import FunctionTimeLimitExceeded
+from repro.simcuda.types import GB, MB
+from repro.sim import Environment
+from repro.simnet import Network
+from repro.faas.platform import ServerlessPlatform
+
+
+def make_platform():
+    env = Environment()
+    net = Network(env)
+    host = net.add_host("fn")
+    return env, ServerlessPlatform(env, host)
+
+
+def test_function_killed_at_limit():
+    env, platform = make_platform()
+
+    def slow(fc):
+        yield fc.env.timeout(100.0)
+        return "never"
+
+    platform.register(FunctionSpec("slow", slow, max_duration_s=5.0))
+    inv, proc = platform.invoke("slow")
+    with pytest.raises(FunctionTimeLimitExceeded):
+        env.run(until=proc)
+    assert inv.status == "timeout"
+    assert env.now == pytest.approx(5.0)
+
+
+def test_function_within_limit_completes():
+    env, platform = make_platform()
+
+    def quick(fc):
+        yield fc.env.timeout(2.0)
+        return "done"
+
+    platform.register(FunctionSpec("quick", quick, max_duration_s=5.0))
+    inv, proc = platform.invoke("quick")
+    env.run(until=proc)
+    assert inv.status == "completed"
+    assert inv.result == "done"
+
+
+def test_no_limit_means_unlimited():
+    env, platform = make_platform()
+
+    def long(fc):
+        yield fc.env.timeout(1000.0)
+        return "ok"
+
+    platform.register(FunctionSpec("long", long))
+    inv, proc = platform.invoke("long")
+    env.run(until=proc)
+    assert inv.status == "completed"
+
+
+def test_timeout_releases_gpu_lease_and_memory():
+    """A timed-out GPU function must not leak its API server or memory."""
+    dep = DgsfDeployment(DgsfConfig(num_gpus=1))
+    dep.setup()
+    base = dep.gpu_server.devices[0].mem_used
+
+    def hog(fc):
+        gpu = yield from fc.acquire_gpu()
+        yield from gpu.cudaMalloc(1 * GB)
+        fptr = yield from gpu.cudaGetFunction("timed")
+        yield from gpu.cudaLaunchKernel(fptr, args=(1000.0,))
+        yield from gpu.cudaDeviceSynchronize()
+
+    def follower(fc):
+        gpu = yield from fc.acquire_gpu()
+        yield from gpu.cudaGetDeviceCount()
+        return "ran"
+
+    dep.platform.register(
+        FunctionSpec("hog", hog, gpu_mem_bytes=2 * GB, max_duration_s=3.0)
+    )
+    dep.platform.register(
+        FunctionSpec("follower", follower, gpu_mem_bytes=2 * GB)
+    )
+    inv, proc = dep.platform.invoke("hog")
+    with pytest.raises(FunctionTimeLimitExceeded):
+        dep.env.run(until=proc)
+    assert inv.status == "timeout"
+    # the 1000 s kernel is still draining on the GPU, but the *session*
+    # cleanup is queued behind it; the monitor slot must come back
+    inv2, proc2 = dep.platform.invoke("follower")
+    dep.env.run(until=proc2)
+    assert inv2.result == "ran"
+    assert dep.gpu_server.devices[0].mem_used == base
+    assert dep.gpu_server.monitor.committed[0] == 0

@@ -1,0 +1,84 @@
+"""Tests for the guest-side call tracer."""
+
+import pytest
+
+from repro.core import DgsfConfig
+from repro.core.tracing import CallTrace, CallRecord, attach_trace
+from repro.simcuda.types import GB, MB
+from repro.testing import make_world
+
+
+@pytest.fixture
+def traced():
+    world = make_world(DgsfConfig(num_gpus=1))
+    guest, server, rpc = world.attach_guest(declared_bytes=2 * GB)
+    trace = attach_trace(guest)
+    yield world, guest, trace
+    world.detach_guest(guest, server, rpc)
+
+
+def test_trace_records_calls_with_routes(traced):
+    world, guest, trace = traced
+    ptr = world.drive(guest.cudaMalloc(1 * MB))            # remote
+    world.drive(guest.cudaPointerGetAttributes(ptr))        # local
+    fptr = world.drive(guest.cudaGetFunction("timed"))      # local (attach map)
+    world.drive(guest.cudaLaunchKernel(fptr, args=(0.01,))) # batched
+    world.drive(guest.cudaDeviceSynchronize())              # remote
+    world.drive(guest.cudaFree(ptr))                        # remote
+
+    by_route = trace.counts_by_route()
+    assert by_route["remote"] >= 3
+    assert by_route["local"] >= 2
+    assert by_route["batched"] == 1
+    apis = trace.counts_by_api()
+    assert apis["cudaMalloc"] == 1
+    assert apis["cudaLaunchKernel"] == 1
+
+
+def test_trace_durations_reflect_remoting_cost(traced):
+    world, guest, trace = traced
+    world.drive(guest.cudaMalloc(1 * MB))
+    world.drive(guest.cudaPointerGetAttributes(
+        next(iter(guest._device_allocs))
+    ))
+    times = trace.time_by_api()
+    # a remoted call costs a round trip; a localized call is microseconds
+    assert times["cudaMalloc"] > times["cudaPointerGetAttributes"] * 10
+
+
+def test_top_by_time_ranks_dominant_apis(traced):
+    world, guest, trace = traced
+    for _ in range(5):
+        world.drive(guest.cudaDeviceSynchronize())
+    world.drive(guest.cudaGetDeviceCount())
+    top = trace.top_by_time(1)
+    assert top[0][0] == "cudaDeviceSynchronize"
+
+
+def test_trace_window_filter():
+    trace = CallTrace()
+    for t in (0.0, 1.0, 2.0, 3.0):
+        trace.add(CallRecord(t=t, api="x", route="remote", duration_s=0.1))
+    sub = trace.between(1.0, 3.0)
+    assert len(sub) == 2
+    assert all(1.0 <= r.t < 3.0 for r in sub.records)
+
+
+def test_trace_capacity_bound():
+    trace = CallTrace(max_records=2)
+    for t in range(5):
+        trace.add(CallRecord(t=float(t), api="x", route="local", duration_s=0))
+    assert len(trace) == 2
+
+
+def test_traced_guest_still_returns_correct_results(traced):
+    """Tracing must be transparent to the application."""
+    import numpy as np
+
+    world, guest, trace = traced
+    data = np.arange(128, dtype=np.uint8)
+    ptr = world.drive(guest.cudaMalloc(128))
+    world.drive(guest.memcpyH2D(ptr, 128, payload=data))
+    back = world.drive(guest.memcpyD2H(ptr, 128))
+    assert np.array_equal(back[:128], data)
+    world.drive(guest.cudaFree(ptr))

@@ -1,0 +1,79 @@
+"""The shipped workload table must validate; broken tables must not."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simcuda.types import GB, MB
+from repro.workloads import WORKLOADS
+from repro.workloads.validation import (
+    validate_all,
+    validate_workload,
+    ValidationIssue,
+)
+
+
+def test_shipped_table_is_consistent():
+    assert validate_all() == []
+
+
+def test_every_workload_validates_individually():
+    for params in WORKLOADS.values():
+        assert validate_workload(params) == [], params.name
+
+
+def _broken(name, **overrides):
+    return dataclasses.replace(WORKLOADS[name], **overrides)
+
+
+def test_underdeclared_budget_detected():
+    broken = _broken("face_identification", declared_gpu_bytes=1 * GB)
+    issues = validate_workload(broken)
+    assert any("declared" in str(i) for i in issues)
+
+
+def test_oversized_declaration_detected():
+    broken = _broken("face_identification", declared_gpu_bytes=15 * GB)
+    issues = validate_workload(broken)
+    assert any("static footprint" in str(i) for i in issues)
+
+
+def test_peak_drift_detected():
+    broken = _broken("face_identification", paper_peak_bytes=1 * GB)
+    issues = validate_workload(broken)
+    assert any("Table II" in str(i) for i in issues)
+
+
+def test_input_overrun_detected():
+    broken = _broken("nlp_qa", input_bytes_per_batch=1 * GB)
+    issues = validate_workload(broken)
+    assert any("input object" in str(i) for i in issues)
+
+
+def test_missing_anchor_detected():
+    broken = _broken("kmeans", paper_native_s=0.0)
+    issues = validate_workload(broken)
+    assert any("anchor" in str(i) for i in issues)
+
+
+def test_cpu_faster_than_gpu_detected():
+    broken = _broken("kmeans", cpu_run_s=1.0)
+    issues = validate_workload(broken)
+    assert any("CPU baseline" in str(i) for i in issues)
+
+
+def test_validate_all_raises_on_issue(monkeypatch):
+    import repro.workloads.validation as v
+
+    broken = _broken("kmeans", cpu_run_s=1.0)
+    monkeypatch.setitem(v.WORKLOADS, "kmeans", broken)
+    with pytest.raises(ConfigurationError, match="calibration inconsistent"):
+        validate_all()
+    issues = validate_all(raise_on_issue=False)
+    assert issues
+
+
+def test_issue_str():
+    issue = ValidationIssue("w", "bad thing")
+    assert str(issue) == "w: bad thing"
