@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo verification: lint (when ruff is available) + tier-1 test suite.
+#
+# Usage: scripts/verify.sh [extra pytest args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests benchmarks
+else
+    echo "== ruff not installed; skipping lint =="
+fi
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q "$@"

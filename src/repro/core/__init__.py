@@ -21,13 +21,26 @@ from repro.core.classify import ApiClass, classify, LOCALIZABLE, BATCHABLE
 from repro.core.policies import Policy, BestFit, WorstFit, make_policy
 from repro.core.backend import GpuBackend
 from repro.core.handlepool import HandlePools
-from repro.core.api_server import ApiServer
+from repro.core.api_server import ApiServer, ApiServerDown
 from repro.core.monitor import Monitor, GpuRequest
 from repro.core.gpu_server import GpuServer
-from repro.core.guest import GuestLibrary, GuestGpuBundle
+from repro.core.guest import GuestLibrary, GuestGpuBundle, GuestRpcError
 from repro.core.migration import migrate_api_server, MigrationRecord
 from repro.core.deployment import DgsfDeployment, NativeGpuProvider
-from repro.core.stats import summarize_invocations, WorkloadStats
+from repro.core.faults import FaultPlan, FaultDirector, ServerFaultInjector
+from repro.core.audit import (
+    AuditError,
+    AuditReport,
+    AuditViolation,
+    audit_deployment,
+    audit_gpu_server,
+)
+from repro.core.stats import (
+    summarize_invocations,
+    summarize_outcomes,
+    OutcomeSummary,
+    WorkloadStats,
+)
 from repro.core.tracing import CallTrace, CallRecord, attach_trace
 
 __all__ = [
@@ -44,16 +57,28 @@ __all__ = [
     "GpuBackend",
     "HandlePools",
     "ApiServer",
+    "ApiServerDown",
     "Monitor",
     "GpuRequest",
     "GpuServer",
     "GuestLibrary",
     "GuestGpuBundle",
+    "GuestRpcError",
     "migrate_api_server",
     "MigrationRecord",
     "DgsfDeployment",
     "NativeGpuProvider",
+    "FaultPlan",
+    "FaultDirector",
+    "ServerFaultInjector",
+    "AuditError",
+    "AuditReport",
+    "AuditViolation",
+    "audit_deployment",
+    "audit_gpu_server",
     "summarize_invocations",
+    "summarize_outcomes",
+    "OutcomeSummary",
     "WorkloadStats",
     "CallTrace",
     "CallRecord",

@@ -30,7 +30,7 @@ from typing import Generator, Optional
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import ReproError, SimulationError
 from repro.sim.core import Environment
 from repro.sim.resources import Resource
 from repro.simcuda.context import CudaContext
@@ -42,9 +42,18 @@ from repro.simcuda.stream import Stream
 from repro.simcuda.types import Dim3
 from repro.simnet.rpc import RpcRequest, RpcServer
 
-__all__ = ["ApiServer", "FunctionSession", "ApiServerStats"]
+__all__ = ["ApiServer", "ApiServerDown", "FunctionSession", "ApiServerStats"]
 
 _token_ids = itertools.count(0xA000_0000)
+
+
+class ApiServerDown(ReproError):
+    """The API server process died (injected crash or detected failure).
+
+    Raised locally when a guest reaches a dead/recovering server; on the
+    wire the crash manifests as silence — no reply ever arrives and the
+    guest's RPC timeout fires instead.
+    """
 
 
 @dataclass(frozen=True)
@@ -123,6 +132,20 @@ class ApiServer:
         #: the reply network hop)
         self.reserved = False
         self._rpc: Optional[RpcServer] = None
+        # -- fault/recovery state --------------------------------------------
+        #: the process is gone; nothing can be served until re-bring-up
+        self.dead = False
+        #: the monitor noticed the death and a replacement is being set up
+        self.recovering = False
+        #: did the crash orphan an *attached* function (vs. an idle server)?
+        self.crashed_mid_session = False
+        self.crashes = 0
+        #: optional :class:`~repro.core.faults.ServerFaultInjector`
+        self.fault_injector = None
+        #: calls remaining until the injected crash fires (None = no crash)
+        self._crash_countdown: Optional[int] = None
+        #: bumped on crash/restart so stale heartbeat loops exit
+        self._stats_generation = 0
 
     # -- bring-up ----------------------------------------------------------------
     @property
@@ -158,6 +181,11 @@ class ApiServer:
     @property
     def busy(self) -> bool:
         return self.session is not None
+
+    @property
+    def schedulable(self) -> bool:
+        """May the monitor grant this server to a new function?"""
+        return not self.busy and not self.reserved and not self.dead and not self.recovering
 
     @property
     def migrated(self) -> bool:
@@ -196,11 +224,15 @@ class ApiServer:
             self._rpc = None
 
     def begin_session(self, declared_bytes: int, invocation_id: int = -1) -> None:
+        if self.dead or self.recovering:
+            raise ApiServerDown(f"API server {self.server_id} is down")
         if self.busy:
             raise SimulationError(f"API server {self.server_id} already busy")
         self.session = FunctionSession(
             declared_bytes=declared_bytes, invocation_id=invocation_id
         )
+        if self.fault_injector is not None:
+            self._crash_countdown = self.fault_injector.draw_session_crash()
 
     def end_session(self) -> Generator:
         """Tear down function state; return home if migrated (§V-A)."""
@@ -246,6 +278,7 @@ class ApiServer:
             if self.session is not None:
                 self.session.api_calls += 1
             yield self.env.timeout(self.costs.api_call_server_s)
+            self._maybe_crash(1)
             method = getattr(self, "_rpc_" + request.method, None)
             if method is None:
                 raise CudaError(
@@ -266,6 +299,7 @@ class ApiServer:
             if self.session is not None:
                 self.session.api_calls += len(requests)
             yield self.env.timeout(self.costs.api_call_server_s * len(requests))
+            self._maybe_crash(len(requests))
             values = []
             for request in requests:
                 method = getattr(self, "_rpc_" + request.method, None)
@@ -667,6 +701,94 @@ class ApiServer:
             )
         return handle
 
+    # -- crash / recovery ---------------------------------------------------------
+    def _maybe_crash(self, calls: int) -> None:
+        """Tick the injected-crash countdown; fires mid-call when it hits 0."""
+        if self._crash_countdown is None:
+            return
+        self._crash_countdown -= calls
+        if self._crash_countdown <= 0:
+            self.crash()
+            raise ApiServerDown(
+                f"API server {self.server_id} crashed mid-call (injected)"
+            )
+
+    def crash(self) -> None:
+        """Kill the API server process, as the OS would tear it down.
+
+        Everything the *process* owned vanishes instantly and synchronously:
+        its RPC loop dies without replying, its CUDA contexts are destroyed
+        (which drops all session allocations and the 303 MB context
+        footprint), its own cuDNN/cuBLAS handles are gone.  Shared-pool
+        handles live in the manager's slot contexts and survive — they only
+        return to stock.  The monitor notices via missed heartbeats and
+        runs recovery; ``crash()`` itself does no re-bring-up.
+        """
+        if self.dead:
+            return
+        self.dead = True
+        self.crashes += 1
+        self.crashed_mid_session = self.busy
+        self._crash_countdown = None
+        self._stats_generation += 1  # silence the heartbeat loop
+        session, self.session = self.session, None
+        rpc, self._rpc = self._rpc, None
+        if rpc is not None:
+            rpc.kill()
+        # Shared-pool handles are not process-owned: back to stock.  Handles
+        # the session created inline (pool miss / unpooled baseline) die
+        # with the process — release their device footprint.
+        pools = self.gpu_server.pools
+        if session is not None:
+            for h in session.borrowed_cudnn:
+                pools.return_cudnn(h)
+            for h in session.borrowed_cublas:
+                pools.return_cublas(h)
+            borrowed = set(session.borrowed_cudnn)
+            for twins in session.cudnn_handles.values():
+                for dev_id, h in twins.items():
+                    if h is not self._own_cudnn and h not in borrowed:
+                        self.gpu_server.device(dev_id).unreserve_bytes(
+                            self.costs.cudnn_handle_bytes
+                        )
+            borrowed = set(session.borrowed_cublas)
+            for twins in session.cublas_handles.values():
+                for dev_id, h in twins.items():
+                    if h is not self._own_cublas and h not in borrowed:
+                        self.gpu_server.device(dev_id).unreserve_bytes(
+                            self.costs.cublas_handle_bytes
+                        )
+        self._own_cudnn_free = True
+        self._own_cublas_free = True
+        driver = self.gpu_server.driver
+        for device_id, ctx in list(self.contexts.items()):
+            # OS teardown frees the process's device memory in one sweep
+            # (no cuMemRelease latency: the process is not there to pay it).
+            space = ctx.address_space
+            for mapping in space.mappings:
+                space.unmap(mapping.va)
+                space.free_reservation(mapping.va)
+                ctx.device.free_phys(mapping.allocation)
+            for va in list(space.reservations):
+                space.free_reservation(va)
+            if device_id != self.home_device_id:
+                # this context was claimed from the per-GPU migration slot
+                self.gpu_server.note_slot_lost(device_id)
+            driver.cuCtxDestroy(ctx)
+        home = self.gpu_server.device(self.home_device_id)
+        if self._own_cudnn is not None:
+            home.unreserve_bytes(self.costs.cudnn_handle_bytes)
+        if self._own_cublas is not None:
+            home.unreserve_bytes(self.costs.cublas_handle_bytes)
+        self._own_cudnn = None
+        self._own_cublas = None
+        self.contexts.clear()
+        self._cudnn_libs.clear()
+        self._cublas_libs.clear()
+        self.current_device_id = self.home_device_id
+        self.memory_device_id = self.home_device_id
+        self.kernel_work_multiplier = 1.0
+
     def stats(self) -> ApiServerStats:
         """Snapshot for the periodic monitor update (§V-A ③)."""
         return ApiServerStats(
@@ -679,11 +801,20 @@ class ApiServer:
         )
 
     def start_stats_reporting(self, monitor, period_s: float) -> None:
-        """Begin the periodic update-message loop to the monitor."""
+        """Begin the periodic update-message loop to the monitor.
+
+        The loop is generation-tagged: a crash (or a later restart) bumps
+        the generation, so a dead server's heartbeats stop — which is
+        exactly the signal the monitor's failure detector watches for.
+        """
+        self._stats_generation += 1
+        generation = self._stats_generation
 
         def loop():
-            while True:
+            while self._stats_generation == generation:
                 yield self.env.timeout(period_s)
+                if self._stats_generation != generation:
+                    return
                 monitor.receive_stats(self.stats())
 
         self.env.process(loop(), name=f"stats-{self.server_id}")

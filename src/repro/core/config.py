@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.errors import ConfigurationError
+from repro.core.faults import FaultPlan
 
 __all__ = ["OptimizationFlags", "DgsfConfig"]
 
@@ -81,6 +83,17 @@ class DgsfConfig:
     #: the largest workload (face detection, ~13.2 GB) must still fit on a
     #: GPU next to the static footprints.
     pool_handles_per_gpu: int = 1
+    #: faults to inject (None = perfect hardware, the default)
+    fault_plan: Optional[FaultPlan] = None
+    #: guest RPC reply deadline; 0 disables timeouts (waits forever)
+    rpc_timeout_s: float = 0.0
+    #: retry budget for idempotent remotable calls after an RPC timeout
+    rpc_max_retries: int = 2
+    #: base of the bounded exponential backoff between retries
+    rpc_retry_backoff_s: float = 0.25
+    #: monitor declares an API server dead after this long without a
+    #: §V-A ③ stats heartbeat (heartbeats arrive every monitor_period_s/2)
+    heartbeat_timeout_s: float = 2.0
 
     def __post_init__(self):
         if self.num_gpus <= 0:
@@ -101,6 +114,14 @@ class DgsfConfig:
             )
         if self.monitor_period_s <= 0:
             raise ConfigurationError("monitor_period_s must be positive")
+        if self.rpc_timeout_s < 0:
+            raise ConfigurationError("rpc_timeout_s must be non-negative")
+        if self.rpc_max_retries < 0:
+            raise ConfigurationError("rpc_max_retries must be non-negative")
+        if self.rpc_retry_backoff_s < 0:
+            raise ConfigurationError("rpc_retry_backoff_s must be non-negative")
+        if self.heartbeat_timeout_s <= 0:
+            raise ConfigurationError("heartbeat_timeout_s must be positive")
 
     @property
     def sharing_enabled(self) -> bool:

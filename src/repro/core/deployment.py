@@ -35,10 +35,12 @@ from repro.simnet.net import Network
 from repro.simnet.rpc import RpcClient
 from repro.faas.platform import ServerlessPlatform, FunctionContext, FunctionSpec
 from repro.faas.storage import ObjectStore, StorageProfile, S3_DEFAULT, S3_LAMBDA
+from repro.core.api_server import ApiServerDown
 from repro.core.backend import GpuBackend
 from repro.core.config import DgsfConfig
+from repro.core.faults import FaultDirector
 from repro.core.gpu_server import GpuServer
-from repro.core.guest import GuestLibrary, GuestGpuBundle
+from repro.core.guest import GuestLibrary, GuestGpuBundle, GuestRpcError
 
 __all__ = [
     "NativeGpuSession",
@@ -342,42 +344,78 @@ class DgsfGpuProvider:
         # the backend chooses a GPU server, then ① the guest library talks
         # to that server's monitor
         gpu_server = dep.backend.choose(spec.gpu_mem_bytes)
-        yield fc.env.timeout(self.control_rtt_s)
-        request = gpu_server.monitor.submit_request(
-            spec.gpu_mem_bytes,
-            fc.invocation.invocation_id,
-            expected_duration_s=spec.expected_duration_s,
-        )
-        api_server = yield request.granted
-        yield fc.env.timeout(self.control_rtt_s)
+        request = None
+        try:
+            yield fc.env.timeout(self.control_rtt_s)
+            request = gpu_server.monitor.submit_request(
+                spec.gpu_mem_bytes,
+                fc.invocation.invocation_id,
+                expected_duration_s=spec.expected_duration_s,
+            )
+            while True:
+                api_server = yield request.granted
+                yield fc.env.timeout(self.control_rtt_s)
+                if not api_server.dead:
+                    break
+                # The server died during the grant's network hop and the
+                # monitor re-queued us; wait for the replacement grant.
+                request = yield request.resubmitted
+        except BaseException:
+            # Died waiting (watchdog kill, …): the queued/charged request
+            # would otherwise hold a server forever.
+            if request is not None:
+                gpu_server.monitor.cancel(request)
+            dep.backend.note_release(gpu_server)
+            raise
         fc.add_phase("gpu_queue", fc.env.now - t0)
 
         connection = dep.network.connect(fc.host, gpu_server.host)
-        api_server.begin_session(
-            spec.gpu_mem_bytes, invocation_id=fc.invocation.invocation_id
-        )
-        rpc_server = api_server.serve_endpoint(connection.b)
-        guest = GuestLibrary(
-            fc.env,
-            RpcClient(connection.a),
-            flags=dep.config.optimizations,
-            costs=dep.costs,
-        )
-        kernel_names = fc.params.get("kernel_names", dep.kernels.names())
-        # The attach handshake happens here; workloads time their own
-        # "cuda_init" phase around acquire_gpu(), so it is not recorded
-        # twice.  With the startup optimization the remote context already
-        # exists; without it, attach pays the on-demand 3.2 s init.
-        yield from guest.attach(kernel_names)
+        if dep.fault_director is not None:
+            connection.faults = dep.fault_director.link_injector()
+        try:
+            api_server.begin_session(
+                spec.gpu_mem_bytes, invocation_id=fc.invocation.invocation_id
+            )
+            rpc_server = api_server.serve_endpoint(connection.b)
+            guest = GuestLibrary(
+                fc.env,
+                RpcClient(connection.a),
+                flags=dep.config.optimizations,
+                costs=dep.costs,
+                rpc_timeout_s=dep.config.rpc_timeout_s,
+                rpc_max_retries=dep.config.rpc_max_retries,
+                rpc_retry_backoff_s=dep.config.rpc_retry_backoff_s,
+            )
+            kernel_names = fc.params.get("kernel_names", dep.kernels.names())
+            # The attach handshake happens here; workloads time their own
+            # "cuda_init" phase around acquire_gpu(), so it is not recorded
+            # twice.  With the startup optimization the remote context already
+            # exists; without it, attach pays the on-demand 3.2 s init.
+            yield from guest.attach(kernel_names)
+        except BaseException:
+            api_server.stop_serving()
+            if not api_server.dead and api_server.busy:
+                yield from api_server.end_session()
+            gpu_server.monitor.release(api_server)
+            dep.backend.note_release(gpu_server)
+            raise
         bundle = GuestGpuBundle(guest, api_server, connection, rpc_server)
         return _DgsfLease(self, bundle, fc)
 
     def _release(self, bundle: GuestGpuBundle) -> Generator:
-        yield from bundle.guest.detach()
-        bundle.api_server.stop_serving()
-        yield from bundle.api_server.end_session()
-        bundle.api_server.gpu_server.monitor.release(bundle.api_server)
-        self.deployment.backend.note_release(bundle.api_server.gpu_server)
+        server = bundle.api_server
+        try:
+            yield from bundle.guest.detach()
+        except (GuestRpcError, ApiServerDown):
+            # The server died (or the link stayed down) under this
+            # function; the lease must still come home so the monitor can
+            # finish recovery and free the slot.
+            pass
+        server.stop_serving()
+        if not server.dead and server.busy:
+            yield from server.end_session()
+        server.gpu_server.monitor.release(server)
+        self.deployment.backend.note_release(server.gpu_server)
         return None
 
 
@@ -420,6 +458,17 @@ class DgsfDeployment:
                           kernel_registry=self.kernels, costs=costs)
             )
         self.platform.gpu_provider = DgsfGpuProvider(self)
+        # Fault injection: one director per deployment, drawing from its own
+        # RNG stream so fault-free runs keep their exact event timeline.
+        self.fault_director: Optional[FaultDirector] = None
+        if config.fault_plan is not None:
+            self.fault_director = FaultDirector(
+                config.fault_plan, self.rngs.stream("faults")
+            )
+            injector = self.fault_director.server_injector()
+            for server in self.gpu_servers:
+                for api_server in server.api_servers:
+                    api_server.fault_injector = injector
         self._ready = False
 
     @property

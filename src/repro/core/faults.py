@@ -1,0 +1,129 @@
+"""Deployment-level fault plans.
+
+A :class:`FaultPlan` declares *what* faults a chaos run injects; a
+:class:`FaultDirector` turns the plan into concrete injectors, all fed
+from one dedicated RNG stream (``rngs.stream("faults")``) so the same
+seed reproduces the same crash/drop schedule and a plan-free run draws
+nothing — no-fault experiments keep their exact event timeline.
+
+Server crashes are drawn per session: when a function begins a session,
+the injector decides (with ``server_crash_prob``) whether this session's
+API server will crash, and if so after how many handled calls (uniform in
+``crash_after_calls``) — i.e. mid-call, while the function is actively
+remoting work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.simnet.faults import LinkFaultInjector
+
+__all__ = ["FaultPlan", "FaultDirector", "ServerFaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of the faults to inject into a deployment."""
+
+    #: probability that a given session's API server crashes mid-call
+    server_crash_prob: float = 0.0
+    #: (lo, hi) inclusive range of handled calls before the crash fires
+    crash_after_calls: tuple[int, int] = (1, 40)
+    #: cap on total API-server crashes across the run (0 = unlimited)
+    max_crashes: int = 0
+    #: per-message drop probability on guest<->server links
+    link_drop_prob: float = 0.0
+    #: per-message probability of an added latency spike
+    delay_spike_prob: float = 0.0
+    #: size of the latency spike, seconds
+    delay_spike_s: float = 0.05
+    #: ``(start, end)`` windows during which guest links drop everything
+    partitions: Sequence[tuple[float, float]] = ()
+
+    def __post_init__(self):
+        if not 0.0 <= self.server_crash_prob <= 1.0:
+            raise ConfigurationError("server_crash_prob must be in [0, 1]")
+        lo, hi = self.crash_after_calls
+        if lo < 1 or hi < lo:
+            raise ConfigurationError(
+                f"crash_after_calls {self.crash_after_calls} must satisfy 1 <= lo <= hi"
+            )
+        if self.max_crashes < 0:
+            raise ConfigurationError("max_crashes must be non-negative")
+        if not 0.0 <= self.link_drop_prob <= 1.0:
+            raise ConfigurationError("link_drop_prob must be in [0, 1]")
+        if not 0.0 <= self.delay_spike_prob <= 1.0:
+            raise ConfigurationError("delay_spike_prob must be in [0, 1]")
+        if self.delay_spike_s < 0:
+            raise ConfigurationError("delay_spike_s must be non-negative")
+        for window in self.partitions:
+            start, end = window
+            if end < start:
+                raise ConfigurationError(f"partition window {window} ends before it starts")
+
+    @property
+    def any_link_faults(self) -> bool:
+        return (
+            self.link_drop_prob > 0
+            or self.delay_spike_prob > 0
+            or len(tuple(self.partitions)) > 0
+        )
+
+
+class ServerFaultInjector:
+    """Draws per-session crash schedules for API servers."""
+
+    def __init__(self, plan: FaultPlan, rng: np.random.Generator):
+        self.plan = plan
+        self.rng = rng
+        #: sessions for which a crash was scheduled
+        self.crashes_planned = 0
+
+    def draw_session_crash(self) -> Optional[int]:
+        """None, or the number of handled calls after which to crash."""
+        plan = self.plan
+        if plan.server_crash_prob <= 0:
+            return None
+        if plan.max_crashes and self.crashes_planned >= plan.max_crashes:
+            return None
+        if self.rng.random() >= plan.server_crash_prob:
+            return None
+        self.crashes_planned += 1
+        lo, hi = plan.crash_after_calls
+        return int(self.rng.integers(lo, hi + 1))
+
+
+class FaultDirector:
+    """Builds and shares the concrete injectors for one deployment.
+
+    One director per deployment; all injectors share the director's RNG so
+    fault decisions across servers/links form a single reproducible draw
+    sequence.
+    """
+
+    def __init__(self, plan: FaultPlan, rng: np.random.Generator):
+        self.plan = plan
+        self.rng = rng
+        self._server_injector: Optional[ServerFaultInjector] = None
+
+    def server_injector(self) -> ServerFaultInjector:
+        if self._server_injector is None:
+            self._server_injector = ServerFaultInjector(self.plan, self.rng)
+        return self._server_injector
+
+    def link_injector(self) -> Optional[LinkFaultInjector]:
+        """A fresh injector for one guest<->server connection (or None)."""
+        if not self.plan.any_link_faults:
+            return None
+        return LinkFaultInjector(
+            self.rng,
+            drop_prob=self.plan.link_drop_prob,
+            delay_spike_prob=self.plan.delay_spike_prob,
+            delay_spike_s=self.plan.delay_spike_s,
+            partitions=self.plan.partitions,
+        )

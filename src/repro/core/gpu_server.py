@@ -74,10 +74,14 @@ class GpuServer:
             period_s=config.monitor_period_s,
             confirm_checks=config.migration_confirm_checks,
             queue_discipline=config.queue_discipline,
+            heartbeat_timeout_s=config.heartbeat_timeout_s,
         )
         self.nvml = NvmlSampler(env, self.devices)
         self.ready = Event(env)
         self._setup_proc = None
+        #: device_ids whose migration-slot context died with a crashed server
+        self._lost_slots: set[int] = set()
+        self.servers_restarted = 0
 
     # -- bring-up -----------------------------------------------------------------
     def start(self):
@@ -127,6 +131,37 @@ class GpuServer:
             raise SimulationError(f"migration slot on GPU {device_id} is not claimed")
         ctx = api_server.release_context(device_id)
         self._migration_slots[device_id] = ctx
+
+    def note_slot_lost(self, device_id: int) -> None:
+        """A claimed migration-slot context died with a crashed API server."""
+        self._lost_slots.add(device_id)
+
+    # -- crash recovery -----------------------------------------------------------
+    def restart_api_server(self, server: ApiServer):
+        """Re-bring-up a crashed API server (§V-A recovery path).
+
+        Recreates the home context and the own cuDNN/cuBLAS handle pair —
+        paying the full 3.2 s CUDA initialization plus handle creation and
+        re-charging the 755 MB idle footprint — and rebuilds any migration
+        slot the crash consumed.  Notifies the monitor when serviceable.
+        """
+        if not server.dead:
+            raise SimulationError(f"API server {server.server_id} is not dead")
+
+        def bringup() -> Generator:
+            yield from server.setup()
+            # restore migration slots this crash consumed
+            lost, self._lost_slots = sorted(self._lost_slots), set()
+            for device_id in lost:
+                ctx = yield from self.driver.cuCtxCreate(device_id)
+                self._migration_slots[device_id] = ctx
+            server.dead = False
+            self.servers_restarted += 1
+            self.monitor.server_restarted(server)
+
+        return self.env.process(
+            bringup(), name=f"apiserver-{server.server_id}-restart"
+        )
 
     # -- inspection ---------------------------------------------------------------------
     @property

@@ -30,22 +30,52 @@ from typing import Generator, Optional
 
 import numpy as np
 
+from repro.errors import ReproError
 from repro.sim.core import Environment
 from repro.simcuda.costs import CostModel, DEFAULT_COSTS
 from repro.simcuda.cudnn import DESCRIPTOR_KINDS
 from repro.simcuda.errors import CudaError, cudaError
 from repro.simcuda.runtime import PointerAttributes
-from repro.simnet.rpc import RpcClient, RpcError
+from repro.simnet.rpc import RpcClient, RpcError, RpcTimeout
 from repro.core.classify import ApiClass, classify
 from repro.core.config import OptimizationFlags
 
-__all__ = ["GuestLibrary", "GuestGpuBundle"]
+__all__ = ["GuestLibrary", "GuestGpuBundle", "GuestRpcError", "IDEMPOTENT_METHODS"]
 
 _local_ids = itertools.count(0x6000_0000)
 
 #: flush the batch buffer when it reaches this many calls even without a
 #: synchronization point (bounds guest memory and server burstiness)
 BATCH_FLUSH_THRESHOLD = 48
+
+#: remotable methods that are safe to re-issue after a lost reply: they
+#: either mutate nothing server-side or overwrite the same bytes/state.
+#: Allocation and handle/stream/event creation are NOT here — replaying
+#: them would leak server resources if the first attempt did land.
+IDEMPOTENT_METHODS = frozenset(
+    {
+        "attach",
+        "cudaGetDeviceCount",
+        "cudaGetDeviceProperties",
+        "cudaSetDevice",
+        "pushCallConfiguration",
+        "cudaMemGetInfo",
+        "cudaDeviceSynchronize",
+        "cudaStreamSynchronize",
+        "cudaEventSynchronize",
+        "cudaEventElapsedTime",
+        "memcpyD2H",
+        "memcpyH2D",
+        "memcpyD2D",
+        "cudaMemset",
+    }
+)
+
+
+class GuestRpcError(ReproError):
+    """A remoted call could not be completed: the RPC timed out and was
+    either non-idempotent (unsafe to replay) or out of retries.  The
+    function fails cleanly instead of hanging on a dead server."""
 
 
 def _translate_remote_error(exc: RpcError) -> Exception:
@@ -67,12 +97,19 @@ class GuestLibrary:
         flags: OptimizationFlags = OptimizationFlags(),
         costs: CostModel = DEFAULT_COSTS,
         batch_flush_threshold: int = BATCH_FLUSH_THRESHOLD,
+        rpc_timeout_s: float = 0.0,
+        rpc_max_retries: int = 2,
+        rpc_retry_backoff_s: float = 0.25,
     ):
         self.env = env
         self.rpc = rpc
         self.flags = flags
         self.costs = costs
         self.batch_flush_threshold = max(1, batch_flush_threshold)
+        #: reply deadline per remoted call; 0 = wait forever (no fault model)
+        self.rpc_timeout_s = rpc_timeout_s
+        self.rpc_max_retries = rpc_max_retries
+        self.rpc_retry_backoff_s = rpc_retry_backoff_s
         self.attached = False
         # guest-side caches/state
         self._device_allocs: dict[int, int] = {}      # va -> size
@@ -87,6 +124,8 @@ class GuestLibrary:
         self.calls_intercepted = 0
         self.calls_localized = 0
         self.calls_batched = 0
+        self.rpc_timeouts = 0
+        self.rpc_retries = 0
 
     # -- derived counters -----------------------------------------------------------
     @property
@@ -134,19 +173,39 @@ class GuestLibrary:
 
     def _remote(self, method: str, *args, extra_bytes: int = 0,
                 reply_extra_bytes: int = 0, **kwargs) -> Generator:
-        """Synchronous round trip (flushes the batch first for ordering)."""
+        """Synchronous round trip (flushes the batch first for ordering).
+
+        With ``rpc_timeout_s`` set, replies are awaited under a deadline;
+        timed-out *idempotent* calls are retried with bounded exponential
+        backoff, everything else surfaces as :class:`GuestRpcError`.
+        """
         yield from self._flush()
-        try:
-            result = yield from self.rpc.call(
-                method,
-                *args,
-                extra_bytes=extra_bytes,
-                reply_extra_bytes=reply_extra_bytes,
-                **kwargs,
-            )
-        except RpcError as exc:
-            raise _translate_remote_error(exc) from None
-        return result
+        timeout_s = self.rpc_timeout_s if self.rpc_timeout_s > 0 else None
+        retries = self.rpc_max_retries if (
+            timeout_s is not None and method in IDEMPOTENT_METHODS
+        ) else 0
+        for attempt in range(retries + 1):
+            try:
+                result = yield from self.rpc.call(
+                    method,
+                    *args,
+                    extra_bytes=extra_bytes,
+                    reply_extra_bytes=reply_extra_bytes,
+                    timeout_s=timeout_s,
+                    **kwargs,
+                )
+            except RpcTimeout as exc:
+                self.rpc_timeouts += 1
+                if attempt >= retries:
+                    raise GuestRpcError(
+                        f"{method} gave up after {attempt + 1} attempt(s): {exc}"
+                    ) from None
+                self.rpc_retries += 1
+                yield self.env.timeout(self.rpc_retry_backoff_s * (2 ** attempt))
+            except RpcError as exc:
+                raise _translate_remote_error(exc) from None
+            else:
+                return result
 
     def _enqueue(self, method: str, args: tuple, extra_bytes: int = 0) -> Generator:
         """Batch (or immediately remote) an enqueue-only call."""

@@ -48,10 +48,15 @@ class GpuRequest:
     invocation_id: int
     submitted_at: float
     #: fires with the assigned ApiServer
-    granted: Event = None  # type: ignore[assignment]
+    granted: Event
     granted_at: float = -1.0
     #: hint used by the shortest-function-first discipline (0 = unknown)
     expected_duration_s: float = 0.0
+    #: fires with the replacement request when a granted-but-unbegun
+    #: request is re-queued because its server died
+    resubmitted: Optional[Event] = None
+    #: the replacement request, once re-queued
+    superseded: Optional["GpuRequest"] = None
 
 
 class Monitor:
@@ -59,7 +64,8 @@ class Monitor:
 
     def __init__(self, env: Environment, gpu_server, policy: Policy,
                  migration_enabled: bool = False, period_s: float = 0.5,
-                 confirm_checks: int = 4, queue_discipline: str = "fcfs"):
+                 confirm_checks: int = 4, queue_discipline: str = "fcfs",
+                 heartbeat_timeout_s: float = 2.0):
         if queue_discipline not in ("fcfs", "sff"):
             raise SimulationError(f"unknown queue discipline {queue_discipline!r}")
         self.env = env
@@ -86,6 +92,20 @@ class Monitor:
         self.migration_records: list[MigrationRecord] = []
         self._migration_proc = None
         self._migration_in_flight = False
+        # -- failure detection / recovery ------------------------------------
+        #: declare a server dead after this long without a heartbeat
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        #: server_id -> time of the last §V-A ③ update received
+        self._last_seen: dict[int, float] = {}
+        #: server_id -> the GpuRequest currently holding that server
+        self._inflight: dict[int, GpuRequest] = {}
+        #: crashed-mid-session servers whose function hasn't released yet
+        self._pending_release: set[int] = set()
+        #: restarted servers still waiting for that release
+        self._restarted: set[int] = set()
+        self.crashes_detected = 0
+        self.requests_requeued = 0
+        self._health_proc = None
 
     # -- bring-up ----------------------------------------------------------------
     def finalize_capacity(self) -> None:
@@ -97,14 +117,20 @@ class Monitor:
         # §V-A ③: every API server streams periodic updates
         for server in self.gpu_server.api_servers:
             server.start_stats_reporting(self, self.period_s / 2)
+            self._last_seen[server.server_id] = self.env.now
         if self.migration_enabled and self._migration_proc is None:
             self._migration_proc = self.env.process(
                 self._migration_loop(), name="monitor-migration"
+            )
+        if self._health_proc is None:
+            self._health_proc = self.env.process(
+                self._health_loop(), name="monitor-health"
             )
 
     def receive_stats(self, stats) -> None:
         """Record an API server's update message."""
         self.last_stats[stats.server_id] = stats
+        self._last_seen[stats.server_id] = stats.t
 
     # -- request handling --------------------------------------------------------------
     def schedulable_free(self, device_id: int) -> int:
@@ -134,6 +160,7 @@ class Monitor:
             submitted_at=self.env.now,
             granted=Event(self.env),
             expected_duration_s=expected_duration_s,
+            resubmitted=Event(self.env),
         )
         self.requests_total += 1
         self._queue.append(request)
@@ -143,9 +170,18 @@ class Monitor:
 
     def release(self, api_server) -> None:
         """A function finished on ``api_server``; free its slot."""
-        device_id = self._charged_device.pop(api_server.server_id, None)
+        sid = api_server.server_id
+        self._inflight.pop(sid, None)
+        if sid in self._pending_release:
+            # The server crashed under this function and the monitor already
+            # uncommitted its charge; this is the orphaned lease coming back.
+            self._pending_release.discard(sid)
+            if sid in self._restarted:
+                self._finish_recovery(api_server)
+            return
+        device_id = self._charged_device.pop(sid, None)
         if device_id is None:
-            raise SimulationError(f"server {api_server.server_id} was not charged")
+            raise SimulationError(f"server {sid} was not charged")
         # release is called after end_session, so the server is idle again
         # (possibly freshly returned to its home GPU)
         # uncommit from wherever the scheduler last charged it
@@ -155,13 +191,39 @@ class Monitor:
         api_server.reserved = False
         self._try_dispatch()
 
+    def cancel(self, request: GpuRequest) -> None:
+        """Abandon a request whose function died waiting for (or right
+        after) its grant — e.g. killed by the platform watchdog.
+
+        Without this, a granted-but-never-attached request would keep its
+        server reserved and charged forever.
+        """
+        while request.superseded is not None:
+            request = request.superseded
+        try:
+            self._queue.remove(request)
+            return
+        except ValueError:
+            pass
+        if not request.granted.triggered:
+            return  # never queued here (or already cancelled)
+        server = request.granted.value
+        sid = server.server_id
+        if self._inflight.get(sid) is not request:
+            return  # already released or recovered
+        self._inflight.pop(sid, None)
+        device_id = self._charged_device.pop(sid, None)
+        if device_id is not None:
+            self.committed[device_id] -= server._charged_bytes
+            server._charged_bytes = 0
+        server.reserved = False
+        self._try_dispatch()
+
     def _gpu_views(self) -> list:
         views = []
         for device in self.gpu_server.devices:
             if any(
-                s.home_device_id == device.device_id
-                and not s.busy
-                and not s.reserved
+                s.home_device_id == device.device_id and s.schedulable
                 for s in self.gpu_server.api_servers
             ):
                 views.append(
@@ -176,12 +238,13 @@ class Monitor:
         server = next(
             s
             for s in self.gpu_server.api_servers
-            if s.home_device_id == device_id and not s.busy and not s.reserved
+            if s.home_device_id == device_id and s.schedulable
         )
         server.reserved = True
         self.committed[device_id] += request.declared_bytes
         self._charged_device[server.server_id] = device_id
         server._charged_bytes = request.declared_bytes
+        self._inflight[server.server_id] = request
         request.granted_at = self.env.now
         request.granted.succeed(server)
 
@@ -244,8 +307,14 @@ class Monitor:
             # Require sustained imbalance with no queued demand: a GPU
             # that is idle only because its next function is still
             # downloading must not trigger a move.
+            if self._queue:
+                # Queued demand invalidates the observation entirely — a
+                # stale streak must not fire a move on the first tick
+                # after the queue drains.
+                self._imbalance_streak = 0
+                continue
             self._imbalance_streak += 1
-            if self._queue or self._imbalance_streak < self.confirm_checks:
+            if self._imbalance_streak < self.confirm_checks:
                 continue
             self._imbalance_streak = 0
             server, target = plan
@@ -253,6 +322,82 @@ class Monitor:
             yield from self._migrate_one(server, target)
             self._migration_in_flight = False
             self._try_dispatch()
+
+    # -- failure detection / recovery (§V-A ③ heartbeats as liveness) -------------
+    def _health_loop(self) -> Generator:
+        """Declare servers dead after missed heartbeats and run recovery.
+
+        Pure observer: draws no randomness and only reads clocks, so an
+        always-on health loop leaves fault-free runs' timelines untouched.
+        """
+        while True:
+            yield self.env.timeout(self.period_s)
+            now = self.env.now
+            for server in self.gpu_server.api_servers:
+                if server.recovering:
+                    continue
+                if server.dead:
+                    # crashed since the last tick (or killed explicitly)
+                    self._handle_dead_server(server)
+                    continue
+                last = self._last_seen.get(server.server_id)
+                if last is not None and now - last > self.heartbeat_timeout_s:
+                    server.crash()  # liveness lost: fence and tear down
+                    self._handle_dead_server(server)
+
+    def _handle_dead_server(self, server) -> None:
+        """Uncommit a dead server's charge, rescue its request, restart it."""
+        sid = server.server_id
+        self.crashes_detected += 1
+        server.recovering = True
+        device_id = self._charged_device.pop(sid, None)
+        if device_id is not None:
+            self.committed[device_id] -= server._charged_bytes
+            server._charged_bytes = 0
+        orphan = self._inflight.pop(sid, None)
+        if orphan is not None:
+            if server.crashed_mid_session:
+                # The function was attached when the server died; it will
+                # notice (RPC timeout) and come back through release().
+                self._pending_release.add(sid)
+            else:
+                # Granted but the session never began: the request can be
+                # transparently re-queued at the front of the line.
+                self._requeue(orphan)
+        self.gpu_server.restart_api_server(server)
+
+    def _requeue(self, orphan: GpuRequest) -> None:
+        clone = GpuRequest(
+            declared_bytes=orphan.declared_bytes,
+            invocation_id=orphan.invocation_id,
+            submitted_at=orphan.submitted_at,
+            granted=Event(self.env),
+            expected_duration_s=orphan.expected_duration_s,
+            resubmitted=Event(self.env),
+        )
+        orphan.superseded = clone
+        self.requests_requeued += 1
+        self._queue.appendleft(clone)
+        if orphan.resubmitted is not None:
+            orphan.resubmitted.succeed(clone)
+        self._try_dispatch()
+
+    def server_restarted(self, server) -> None:
+        """The GPU server finished re-bring-up of a crashed API server."""
+        sid = server.server_id
+        self._last_seen[sid] = self.env.now
+        server.start_stats_reporting(self, self.period_s / 2)
+        self._restarted.add(sid)
+        if sid not in self._pending_release:
+            self._finish_recovery(server)
+
+    def _finish_recovery(self, server) -> None:
+        sid = server.server_id
+        self._restarted.discard(sid)
+        server.recovering = False
+        server.reserved = False
+        server.crashed_mid_session = False
+        self._try_dispatch()
 
     def _find_imbalance(self) -> Optional[tuple[object, int]]:
         """(busy server to move, idle target GPU) or None.

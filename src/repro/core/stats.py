@@ -15,7 +15,16 @@ import numpy as np
 
 from repro.faas.platform import Invocation
 
-__all__ = ["WorkloadStats", "RunStats", "summarize_invocations"]
+__all__ = [
+    "WorkloadStats",
+    "RunStats",
+    "OutcomeSummary",
+    "summarize_invocations",
+    "summarize_outcomes",
+]
+
+#: invocation states that mean "the platform is done with it"
+TERMINAL_STATUSES = ("completed", "failed", "timeout")
 
 
 @dataclass
@@ -91,4 +100,48 @@ def summarize_invocations(invocations: list[Invocation]) -> RunStats:
         provider_e2e_s=provider_e2e,
         function_e2e_sum_s=e2e_sum,
         per_workload=per,
+    )
+
+
+@dataclass
+class OutcomeSummary:
+    """Terminal-status census of a (possibly faulty) run.
+
+    Chaos experiments care less about latency than about *liveness*: every
+    invocation must reach a terminal status — a wedged function means a
+    recovery path leaked a waiter.
+    """
+
+    counts: dict[str, int] = field(default_factory=dict)
+    total: int = 0
+    completion_rate: float = 0.0
+    mean_completed_e2e_s: float = 0.0
+    #: True iff every invocation reached completed/failed/timeout
+    all_terminal: bool = True
+
+    def as_dict(self) -> dict:
+        return {
+            "counts": dict(self.counts),
+            "total": self.total,
+            "completion_rate": round(self.completion_rate, 4),
+            "mean_completed_e2e_s": round(self.mean_completed_e2e_s, 3),
+            "all_terminal": self.all_terminal,
+        }
+
+
+def summarize_outcomes(invocations: list[Invocation]) -> OutcomeSummary:
+    """Count terminal vs. stuck invocations (the chaos-run liveness check)."""
+    counts: dict[str, int] = {}
+    for inv in invocations:
+        counts[inv.status] = counts.get(inv.status, 0) + 1
+    completed = [inv for inv in invocations if inv.status == "completed"]
+    total = len(invocations)
+    return OutcomeSummary(
+        counts=counts,
+        total=total,
+        completion_rate=(len(completed) / total) if total else 0.0,
+        mean_completed_e2e_s=(
+            float(np.mean([i.e2e_s for i in completed])) if completed else 0.0
+        ),
+        all_terminal=all(inv.status in TERMINAL_STATUSES for inv in invocations),
     )

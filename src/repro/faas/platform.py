@@ -272,6 +272,16 @@ class ServerlessPlatform:
     def _watchdog(self, body, limit_s: float):
         """Kill the function body if it outlives the provider's limit."""
         deadline = self.env.timeout(limit_s)
-        result = yield self.env.any_of([body, deadline])
+        try:
+            yield self.env.any_of([body, deadline])
+        except Exception:
+            # The body failed before the deadline; _run observes and
+            # reports that failure — the watchdog must not crash the sim.
+            pass
+        finally:
+            # On early completion/failure the deadline would otherwise sit
+            # in the event heap until it fires, keeping the run alive for
+            # up to the full limit.
+            deadline.cancel()
         if body.is_alive:
             body.interrupt("time limit exceeded")

@@ -64,7 +64,7 @@ class Event:
     yielding them.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_cancelled")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -74,6 +74,7 @@ class Event:
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         self._defused = False
+        self._cancelled = False
 
     # -- state inspection ---------------------------------------------------
     @property
@@ -103,6 +104,17 @@ class Event:
     def defuse(self) -> None:
         """Mark a failed event as handled so it will not crash the run."""
         self._defused = True
+
+    def cancel(self) -> None:
+        """Discard a scheduled event before its callbacks run.
+
+        The heap entry stays (removal would be O(n)); :meth:`Environment.step`
+        skips cancelled events without advancing time or invoking callbacks.
+        Only use this on events nobody else subscribes to (e.g. a private
+        deadline :class:`Timeout`) — subscribers would never be resumed.
+        """
+        if not self.processed:
+            self._cancelled = True
 
     # -- triggering ---------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
@@ -404,6 +416,10 @@ class Environment:
             when, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise SimulationError("no scheduled events") from None
+        if event._cancelled:
+            # Cancelled before processing: drop silently, do not advance time.
+            event.callbacks = None
+            return
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = when

@@ -201,6 +201,15 @@ class Store:
         self._trigger()
         return event
 
+    def cancel_get(self, event: Event) -> None:
+        """Withdraw a pending :meth:`get` (e.g. the caller timed out).
+
+        Without this, an abandoned filtered getter would still consume the
+        next matching item — an RPC reply arriving after the client gave up
+        would vanish into a dead event instead of staying deliverable.
+        """
+        self._getters = [(f, e) for (f, e) in self._getters if e is not event]
+
     def _trigger(self) -> None:
         # Admit pending puts while there is capacity.
         while self._putters and len(self.items) < self.capacity:

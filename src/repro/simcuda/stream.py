@@ -48,6 +48,12 @@ class Stream:
 
         def runner() -> Generator:
             yield prev
+            if self.destroyed:
+                # The context died (crash teardown) between enqueue and
+                # execution; the op's memory may already be freed.  Real
+                # CUDA never runs work queued on a destroyed stream either.
+                self._pending -= 1
+                return
             done = start()
             yield done
             self._pending -= 1

@@ -19,7 +19,15 @@ networking), :class:`Connection` gives socket-like FIFO endpoints and
 from repro.simnet.serialization import payload_size, MESSAGE_HEADER_BYTES
 from repro.simnet.link import NIC, NetworkProfile
 from repro.simnet.net import Network, Host, Connection, Endpoint
-from repro.simnet.rpc import RpcClient, RpcServer, RpcRequest, RpcReply, RpcError
+from repro.simnet.faults import LinkFaultInjector
+from repro.simnet.rpc import (
+    RpcClient,
+    RpcServer,
+    RpcRequest,
+    RpcReply,
+    RpcError,
+    RpcTimeout,
+)
 
 __all__ = [
     "payload_size",
@@ -30,9 +38,11 @@ __all__ = [
     "Host",
     "Connection",
     "Endpoint",
+    "LinkFaultInjector",
     "RpcClient",
     "RpcServer",
     "RpcRequest",
     "RpcReply",
     "RpcError",
+    "RpcTimeout",
 ]

@@ -1,0 +1,87 @@
+"""Link-level fault injection.
+
+A :class:`LinkFaultInjector` can be attached to a :class:`~repro.simnet.net.
+Connection` (``connection.faults = injector``); :meth:`Endpoint.send` then
+consults it per message.  Three fault modes are modelled:
+
+* **drop** — the message is transmitted (wire time and byte counters are
+  charged) but never delivered, like a packet lost past the NIC,
+* **delay spike** — extra one-way latency added to a message, modelling a
+  congested switch or a retransmission burst,
+* **partition window** — ``[start, end)`` intervals during which *every*
+  message on the link is dropped.
+
+All randomness comes from the injector's own RNG stream so that attaching
+an injector never perturbs the draw sequence of the base network jitter —
+no-fault runs stay bit-identical with or without the fault plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LinkFaultInjector"]
+
+
+class LinkFaultInjector:
+    """Per-connection fault decisions, drawn from a dedicated RNG stream."""
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator],
+        drop_prob: float = 0.0,
+        delay_spike_prob: float = 0.0,
+        delay_spike_s: float = 0.05,
+        partitions: Sequence[tuple[float, float]] = (),
+    ):
+        if not 0.0 <= drop_prob <= 1.0:
+            raise ConfigurationError("drop_prob must be in [0, 1]")
+        if not 0.0 <= delay_spike_prob <= 1.0:
+            raise ConfigurationError("delay_spike_prob must be in [0, 1]")
+        if delay_spike_s < 0:
+            raise ConfigurationError("delay_spike_s must be non-negative")
+        for window in partitions:
+            start, end = window
+            if end < start:
+                raise ConfigurationError(f"partition window {window} ends before it starts")
+        if rng is None and (drop_prob > 0 or delay_spike_prob > 0):
+            raise ConfigurationError("probabilistic faults require an RNG")
+        self.rng = rng
+        self.drop_prob = drop_prob
+        self.delay_spike_prob = delay_spike_prob
+        self.delay_spike_s = delay_spike_s
+        self.partitions = tuple((float(s), float(e)) for (s, e) in partitions)
+        #: counters for the chaos bench / auditor
+        self.messages_dropped = 0
+        self.delay_spikes = 0
+
+    def in_partition(self, now: float) -> bool:
+        return any(start <= now < end for (start, end) in self.partitions)
+
+    def drops(self, now: float) -> bool:
+        """Should the message sent at ``now`` be lost?"""
+        if self.in_partition(now):
+            self.messages_dropped += 1
+            return True
+        if self.drop_prob > 0 and self.rng.random() < self.drop_prob:
+            self.messages_dropped += 1
+            return True
+        return False
+
+    def delay_spike(self, now: float) -> float:
+        """Extra one-way latency (seconds) for the message sent at ``now``."""
+        if self.delay_spike_prob > 0 and self.rng.random() < self.delay_spike_prob:
+            self.delay_spikes += 1
+            return self.delay_spike_s
+        return 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<LinkFaultInjector drop={self.drop_prob} spike={self.delay_spike_prob}"
+            f"x{self.delay_spike_s}s partitions={len(self.partitions)}"
+            f" dropped={self.messages_dropped}>"
+        )

@@ -41,6 +41,9 @@ class Connection:
         self.b = Endpoint(self, b, a)
         self.a._peer = self.b
         self.b._peer = self.a
+        #: optional :class:`~repro.simnet.faults.LinkFaultInjector` applied
+        #: to messages in both directions
+        self.faults = None
 
     @property
     def endpoints(self) -> tuple["Endpoint", "Endpoint"]:
@@ -89,12 +92,18 @@ class Endpoint:
         effective_size = int(round(size / factor))
         serialize_delay = self.local.nic.transmit(effective_size)
         latency = profile.sample_latency(rng)
+        faults = self.connection.faults
+        if faults is not None:
+            latency += faults.delay_spike(self.env.now)
         deliver_at = self.env.now + serialize_delay + latency
         # Enforce per-direction FIFO despite latency jitter.
         deliver_at = max(deliver_at, self._last_delivery)
         self._last_delivery = deliver_at
         self.messages_sent += 1
         self.bytes_out += size
+        if faults is not None and faults.drops(self.env.now):
+            # Transmitted (wire time charged above) but lost in flight.
+            return deliver_at
         peer_inbox = self._peer.inbox
         delivery = Timeout(self.env, deliver_at - self.env.now)
         delivery.callbacks.append(lambda _ev: peer_inbox.put(payload))

@@ -19,15 +19,27 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional
 
 from repro.errors import ReproError
-from repro.sim.core import Environment
+from repro.sim.core import Environment, Interrupt
 from repro.simnet.net import Endpoint
 from repro.simnet.serialization import payload_size
 
-__all__ = ["RpcRequest", "RpcReply", "RpcClient", "RpcServer", "RpcError"]
+__all__ = [
+    "RpcRequest",
+    "RpcReply",
+    "RpcClient",
+    "RpcServer",
+    "RpcError",
+    "RpcTimeout",
+]
 
 
 class RpcError(ReproError):
     """A remote handler failed; carries the remote exception message."""
+
+
+class RpcTimeout(RpcError):
+    """No reply arrived within the caller's deadline (lost message or dead
+    server); the caller may retry idempotent calls."""
 
 
 @dataclass
@@ -85,12 +97,16 @@ class RpcClient:
         *args: Any,
         extra_bytes: int = 0,
         reply_extra_bytes: int = 0,
+        timeout_s: Optional[float] = None,
         **kwargs: Any,
     ) -> Generator:
         """Remote a call and wait for its reply (``yield from`` this).
 
         ``extra_bytes``/``reply_extra_bytes`` account for bulk buffers in
-        the request/response directions respectively.
+        the request/response directions respectively.  With ``timeout_s``
+        the wait is bounded: :class:`RpcTimeout` is raised if no reply
+        arrives in time (the pending receive is withdrawn so a late reply
+        stays deliverable to a retry).
         """
         msg_id = next(self._ids)
         request = RpcRequest(
@@ -104,9 +120,20 @@ class RpcClient:
         self.calls_sent += 1
         self.messages_sent += 1
         self.endpoint.send(request, extra_bytes=extra_bytes)
-        reply = yield self.endpoint.recv(
-            lambda m: isinstance(m, RpcReply) and m.msg_id == msg_id
-        )
+        match = lambda m: isinstance(m, RpcReply) and m.msg_id == msg_id
+        if timeout_s is None:
+            reply = yield self.endpoint.recv(match)
+        else:
+            recv = self.endpoint.recv(match)
+            deadline = self.env.timeout(timeout_s)
+            yield self.env.any_of([recv, deadline])
+            if not recv.processed and not recv.triggered:
+                self.endpoint.inbox.cancel_get(recv)
+                raise RpcTimeout(
+                    f"no reply to {method} (msg {msg_id}) within {timeout_s}s"
+                )
+            deadline.cancel()
+            reply = recv.value
         if reply.error is not None:
             raise RpcError(f"remote {method} failed: {reply.error}")
         return reply.value
@@ -175,6 +202,7 @@ class RpcServer:
         self.batch_handler = batch_handler
         self.requests_handled = 0
         self._stopped = False
+        self._killed = False
         self._proc = None
 
     @property
@@ -190,10 +218,27 @@ class RpcServer:
         """Stop after the in-flight request (if any) completes."""
         self._stopped = True
 
+    def kill(self) -> None:
+        """Hard-stop the server *now*, abandoning any in-flight request.
+
+        Models a process crash: the current handler (if any) is interrupted
+        mid-execution and no reply is sent for it.  Safe to call from within
+        the handler itself (the crash then unwinds via the handler's own
+        exception instead of an interrupt).
+        """
+        self._killed = True
+        self._stopped = True
+        proc = self._proc
+        if proc is not None and proc.is_alive and self.env.active_process is not proc:
+            proc.interrupt("rpc server killed")
+
     def _loop(self) -> Generator:
-        while not self._stopped:
-            request = yield self.endpoint.recv(lambda m: isinstance(m, RpcRequest))
-            yield from self._dispatch(request)
+        try:
+            while not self._stopped:
+                request = yield self.endpoint.recv(lambda m: isinstance(m, RpcRequest))
+                yield from self._dispatch(request)
+        except Interrupt:
+            return
 
     def _dispatch(self, request: RpcRequest) -> Generator:
         self.requests_handled += 1
@@ -209,9 +254,18 @@ class RpcServer:
                     value = values
             else:
                 value = yield from self.handler(request)
+        except Interrupt:
+            raise  # killed mid-handler; the loop absorbs it
         except Exception as exc:  # marshal remote failures, don't kill the loop
+            if self._killed:
+                return  # a crashed server sends nothing
             if not request.oneway:
-                self.endpoint.send(RpcReply(request.msg_id, error=str(exc)))
+                self.endpoint.send(
+                    RpcReply(request.msg_id, error=str(exc), extra_bytes=reply_extra),
+                    extra_bytes=reply_extra,
+                )
+            return
+        if self._killed:
             return
         if not request.oneway:
             self.endpoint.send(

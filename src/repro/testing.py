@@ -27,9 +27,12 @@ class DgsfWorld:
         return self.env.run(until=proc)
 
     def attach_guest(self, api_server=None, declared_bytes=2 << 30, flags=None,
-                     kernel_names=None):
+                     kernel_names=None, **guest_kwargs):
         """Manually wire a guest library to an API server (bypassing the
-        platform) — used by tests that poke the remoting layer directly."""
+        platform) — used by tests that poke the remoting layer directly.
+
+        Extra keyword arguments are forwarded to :class:`GuestLibrary`
+        (e.g. ``rpc_timeout_s`` for fault-path tests)."""
         if api_server is None:
             api_server = self.gpu_server.api_servers[0]
         conn = self.dep.network.connect(self.dep.fn_host, self.dep.gpu_host)
@@ -40,6 +43,7 @@ class DgsfWorld:
             RpcClient(conn.a),
             flags=flags if flags is not None else self.dep.config.optimizations,
             costs=self.dep.costs,
+            **guest_kwargs,
         )
         self.drive(guest.attach(kernel_names or self.dep.kernels.names()))
         return guest, api_server, rpc_server

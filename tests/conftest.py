@@ -1,17 +1,26 @@
-"""Shared fixtures for the test suite (thin wrapper over repro.testing)."""
+"""Shared fixtures for the test suite (thin wrapper over repro.testing).
+
+World fixtures audit the deployment's scheduler/memory invariants at
+teardown: a test that passes but leaks a charge or corrupts the byte
+accounting fails here instead of poisoning a later test.
+"""
 
 import pytest
 
 from repro.testing import DgsfWorld, make_world  # noqa: F401 (re-export)
-from repro.core import DgsfConfig
+from repro.core import DgsfConfig, audit_deployment
 
 
 @pytest.fixture
 def world() -> DgsfWorld:
     """Default 4-GPU, no-sharing, all-optimizations world."""
-    return make_world()
+    w = make_world()
+    yield w
+    audit_deployment(w.dep).raise_if_failed()
 
 
 @pytest.fixture
 def world_2gpu_sharing() -> DgsfWorld:
-    return make_world(DgsfConfig(num_gpus=2, api_servers_per_gpu=2))
+    w = make_world(DgsfConfig(num_gpus=2, api_servers_per_gpu=2))
+    yield w
+    audit_deployment(w.dep).raise_if_failed()

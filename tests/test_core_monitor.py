@@ -3,7 +3,9 @@
 import pytest
 
 from repro.core import DgsfConfig
+from repro.core.monitor import GpuRequest
 from repro.errors import SimulationError
+from repro.sim.core import Event
 from repro.simcuda.types import GB, MB
 from repro.testing import make_world
 
@@ -132,6 +134,58 @@ def test_memory_fit_respects_committed():
     r2 = world.monitor.submit_request(8 * GB)
     world.env.run(until=world.env.now + 0.5)
     assert not r2.granted.triggered
+
+
+def test_grant_event_is_required():
+    """GpuRequest must be constructed with its grant event — a request
+    whose ``granted`` silently defaults to None blows up only much later,
+    deep inside ``_grant``."""
+    with pytest.raises(TypeError):
+        GpuRequest(declared_bytes=1 * GB, invocation_id=1, submitted_at=0.0)
+
+
+def test_queued_demand_resets_imbalance_streak():
+    """Regression: a streak built before a request queued must not fire a
+    migration on the first tick after the queue drains — queued demand
+    invalidates the whole observation, not just the current tick."""
+    world = make_world(DgsfConfig(num_gpus=2))
+    monitor = world.monitor
+    env = world.env
+    moves = []
+
+    def fake_find():
+        return ("sentinel-server", 1)
+
+    def fake_migrate(server, target):
+        moves.append((server, target))
+        yield env.timeout(0.0)
+
+    monitor._find_imbalance = fake_find
+    monitor._migrate_one = fake_migrate
+    env.process(monitor._migration_loop(), name="test-migration")
+    period = monitor.period_s
+
+    # Build a streak one short of firing, with an empty queue.
+    env.run(until=env.now + period * (monitor.confirm_checks - 1) + period / 4)
+    assert moves == []
+    assert monitor._imbalance_streak == monitor.confirm_checks - 1
+
+    # A request queues; one tick passes while it waits.
+    request = GpuRequest(
+        declared_bytes=1 * GB, invocation_id=-1,
+        submitted_at=env.now, granted=Event(env),
+    )
+    monitor._queue.append(request)
+    env.run(until=env.now + period)
+    monitor._queue.remove(request)
+
+    # First tick after the queue drained: the stale streak must NOT fire.
+    env.run(until=env.now + period)
+    assert moves == []
+
+    # Sustained imbalance over a fresh confirmation window still migrates.
+    env.run(until=env.now + period * monitor.confirm_checks)
+    assert len(moves) == 1
 
 
 def test_queue_metrics():

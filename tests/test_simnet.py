@@ -7,11 +7,13 @@ from repro.errors import ConfigurationError
 from repro.sim import Environment
 from repro.simnet import (
     NIC,
+    LinkFaultInjector,
     Network,
     NetworkProfile,
     RpcClient,
     RpcServer,
     RpcError,
+    RpcTimeout,
     payload_size,
     MESSAGE_HEADER_BYTES,
 )
@@ -371,6 +373,157 @@ def test_rpc_concurrent_calls_match_replies():
     env.run()
     assert results["slow"][0] == "SLOW"
     assert results["fast"][0] == "FAST"
+
+
+def test_rpc_reply_bulk_bytes_charged_on_success_and_error():
+    """Regression: the error path must charge ``reply_extra_bytes`` on the
+    wire exactly like the success path — an error reply to a 1 GB D2H copy
+    used to travel for free."""
+
+    def handler(req):
+        if False:
+            yield
+        if req.method == "boom":
+            raise ValueError("injected")
+        return "ok"
+
+    for method in ("fine", "boom"):
+        env, conn = make_pair(latency=1e-4)
+        client = RpcClient(conn.a)
+        server = RpcServer(conn.b, handler)
+        server.start()
+
+        def caller(env):
+            try:
+                yield from client.call(method, reply_extra_bytes=1_000_000_000)
+            except RpcError:
+                pass
+
+        p = env.process(caller(env))
+        env.run(until=p)
+        assert conn.b.bytes_out >= 1_000_000_000, method
+
+
+def test_rpc_timeout_raises_then_late_reply_stays_deliverable():
+    def handler(req):
+        yield henv.timeout(3.0)
+        return req.method.upper()
+
+    env, client, server = make_rpc(handler)
+    henv = env
+
+    def caller(env):
+        with pytest.raises(RpcTimeout):
+            yield from client.call("first", timeout_s=1.0)
+        t_timeout = env.now
+        # the abandoned receive was withdrawn; a fresh call still matches
+        # its own reply even with the stale msg-1 reply in the inbox
+        result = yield from client.call("retry")
+        return (t_timeout, result, env.now)
+
+    p = env.process(caller(env))
+    env.run(until=p)
+    t_timeout, result, t_done = p.value
+    assert t_timeout == pytest.approx(1.0, abs=1e-2)
+    assert result == "RETRY"
+    assert t_done >= 4.0  # retry waited behind the first in-flight handler
+
+
+def test_rpc_killed_server_goes_silent():
+    """kill() mid-handler models a crash: no reply, not even an error."""
+
+    def handler(req):
+        yield henv.timeout(1.0)
+        return "never"
+
+    env, client, server = make_rpc(handler)
+    henv = env
+
+    def killer(env):
+        yield env.timeout(0.5)
+        server.kill()
+
+    def caller(env):
+        with pytest.raises(RpcTimeout):
+            yield from client.call("work", timeout_s=2.0)
+        return env.now
+
+    env.process(killer(env))
+    p = env.process(caller(env))
+    env.run(until=p)
+    assert p.value == pytest.approx(2.0, abs=1e-2)
+    assert server.endpoint.messages_sent == 0
+
+
+# --- link fault injection ----------------------------------------------------
+
+def test_fault_injector_validation():
+    with pytest.raises(ConfigurationError):
+        LinkFaultInjector(None, drop_prob=1.5)
+    with pytest.raises(ConfigurationError):
+        LinkFaultInjector(None, delay_spike_s=-1.0)
+    with pytest.raises(ConfigurationError):
+        LinkFaultInjector(None, partitions=[(2.0, 1.0)])
+    with pytest.raises(ConfigurationError):
+        LinkFaultInjector(None, drop_prob=0.5)  # probabilistic ⇒ RNG required
+
+
+def test_dropped_message_charges_wire_but_never_arrives():
+    env, conn = make_pair(latency=1e-3)
+    conn.faults = LinkFaultInjector(np.random.default_rng(0), drop_prob=1.0)
+    got = []
+
+    def receiver(env):
+        msg = yield conn.b.recv()
+        got.append(msg)
+
+    env.process(receiver(env))
+    conn.a.send("doomed", extra_bytes=1000)
+    env.run(until=2.0)
+    assert got == []
+    assert conn.faults.messages_dropped == 1
+    assert conn.a.bytes_out > 1000  # wire time/bytes still charged
+
+
+def test_partition_window_drops_then_heals():
+    env, conn = make_pair(latency=1e-3)
+    conn.faults = LinkFaultInjector(None, partitions=[(1.0, 2.0)])
+    got = []
+
+    def receiver(env):
+        while True:
+            msg = yield conn.b.recv()
+            got.append(msg)
+
+    def sender(env):
+        yield env.timeout(1.5)
+        conn.a.send("lost")  # inside the window
+        yield env.timeout(1.0)
+        conn.a.send("healed")  # after it
+
+    env.process(receiver(env))
+    env.process(sender(env))
+    env.run(until=4.0)
+    assert got == ["healed"]
+    assert conn.faults.messages_dropped == 1
+
+
+def test_delay_spike_slows_delivery():
+    env, conn = make_pair(latency=1e-3)
+    conn.faults = LinkFaultInjector(
+        np.random.default_rng(0), delay_spike_prob=1.0, delay_spike_s=0.5
+    )
+    got = []
+
+    def receiver(env):
+        yield conn.b.recv()
+        got.append(env.now)
+
+    env.process(receiver(env))
+    conn.a.send("slow")
+    env.run(until=2.0)
+    assert got and got[0] >= 0.5
+    assert conn.faults.delay_spikes == 1
 
 
 def test_rpc_server_stop():

@@ -61,6 +61,43 @@ def test_no_limit_means_unlimited():
     assert inv.status == "completed"
 
 
+def test_watchdog_survives_body_failure():
+    """Regression: a handler that raises before its deadline must not take
+    the watchdog process (and with it the whole simulation) down."""
+    env, platform = make_platform()
+
+    def broken(fc):
+        yield fc.env.timeout(0.5)
+        raise RuntimeError("handler bug")
+
+    platform.register(FunctionSpec("broken", broken, max_duration_s=60.0))
+    inv, proc = platform.invoke("broken")
+    with pytest.raises(RuntimeError):
+        env.run(until=proc)
+    assert inv.status == "failed"
+    # Pre-fix the watchdog re-raised the body's exception here as an
+    # unhandled process failure.
+    env.run()
+    assert env.now < 60.0
+
+
+def test_watchdog_deadline_cancelled_on_completion():
+    """Regression: after a function finishes, its watchdog's deadline must
+    not linger in the event heap keeping the run alive to the full limit."""
+    env, platform = make_platform()
+
+    def quick(fc):
+        yield fc.env.timeout(2.0)
+        return "done"
+
+    platform.register(FunctionSpec("quick", quick, max_duration_s=1000.0))
+    inv, proc = platform.invoke("quick")
+    env.run(until=proc)
+    assert inv.status == "completed"
+    env.run()  # drain; pre-fix this idled until the 1000 s deadline fired
+    assert env.now == pytest.approx(2.0)
+
+
 def test_timeout_releases_gpu_lease_and_memory():
     """A timed-out GPU function must not leak its API server or memory."""
     dep = DgsfDeployment(DgsfConfig(num_gpus=1))
