@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Baseline ablation benchmark: figure-4 sweep + async/cache extensions.
+
+Runs the cumulative-optimization ablation (native, no_opt,
++handle_pooling, +descriptor_pooling, +batching, +async) over every
+workload, plus the warm-cache repeat per workload, and writes the result
+to ``BENCH_ablation.json`` at the repo root so successive PRs can diff
+performance.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_baseline.py [--out PATH] [-w NAME ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import DgsfConfig  # noqa: E402
+from repro.experiments import fig4, render_table  # noqa: E402
+from repro.experiments.runner import run_single_invocation  # noqa: E402
+from repro.workloads import WORKLOADS  # noqa: E402
+
+
+def warm_cache_rows(workloads: list[str], seed: int) -> list[dict]:
+    """Cold vs warm download/e2e per workload (artifact-cache repeat)."""
+    rows = []
+    for name in workloads:
+        cold = run_single_invocation(name, "dgsf", DgsfConfig(num_gpus=1, seed=seed))
+        warm = run_single_invocation(
+            name, "dgsf_warm", DgsfConfig(num_gpus=1, seed=seed)
+        )
+        rows.append(
+            {
+                "workload": name,
+                "cold_download": round(cold.phases.get("download", 0.0), 3),
+                "warm_download": round(warm.phases.get("download", 0.0), 3),
+                "cold_e2e": round(cold.e2e_s, 3),
+                "warm_e2e": round(warm.e2e_s, 3),
+            }
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_ablation.json",
+        help="output JSON path (default: BENCH_ablation.json at the repo root)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "-w",
+        "--workload",
+        action="append",
+        dest="workloads",
+        choices=sorted(WORKLOADS),
+        help="restrict to specific workloads (repeatable; default: all)",
+    )
+    args = parser.parse_args(argv)
+    workloads = args.workloads or sorted(WORKLOADS)
+
+    t0 = time.perf_counter()
+    ablation = fig4.run(workloads=workloads, seed=args.seed)
+    cache = warm_cache_rows(workloads, args.seed)
+    wall_s = time.perf_counter() - t0
+
+    print(
+        render_table(
+            "Ablation — GPU time (s), optimizations added cumulatively",
+            ablation,
+            columns=["workload", "native"] + [label for label, _ in fig4.ABLATION_STEPS],
+        )
+    )
+    print()
+    print(
+        render_table(
+            "Artifact cache — cold vs warm repeat (s)",
+            cache,
+            columns=[
+                "workload", "cold_download", "warm_download", "cold_e2e", "warm_e2e",
+            ],
+        )
+    )
+
+    result = {
+        "experiment": "fig4_ablation_plus_async_cache",
+        "seed": args.seed,
+        "python": platform.python_version(),
+        "wall_seconds": round(wall_s, 2),
+        "steps": ["native"] + [label for label, _ in fig4.ABLATION_STEPS],
+        "ablation": ablation,
+        "warm_cache": cache,
+    }
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

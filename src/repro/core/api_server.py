@@ -140,6 +140,17 @@ class ApiServer:
         #: did the crash orphan an *attached* function (vs. an idle server)?
         self.crashed_mid_session = False
         self.crashes = 0
+        #: API-server-local artifact cache (None when disabled).  Host-side
+        #: staging state: it survives GPU-to-GPU migration (the server
+        #: stays on the same machine) but dies with the process on crash.
+        self.artifact_cache = None
+        cache_bytes = getattr(
+            getattr(gpu_server, "config", None), "artifact_cache_bytes", 0
+        )
+        if cache_bytes:
+            from repro.faas.storage import ArtifactCache
+
+            self.artifact_cache = ArtifactCache(cache_bytes)
         #: optional :class:`~repro.core.faults.ServerFaultInjector`
         self.fault_injector = None
         #: calls remaining until the injected crash fires (None = no crash)
@@ -730,6 +741,9 @@ class ApiServer:
         self.crashes += 1
         self.crashed_mid_session = self.busy
         self._crash_countdown = None
+        if self.artifact_cache is not None:
+            # staged artifacts died with the process's scratch directory
+            self.artifact_cache.invalidate_all()
         self._stats_generation += 1  # silence the heartbeat loop
         session, self.session = self.session, None
         rpc, self._rpc = self._rpc, None

@@ -84,11 +84,16 @@ SPECIAL: frozenset[str] = frozenset(
 
 
 def classify(api: str, flags: OptimizationFlags) -> ApiClass:
-    """Effective class of ``api`` under the given optimization flags."""
+    """Effective class of ``api`` under the given optimization flags.
+
+    BATCHABLE covers every enqueue-only API the guest need not wait on;
+    the guest then either buffers it for a batched flush (``batching``) or
+    forwards it immediately on the pipelined channel (``async_forward``).
+    """
     gate = LOCALIZABLE.get(api)
     if gate is not None:
         if gate == "" or getattr(flags, gate):
             return ApiClass.LOCALIZABLE
-    if api in BATCHABLE and flags.batching:
+    if api in BATCHABLE and (flags.batching or flags.async_forward):
         return ApiClass.BATCHABLE
     return ApiClass.REMOTABLE_SYNC

@@ -31,6 +31,11 @@ class OptimizationFlags:
     #: emulate localizable APIs on the guest (cudaPointerGetAttributes,
     #: __cudaPushCallConfiguration, cudaMallocHost, device-count caching)
     avoid_unnecessary: bool = True
+    #: forward enqueue-only APIs immediately on a pipelined channel instead
+    #: of buffering them for a batched flush; errors are deferred to the
+    #: next synchronization point.  Off by default (and excluded from
+    #: :meth:`all`) so pre-existing timelines stay bit-identical.
+    async_forward: bool = False
 
     @classmethod
     def none(cls) -> "OptimizationFlags":
@@ -39,6 +44,12 @@ class OptimizationFlags:
 
     @classmethod
     def all(cls) -> "OptimizationFlags":
+        """Every §V-C optimization of the paper's ablation (Fig. 4).
+
+        ``async_forward`` is this reproduction's extension beyond the
+        paper's final ablation step, so it stays off here; enable it
+        explicitly with ``all().with_(async_forward=True)``.
+        """
         return cls(True, True, True, True)
 
     def with_(self, **kwargs) -> "OptimizationFlags":
@@ -94,6 +105,14 @@ class DgsfConfig:
     #: monitor declares an API server dead after this long without a
     #: §V-A ③ stats heartbeat (heartbeats arrive every monitor_period_s/2)
     heartbeat_timeout_s: float = 2.0
+    #: capacity of each API server's artifact cache (bytes).  Repeat
+    #: invocations on the same server skip the object-store download for
+    #: cached artifacts; 0 (the default) disables caching entirely so the
+    #: download path is untouched.
+    artifact_cache_bytes: int = 0
+    #: backpressure bound for async forwarding: at most this many
+    #: enqueue-only calls may be unharvested in flight per guest
+    async_max_in_flight: int = 64
 
     def __post_init__(self):
         if self.num_gpus <= 0:
@@ -122,6 +141,10 @@ class DgsfConfig:
             raise ConfigurationError("rpc_retry_backoff_s must be non-negative")
         if self.heartbeat_timeout_s <= 0:
             raise ConfigurationError("heartbeat_timeout_s must be positive")
+        if self.artifact_cache_bytes < 0:
+            raise ConfigurationError("artifact_cache_bytes must be non-negative")
+        if self.async_max_in_flight <= 0:
+            raise ConfigurationError("async_max_in_flight must be positive")
 
     @property
     def sharing_enabled(self) -> bool:

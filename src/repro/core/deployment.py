@@ -321,6 +321,10 @@ class _DgsfLease:
     def gpu(self) -> GuestLibrary:
         return self._bundle.guest
 
+    @property
+    def api_server(self):
+        return self._bundle.api_server
+
     def release(self) -> Generator:
         yield from self._provider._release(self._bundle)
         return None
@@ -385,6 +389,7 @@ class DgsfGpuProvider:
                 rpc_timeout_s=dep.config.rpc_timeout_s,
                 rpc_max_retries=dep.config.rpc_max_retries,
                 rpc_retry_backoff_s=dep.config.rpc_retry_backoff_s,
+                async_max_in_flight=dep.config.async_max_in_flight,
             )
             kernel_names = fc.params.get("kernel_names", dep.kernels.names())
             # The attach handshake happens here; workloads time their own
@@ -401,6 +406,26 @@ class DgsfGpuProvider:
             raise
         bundle = GuestGpuBundle(guest, api_server, connection, rpc_server)
         return _DgsfLease(self, bundle, fc)
+
+    def artifact_cache_for(self, fc: FunctionContext) -> Generator:
+        """Resolve the artifact cache of the API server serving ``fc``.
+
+        Called from :meth:`FunctionContext.download`.  With caching off
+        (the default) this returns None without consuming simulated time,
+        leaving the download path — and the event timeline — untouched.
+
+        With caching on, the GPU must be acquired *before* the download so
+        the server identity (and hence its local cache) is known; that is
+        the structural cost of server-side caching, traded against warm
+        downloads dropping from seconds to milliseconds.  ``acquire_gpu``
+        is idempotent, so the workload's own later call is a no-op.
+        """
+        if self.deployment.config.artifact_cache_bytes <= 0:
+            return None
+        if fc.spec is None or fc.spec.gpu_mem_bytes <= 0:
+            return None  # CPU-only function: never grab a GPU for a download
+        yield from fc.acquire_gpu()
+        return fc._gpu_lease.api_server.artifact_cache
 
     def _release(self, bundle: GuestGpuBundle) -> Generator:
         server = bundle.api_server

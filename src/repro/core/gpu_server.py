@@ -185,6 +185,8 @@ class GpuServer:
             raise SimulationError("cannot shut down with busy API servers")
         for server in self.api_servers:
             server.stop_serving()
+            if server.artifact_cache is not None:
+                server.artifact_cache.invalidate_all()
             ctx = server.contexts[server.home_device_id]
             # own handles
             if server._own_cudnn is not None:

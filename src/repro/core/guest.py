@@ -12,6 +12,10 @@ optimization flags a call is:
   from the guest-side descriptor pool),
 * **batched** — appended to a local buffer of enqueue-only calls and
   shipped in a single message at the next synchronization point,
+* **async-forwarded** — sent immediately on the pipelined RPC channel
+  without waiting for the reply; remote failures are deferred and surface
+  at the next synchronization point (``cudaStreamSynchronize`` /
+  ``cudaDeviceSynchronize`` / a D2H copy — any synchronous round trip),
 * **remoted** — one synchronous round trip to the API server.
 
 Counters record intercepted vs forwarded calls so the evaluation can
@@ -36,7 +40,7 @@ from repro.simcuda.costs import CostModel, DEFAULT_COSTS
 from repro.simcuda.cudnn import DESCRIPTOR_KINDS
 from repro.simcuda.errors import CudaError, cudaError
 from repro.simcuda.runtime import PointerAttributes
-from repro.simnet.rpc import RpcClient, RpcError, RpcTimeout
+from repro.simnet.rpc import PendingReply, RpcClient, RpcError, RpcTimeout
 from repro.core.classify import ApiClass, classify
 from repro.core.config import OptimizationFlags
 
@@ -100,6 +104,7 @@ class GuestLibrary:
         rpc_timeout_s: float = 0.0,
         rpc_max_retries: int = 2,
         rpc_retry_backoff_s: float = 0.25,
+        async_max_in_flight: int = 64,
     ):
         self.env = env
         self.rpc = rpc
@@ -110,6 +115,8 @@ class GuestLibrary:
         self.rpc_timeout_s = rpc_timeout_s
         self.rpc_max_retries = rpc_max_retries
         self.rpc_retry_backoff_s = rpc_retry_backoff_s
+        #: async-forward backpressure: cap on unharvested in-flight calls
+        self.async_max_in_flight = max(1, async_max_in_flight)
         self.attached = False
         # guest-side caches/state
         self._device_allocs: dict[int, int] = {}      # va -> size
@@ -120,10 +127,17 @@ class GuestLibrary:
         self._device_count: Optional[int] = None
         self._push_config: Optional[tuple] = None
         self._batch: list[tuple[str, tuple, int]] = []
+        # async-forward state: unharvested in-flight calls (FIFO) and the
+        # first remote failure awaiting the next synchronization point
+        self._pending: list[PendingReply] = []
+        self._deferred_error: Optional[Exception] = None
         # counters
         self.calls_intercepted = 0
         self.calls_localized = 0
         self.calls_batched = 0
+        self.calls_async_forwarded = 0
+        self.async_deferred_errors = 0
+        self.async_replies_lost = 0
         self.rpc_timeouts = 0
         self.rpc_retries = 0
 
@@ -144,6 +158,16 @@ class GuestLibrary:
     def messages_sent(self) -> int:
         return self.rpc.messages_sent
 
+    @property
+    def async_in_flight(self) -> int:
+        """Async-forwarded calls currently awaiting harvest."""
+        return len(self._pending)
+
+    @property
+    def max_async_in_flight_seen(self) -> int:
+        """High-water pipelining depth observed on the connection."""
+        return self.rpc.max_in_flight
+
     # -- attach ------------------------------------------------------------------------
     def attach(self, kernel_names: list[str]) -> Generator:
         """Step ② of §V-A: register kernels with the API server.
@@ -158,8 +182,18 @@ class GuestLibrary:
         self.attached = True
 
     def detach(self) -> Generator:
-        """Flush outstanding batched work before the connection closes."""
+        """Flush outstanding batched work before the connection closes.
+
+        Async-forwarded calls still in flight are abandoned (their replies
+        are no longer deliverable once the connection closes) and any
+        deferred error is discarded — detach is process exit, not a
+        synchronization point.
+        """
         yield from self._flush()
+        for pending in self._pending:
+            pending.abandon()
+        self._pending = []
+        self._deferred_error = None
         self.attached = False
 
     # -- plumbing ----------------------------------------------------------------------
@@ -205,11 +239,23 @@ class GuestLibrary:
             except RpcError as exc:
                 raise _translate_remote_error(exc) from None
             else:
+                # Every synchronous round trip is a synchronization point:
+                # harvest async-forwarded completions and surface the first
+                # deferred failure (tentpole semantics).  No-ops unless
+                # async forwarding is active.
+                if self._pending:
+                    self._drain_pending()
+                if self._deferred_error is not None:
+                    err, self._deferred_error = self._deferred_error, None
+                    raise err
                 return result
 
     def _enqueue(self, method: str, args: tuple, extra_bytes: int = 0) -> Generator:
-        """Batch (or immediately remote) an enqueue-only call."""
-        if self.flags.batching:
+        """Forward an enqueue-only call per the active optimization flags:
+        pipelined async forwarding, the batch buffer, or a sync RPC."""
+        if self.flags.async_forward:
+            yield from self._forward_async(method, args, extra_bytes)
+        elif self.flags.batching:
             self.calls_batched += 1
             self._batch.append((method, args, extra_bytes))
             if len(self._batch) >= self.batch_flush_threshold:
@@ -218,6 +264,72 @@ class GuestLibrary:
         else:
             # without batching every enqueue is its own synchronous RPC
             yield from self._remote(method, *args, extra_bytes=extra_bytes)
+
+    def _forward_async(self, method: str, args: tuple, extra_bytes: int) -> Generator:
+        """Send an enqueue-only call immediately on the pipelined channel.
+
+        The guest does not wait for the reply; the server starts executing
+        (and enqueuing device work) while the function keeps running, so
+        server dispatch and GPU time overlap host compute instead of being
+        deferred to the next flush.  Ordering with batched flushes is
+        preserved: anything sitting in the batch buffer leaves first, and
+        the connection is FIFO.
+        """
+        if self._batch:
+            self._flush_now()
+        while len(self._pending) >= self.async_max_in_flight:
+            # backpressure: absorb the oldest in-flight call before sending
+            yield from self._absorb_oldest()
+        self.calls_async_forwarded += 1
+        self._pending.append(
+            self.rpc.call_async(method, *args, extra_bytes=extra_bytes)
+        )
+        yield self.env.timeout(self.costs.api_call_local_s)
+
+    def _absorb_oldest(self) -> Generator:
+        """Blocking harvest of the oldest in-flight async call (backpressure
+        path).  Failures are deferred, not raised — this is not a
+        synchronization point."""
+        pending = self._pending.pop(0)
+        timeout_s = self.rpc_timeout_s if self.rpc_timeout_s > 0 else None
+        try:
+            yield from pending.wait(timeout_s=timeout_s)
+        except RpcTimeout:
+            self.rpc_timeouts += 1
+            self.async_replies_lost += 1
+            self._defer(GuestRpcError(
+                f"async {pending.method} reply lost (msg {pending.msg_id})"
+            ))
+        except RpcError as exc:
+            self._defer(_translate_remote_error(exc))
+
+    def _drain_pending(self) -> None:
+        """Harvest async completions at a synchronization point.
+
+        The connection is FIFO per direction and the server dispatches
+        sequentially, so by the time the sync reply arrived every earlier
+        async reply has too — anything missing was lost to a fault
+        (dropped reply, server crash) and is abandoned.
+        """
+        pending, self._pending = self._pending, []
+        for p in pending:
+            if p.arrived:
+                try:
+                    p.result()
+                except RpcError as exc:
+                    self._defer(_translate_remote_error(exc))
+            else:
+                p.abandon()
+                self.async_replies_lost += 1
+                self._defer(GuestRpcError(
+                    f"async {p.method} reply lost (msg {p.msg_id})"
+                ))
+
+    def _defer(self, err: Exception) -> None:
+        """Record a failed async-forwarded call for the next sync point."""
+        self.async_deferred_errors += 1
+        if self._deferred_error is None:
+            self._deferred_error = err
 
     def _flush(self) -> Generator:
         if self._batch:

@@ -19,8 +19,11 @@ __all__ = [
     "WorkloadStats",
     "RunStats",
     "OutcomeSummary",
+    "CommStats",
+    "CacheStats",
     "summarize_invocations",
     "summarize_outcomes",
+    "summarize_caches",
 ]
 
 #: invocation states that mean "the platform is done with it"
@@ -100,6 +103,108 @@ def summarize_invocations(invocations: list[Invocation]) -> RunStats:
         provider_e2e_s=provider_e2e,
         function_e2e_sum_s=e2e_sum,
         per_workload=per,
+    )
+
+
+@dataclass(frozen=True)
+class CommStats:
+    """Communication-path summary of one guest's lifetime.
+
+    Captures the latency-hiding counters: how deep the pipelined channel
+    ran (``max_in_flight``), how many enqueue-only calls were forwarded
+    asynchronously vs batched, and how many async failures were deferred
+    to (or lost before) a synchronization point.
+    """
+
+    calls_intercepted: int
+    calls_localized: int
+    calls_batched: int
+    calls_async_forwarded: int
+    messages_sent: int
+    max_in_flight: int
+    async_deferred_errors: int
+    async_replies_lost: int
+    rpc_timeouts: int
+    rpc_retries: int
+
+    @classmethod
+    def from_guest(cls, guest) -> "CommStats":
+        return cls(
+            calls_intercepted=guest.calls_intercepted,
+            calls_localized=guest.calls_localized,
+            calls_batched=guest.calls_batched,
+            calls_async_forwarded=guest.calls_async_forwarded,
+            messages_sent=guest.messages_sent,
+            max_in_flight=guest.rpc.max_in_flight,
+            async_deferred_errors=guest.async_deferred_errors,
+            async_replies_lost=guest.async_replies_lost,
+            rpc_timeouts=guest.rpc_timeouts,
+            rpc_retries=guest.rpc_retries,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "calls_intercepted": self.calls_intercepted,
+            "calls_localized": self.calls_localized,
+            "calls_batched": self.calls_batched,
+            "calls_async_forwarded": self.calls_async_forwarded,
+            "messages_sent": self.messages_sent,
+            "max_in_flight": self.max_in_flight,
+            "async_deferred_errors": self.async_deferred_errors,
+            "async_replies_lost": self.async_replies_lost,
+            "rpc_timeouts": self.rpc_timeouts,
+            "rpc_retries": self.rpc_retries,
+        }
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Aggregate artifact-cache effectiveness across API servers."""
+
+    hits: int
+    misses: int
+    hit_bytes: int
+    miss_bytes: int
+    evictions: int
+    invalidations: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_bytes": self.hit_bytes,
+            "miss_bytes": self.miss_bytes,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+def summarize_caches(api_servers) -> CacheStats:
+    """Sum artifact-cache counters over API servers (caches may be None)."""
+    hits = misses = hit_bytes = miss_bytes = evictions = invalidations = 0
+    for server in api_servers:
+        cache = getattr(server, "artifact_cache", None)
+        if cache is None:
+            continue
+        hits += cache.hits
+        misses += cache.misses
+        hit_bytes += cache.hit_bytes
+        miss_bytes += cache.miss_bytes
+        evictions += cache.evictions
+        invalidations += cache.invalidations
+    return CacheStats(
+        hits=hits,
+        misses=misses,
+        hit_bytes=hit_bytes,
+        miss_bytes=miss_bytes,
+        evictions=evictions,
+        invalidations=invalidations,
     )
 
 

@@ -4,7 +4,8 @@ The real DGSF generates its remoting layer from API lists, and debugging
 it means staring at call traces.  :class:`CallTrace` provides the
 equivalent facility here: attach one to a :class:`~repro.core.guest
 .GuestLibrary` and every interposed call is recorded with its timestamp,
-classification outcome (localized / batched / remoted) and duration.
+classification outcome (localized / batched / async-forwarded / remoted)
+and duration.
 
 Traces answer questions like "which calls dominate this workload's
 remoting overhead?" and back the call-mix numbers in EXPERIMENTS.md.
@@ -25,7 +26,7 @@ class CallRecord:
 
     t: float
     api: str
-    #: "local" | "batched" | "remote"
+    #: "local" | "batched" | "async" | "remote"
     route: str
     duration_s: float
 
@@ -91,11 +92,14 @@ def attach_trace(guest, trace: Optional[CallTrace] = None) -> CallTrace:
             t0 = env.now
             local0 = guest.calls_localized
             batch0 = guest.calls_batched
+            async0 = getattr(guest, "calls_async_forwarded", 0)
             result = yield from method(*args, **kwargs)
             if guest.calls_localized > local0:
                 route = "local"
             elif guest.calls_batched > batch0:
                 route = "batched"
+            elif getattr(guest, "calls_async_forwarded", 0) > async0:
+                route = "async"
             else:
                 route = "remote"
             trace.add(CallRecord(t=t0, api=name, route=route,

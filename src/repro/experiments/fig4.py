@@ -12,7 +12,10 @@ Cumulative configurations (paper order):
 1. ``none`` — unoptimized DGSF,
 2. ``+handle_pooling`` — pre-created contexts and cuDNN/cuBLAS handles,
 3. ``+descriptor_pooling`` — guest-side descriptor pooling,
-4. ``+batching`` — batching + unnecessary-API avoidance (full DGSF).
+4. ``+batching`` — batching + unnecessary-API avoidance (full DGSF),
+5. ``+async`` — this reproduction's extension beyond the paper: enqueue-
+   only calls forwarded immediately on the pipelined RPC channel, so
+   server dispatch and GPU work overlap guest-side compute.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ ABLATION_STEPS: list[tuple[str, OptimizationFlags]] = [
         OptimizationFlags.none().with_(handle_pooling=True, descriptor_pooling=True),
     ),
     ("+batching", OptimizationFlags.all()),
+    ("+async", OptimizationFlags.all().with_(async_forward=True)),
 ]
 
 

@@ -148,11 +148,28 @@ class FunctionContext:
         return result
 
     def download(self, names: list[str]) -> Generator:
-        """Download objects, accounted to the 'download' phase."""
+        """Download objects, accounted to the 'download' phase.
+
+        When the GPU provider offers an API-server-local artifact cache
+        (``artifact_cache_for``, see :mod:`repro.core.deployment`), the
+        download is serviced through it — repeat invocations on the same
+        server skip the object-store GET.  With no provider or the cache
+        disabled, the plain object-store path is taken unchanged.
+        """
         if self.storage is None:
             raise ConfigurationError("no object store configured")
+        provider = self.platform.gpu_provider
+        hook = getattr(provider, "artifact_cache_for", None)
+        cache = None
+        if hook is not None:
+            cache = yield from hook(self)
+        if cache is None:
+            return (yield from self.timed_phase(
+                "download", self.storage.download_many(self.host, names)
+            ))
         return (yield from self.timed_phase(
-            "download", self.storage.download_many(self.host, names)
+            "download",
+            self.storage.download_through_cache(self.host, names, cache),
         ))
 
 

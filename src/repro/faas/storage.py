@@ -16,6 +16,7 @@ on Lambda (§VIII-B).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Generator, Optional
 
@@ -26,7 +27,7 @@ from repro.sim.core import Environment
 from repro.sim.sharing import FairShareEngine
 from repro.simnet.net import Host
 
-__all__ = ["StorageProfile", "ObjectStore", "S3_DEFAULT", "S3_LAMBDA"]
+__all__ = ["StorageProfile", "ObjectStore", "ArtifactCache", "S3_DEFAULT", "S3_LAMBDA"]
 
 
 @dataclass(frozen=True)
@@ -57,6 +58,82 @@ S3_LAMBDA = StorageProfile(
     get_latency_s=0.050,
     per_stream_range=(50e6, 110e6),
 )
+
+
+class ArtifactCache:
+    """API-server-local LRU cache of downloaded artifacts.
+
+    Keeps models/inputs staged on the API server's machine so repeat
+    invocations of a function on the same server skip the object-store
+    GET entirely — the dominant setup cost for warm invocations (cf. the
+    setup-path caching of arXiv:2404.14691).  Capacity is in bytes
+    (:attr:`~repro.core.config.DgsfConfig.artifact_cache_bytes`); entries
+    are evicted least-recently-used.  The cache is host-side state, so it
+    survives GPU-to-GPU migration of its API server, but it dies with the
+    server process: :meth:`invalidate_all` is called on crash/teardown.
+    """
+
+    def __init__(self, capacity_bytes: int, hit_latency_s: float = 0.002):
+        if capacity_bytes <= 0:
+            raise ConfigurationError("ArtifactCache needs a positive capacity")
+        self.capacity_bytes = int(capacity_bytes)
+        #: local staging cost charged per cache hit (ms-scale: the bytes
+        #: are already on the machine, only a lookup + mmap remains)
+        self.hit_latency_s = hit_latency_s
+        self._entries: OrderedDict[str, int] = OrderedDict()
+        self.used_bytes = 0
+        # counters surfaced via core.stats/core.tracing
+        self.hits = 0
+        self.misses = 0
+        self.hit_bytes = 0
+        self.miss_bytes = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, name: str) -> Optional[int]:
+        """Return the cached size of ``name`` (touching LRU) or None."""
+        size = self._entries.get(name)
+        if size is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(name)
+        self.hits += 1
+        self.hit_bytes += size
+        return size
+
+    def insert(self, name: str, size_bytes: int) -> None:
+        """Admit an artifact, evicting LRU entries to make room.
+
+        Objects larger than the whole cache are not admitted (they would
+        evict everything for a guaranteed future miss).
+        """
+        size = int(size_bytes)
+        if size > self.capacity_bytes:
+            self.miss_bytes += size
+            return
+        self.miss_bytes += size
+        if name in self._entries:
+            self.used_bytes -= self._entries.pop(name)
+        while self.used_bytes + size > self.capacity_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self.used_bytes -= evicted
+            self.evictions += 1
+        self._entries[name] = size
+        self.used_bytes += size
+
+    def invalidate_all(self) -> None:
+        """Drop everything (server crash / teardown: the staging directory
+        died with the process)."""
+        if self._entries:
+            self.invalidations += 1
+        self._entries.clear()
+        self.used_bytes = 0
 
 
 class ObjectStore:
@@ -124,6 +201,34 @@ class ObjectStore:
         ]
         yield self.env.all_of(procs)
         return sum(p.value for p in procs)
+
+    def download_through_cache(
+        self, host: Host | str, names: list[str], cache: ArtifactCache
+    ) -> Generator:
+        """Like :meth:`download_many`, but serviced from an API-server-local
+        :class:`ArtifactCache` first.
+
+        Cache hits cost only the cache's local staging latency (charged
+        once — staging is local and parallel); misses go to the object
+        store concurrently and are admitted to the cache on completion.
+        Returns total bytes made available (hit + miss).
+        """
+        hit_bytes = 0
+        misses: list[str] = []
+        for name in names:
+            size = cache.lookup(name)
+            if size is None:
+                misses.append(name)
+            else:
+                hit_bytes += size
+        if hit_bytes:
+            yield self.env.timeout(cache.hit_latency_s)
+        miss_bytes = 0
+        if misses:
+            miss_bytes = yield from self.download_many(host, misses)
+            for name in misses:
+                cache.insert(name, self.object_size(name))
+        return hit_bytes + miss_bytes
 
     # -- internals --------------------------------------------------------------------
     def _capacity_for(self, host_name: str) -> float:

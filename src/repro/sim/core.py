@@ -18,6 +18,11 @@ from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
 
+# Bound at module level: the scheduler calls these once per event, so the
+# repeated ``heapq.`` attribute lookup is measurable on large scenarios.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 __all__ = [
     "Environment",
     "Event",
@@ -404,7 +409,7 @@ class Environment:
     # -- scheduling / running ------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        _heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -412,10 +417,10 @@ class Environment:
 
     def step(self) -> None:
         """Process the next event; raises :class:`SimulationError` if empty."""
-        try:
-            when, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise SimulationError("no scheduled events") from None
+        queue = self._queue
+        if not queue:
+            raise SimulationError("no scheduled events")
+        when, _, _, event = _heappop(queue)
         if event._cancelled:
             # Cancelled before processing: drop silently, do not advance time.
             event.callbacks = None
@@ -460,9 +465,14 @@ class Environment:
             if deadline < self._now:
                 raise ValueError(f"until={deadline} is in the past (now={self._now})")
 
+        # Hot loop: bind the queue and step locally and index the heap head
+        # directly instead of going through peek() — on event-heavy scenarios
+        # the attribute/property overhead dominates otherwise.
+        queue = self._queue
+        step = self.step
         try:
-            while self._queue and self.peek() <= deadline:
-                self.step()
+            while queue and queue[0][0] <= deadline:
+                step()
         except StopSimulation:
             assert stop_event is not None
             if stop_event._ok:

@@ -211,19 +211,26 @@ class Store:
         self._getters = [(f, e) for (f, e) in self._getters if e is not event]
 
     def _trigger(self) -> None:
+        items = self.items
+        putters = self._putters
         # Admit pending puts while there is capacity.
-        while self._putters and len(self.items) < self.capacity:
-            item, event = self._putters.pop(0)
-            self.items.append(item)
+        while putters and len(items) < self.capacity:
+            item, event = putters.pop(0)
+            items.append(item)
             event.succeed()
+        # Fast path: nothing to match.  put() with no waiting getter and
+        # get() on an empty store both land here — the two most common
+        # cases on the RPC message path.
+        if not self._getters or not items:
+            return
         # Satisfy getters (each scans for its first matching item).
         made_progress = True
         while made_progress:
             made_progress = False
             for gi, (flt, event) in enumerate(self._getters):
-                for ii, item in enumerate(self.items):
+                for ii, item in enumerate(items):
                     if flt is None or flt(item):
-                        self.items.pop(ii)
+                        items.pop(ii)
                         self._getters.pop(gi)
                         event.succeed(item)
                         made_progress = True
@@ -231,8 +238,8 @@ class Store:
                 if made_progress:
                     break
             # New space may admit queued putters.
-            while self._putters and len(self.items) < self.capacity:
-                item, event = self._putters.pop(0)
-                self.items.append(item)
+            while putters and len(items) < self.capacity:
+                item, event = putters.pop(0)
+                items.append(item)
                 event.succeed()
                 made_progress = True

@@ -6,7 +6,11 @@ an API server.  It supports:
 * synchronous calls (``yield from client.call(...)``) — one round trip,
 * one-way calls (no reply awaited) — used for enqueue-only APIs,
 * batch calls — several requests in a single message, amortizing the
-  per-message latency (the "batching" optimization of §V-C).
+  per-message latency (the "batching" optimization of §V-C),
+* pipelined calls (:meth:`RpcClient.call_async`) — multiple requests in
+  flight on one connection, each returning a :class:`PendingReply` that
+  is harvested later.  The connection is FIFO in both directions and the
+  server dispatches sequentially, so replies arrive in request order.
 
 Handlers on the server side are generator functions so they can consume
 simulated time (e.g. launch a kernel and wait for it).
@@ -30,6 +34,7 @@ __all__ = [
     "RpcServer",
     "RpcError",
     "RpcTimeout",
+    "PendingReply",
 ]
 
 
@@ -77,6 +82,79 @@ class RpcReply:
         return 16 + payload_size(self.value) + (payload_size(self.error) if self.error else 0)
 
 
+class PendingReply:
+    """Handle for a pipelined request whose reply will arrive later.
+
+    Created by :meth:`RpcClient.call_async`.  The request is already on
+    the wire; the handle owns the matching receive.  Harvest it with
+    :meth:`wait` (blocking, optionally bounded), or — once :attr:`arrived`
+    is true — non-blocking :meth:`result`.  :meth:`abandon` withdraws the
+    receive without consuming a reply (lost-reply cleanup).  Each handle
+    is harvested at most once; the client's in-flight depth drops when it
+    is.
+    """
+
+    __slots__ = ("client", "msg_id", "method", "_recv", "_done")
+
+    def __init__(self, client: "RpcClient", msg_id: int, method: str, recv):
+        self.client = client
+        self.msg_id = msg_id
+        self.method = method
+        self._recv = recv
+        self._done = False
+
+    @property
+    def arrived(self) -> bool:
+        """True once the reply has been matched out of the inbox."""
+        return self._recv.triggered or self._recv.processed
+
+    def _finish(self) -> None:
+        if not self._done:
+            self._done = True
+            self.client._in_flight_done()
+
+    def _unwrap(self, reply: RpcReply) -> Any:
+        if reply.error is not None:
+            raise RpcError(f"remote {self.method} failed: {reply.error}")
+        return reply.value
+
+    def result(self) -> Any:
+        """Return the reply value (or raise :class:`RpcError`) without
+        blocking; only valid once :attr:`arrived` is true."""
+        if not self.arrived:
+            raise RpcError(f"reply to {self.method} (msg {self.msg_id}) not arrived")
+        self._finish()
+        return self._unwrap(self._recv.value)
+
+    def wait(self, timeout_s: Optional[float] = None) -> Generator:
+        """Block until the reply arrives (``yield from`` this).
+
+        With ``timeout_s`` the wait is bounded: :class:`RpcTimeout` is
+        raised if no reply arrives in time (the pending receive is
+        withdrawn so a late reply stays deliverable to a retry).
+        """
+        if timeout_s is None:
+            reply = yield self._recv
+        else:
+            deadline = self.client.env.timeout(timeout_s)
+            yield self.client.env.any_of([self._recv, deadline])
+            if not self._recv.processed and not self._recv.triggered:
+                self.abandon()
+                raise RpcTimeout(
+                    f"no reply to {self.method} (msg {self.msg_id}) within {timeout_s}s"
+                )
+            deadline.cancel()
+            reply = self._recv.value
+        self._finish()
+        return self._unwrap(reply)
+
+    def abandon(self) -> None:
+        """Withdraw the pending receive without consuming a reply."""
+        if not self.arrived:
+            self.client.endpoint.inbox.cancel_get(self._recv)
+        self._finish()
+
+
 class RpcClient:
     """Client side: issues requests over an endpoint, matches replies by id."""
 
@@ -86,10 +164,50 @@ class RpcClient:
         #: counters used by the evaluation to report "forwarded API" counts
         self.calls_sent = 0
         self.messages_sent = 0
+        #: pipelining depth accounting (requests sent but not yet harvested)
+        self.in_flight = 0
+        self.max_in_flight = 0
+        self.replies_harvested = 0
 
     @property
     def env(self) -> Environment:
         return self.endpoint.env
+
+    def _in_flight_done(self) -> None:
+        self.in_flight -= 1
+        self.replies_harvested += 1
+
+    def call_async(
+        self,
+        method: str,
+        *args: Any,
+        extra_bytes: int = 0,
+        reply_extra_bytes: int = 0,
+        **kwargs: Any,
+    ) -> PendingReply:
+        """Send a request without waiting; returns a :class:`PendingReply`.
+
+        Multiple requests may be in flight on the connection at once.  The
+        link is FIFO per direction and the server dispatches sequentially,
+        so replies complete in request order.
+        """
+        msg_id = next(self._ids)
+        request = RpcRequest(
+            msg_id=msg_id,
+            method=method,
+            args=args,
+            kwargs=kwargs,
+            extra_bytes=extra_bytes,
+        )
+        request._reply_extra = reply_extra_bytes  # hint carried to the server
+        self.calls_sent += 1
+        self.messages_sent += 1
+        self.in_flight += 1
+        if self.in_flight > self.max_in_flight:
+            self.max_in_flight = self.in_flight
+        self.endpoint.send(request, extra_bytes=extra_bytes)
+        match = lambda m: isinstance(m, RpcReply) and m.msg_id == msg_id
+        return PendingReply(self, msg_id, method, self.endpoint.recv(match))
 
     def call(
         self,
@@ -108,35 +226,14 @@ class RpcClient:
         arrives in time (the pending receive is withdrawn so a late reply
         stays deliverable to a retry).
         """
-        msg_id = next(self._ids)
-        request = RpcRequest(
-            msg_id=msg_id,
-            method=method,
-            args=args,
-            kwargs=kwargs,
+        pending = self.call_async(
+            method,
+            *args,
             extra_bytes=extra_bytes,
+            reply_extra_bytes=reply_extra_bytes,
+            **kwargs,
         )
-        request._reply_extra = reply_extra_bytes  # hint carried to the server
-        self.calls_sent += 1
-        self.messages_sent += 1
-        self.endpoint.send(request, extra_bytes=extra_bytes)
-        match = lambda m: isinstance(m, RpcReply) and m.msg_id == msg_id
-        if timeout_s is None:
-            reply = yield self.endpoint.recv(match)
-        else:
-            recv = self.endpoint.recv(match)
-            deadline = self.env.timeout(timeout_s)
-            yield self.env.any_of([recv, deadline])
-            if not recv.processed and not recv.triggered:
-                self.endpoint.inbox.cancel_get(recv)
-                raise RpcTimeout(
-                    f"no reply to {method} (msg {msg_id}) within {timeout_s}s"
-                )
-            deadline.cancel()
-            reply = recv.value
-        if reply.error is not None:
-            raise RpcError(f"remote {method} failed: {reply.error}")
-        return reply.value
+        return (yield from pending.wait(timeout_s=timeout_s))
 
     def call_oneway(self, method: str, *args: Any, extra_bytes: int = 0, **kwargs: Any) -> None:
         """Fire-and-forget request (no reply; still costs one message)."""

@@ -26,9 +26,13 @@ def covid_gpu_phase(fc, params: WorkloadParams) -> Generator:
     env = fc.env
 
     t0 = env.now
+    # only gpu_queue accrued inside this window counts as queueing here
+    # (early acquisition by the artifact-cache path records it earlier)
+    q0 = fc.invocation.phases.get("gpu_queue", 0.0)
     gpu = yield from fc.acquire_gpu()
     yield from gpu.cudaGetDeviceCount()
-    fc.add_phase("cuda_init", env.now - t0 - fc.invocation.phases.get("gpu_queue", 0.0))
+    queued = fc.invocation.phases.get("gpu_queue", 0.0) - q0
+    fc.add_phase("cuda_init", env.now - t0 - queued)
 
     # -- model load: both models, arenas coexisting --
     t0 = env.now

@@ -21,9 +21,14 @@ def onnx_gpu_phase(fc, params: WorkloadParams) -> Generator:
     env = fc.env
 
     t0 = env.now
+    # gpu_queue accrued before this window (e.g. early acquisition by the
+    # artifact-cache path) must not be charged against cuda_init: only the
+    # delta accrued inside the window is queueing, the rest is init.
+    q0 = fc.invocation.phases.get("gpu_queue", 0.0)
     gpu = yield from fc.acquire_gpu()
     yield from gpu.cudaGetDeviceCount()
-    fc.add_phase("cuda_init", env.now - t0 - fc.invocation.phases.get("gpu_queue", 0.0))
+    queued = fc.invocation.phases.get("gpu_queue", 0.0) - q0
+    fc.add_phase("cuda_init", env.now - t0 - queued)
 
     t0 = env.now
     session = OnnxInferenceSession(env, gpu, params.spec)

@@ -1,0 +1,181 @@
+"""API-server artifact cache: LRU policy, download integration, lifecycle.
+
+The cache keeps models/inputs staged on the API server's machine so warm
+repeats skip the object-store GET; it is invalidated on server crash and
+teardown (the staging directory dies with the process).
+"""
+
+import pytest
+
+from repro.core.config import DgsfConfig
+from repro.core.deployment import DgsfDeployment
+from repro.errors import ConfigurationError
+from repro.faas.storage import ArtifactCache, ObjectStore
+from repro.sim import Environment
+from repro.workloads import register_workloads
+
+
+# --- LRU policy (pure unit tests) --------------------------------------------
+
+def test_lru_eviction_order_respects_recency():
+    cache = ArtifactCache(100)
+    cache.insert("a", 60)
+    cache.insert("b", 30)
+    assert cache.lookup("a") == 60  # touch: a is now most-recent
+    cache.insert("c", 30)  # needs room: evicts b, not a
+    assert "a" in cache and "c" in cache and "b" not in cache
+    assert cache.used_bytes == 90
+    assert cache.evictions == 1
+
+
+def test_oversized_object_is_not_admitted():
+    cache = ArtifactCache(100)
+    cache.insert("small", 40)
+    cache.insert("huge", 1000)  # would evict everything for a sure miss
+    assert "huge" not in cache
+    assert "small" in cache
+    assert cache.evictions == 0
+
+
+def test_reinsert_replaces_and_counters_track_bytes():
+    cache = ArtifactCache(100)
+    assert cache.lookup("x") is None
+    cache.insert("x", 40)
+    cache.insert("x", 70)  # replaced, not duplicated
+    assert cache.used_bytes == 70
+    assert cache.lookup("x") == 70
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_bytes == 70
+
+
+def test_invalidate_all_empties_and_counts_once():
+    cache = ArtifactCache(100)
+    cache.insert("a", 10)
+    cache.insert("b", 20)
+    cache.invalidate_all()
+    assert len(cache) == 0 and cache.used_bytes == 0
+    assert cache.invalidations == 1
+    cache.invalidate_all()  # already empty: not another invalidation
+    assert cache.invalidations == 1
+
+
+def test_cache_requires_positive_capacity():
+    with pytest.raises(ConfigurationError):
+        ArtifactCache(0)
+
+
+# --- download integration ----------------------------------------------------
+
+def test_download_through_cache_skips_store_on_warm_repeat():
+    env = Environment()
+    store = ObjectStore(env)
+    store.put_object("model", 100_000_000)
+    store.put_object("input", 10_000_000)
+    cache = ArtifactCache(1 << 30)
+
+    def run_once():
+        def body():
+            got = yield from store.download_through_cache(
+                "host", ["model", "input"], cache
+            )
+            return got, env.now
+
+        t0 = env.now
+        proc = env.process(body())
+        got, t_end = env.run(until=proc)
+        return got, t_end - t0
+
+    cold_bytes, cold_time = run_once()
+    warm_bytes, warm_time = run_once()
+    assert cold_bytes == warm_bytes == 110_000_000
+    # Warm: only the local staging latency remains.
+    assert warm_time == pytest.approx(cache.hit_latency_s)
+    assert warm_time < cold_time / 10
+    assert cache.hits == 2 and cache.misses == 2
+
+
+# --- deployment lifecycle ----------------------------------------------------
+
+def warm_deployment(workload="kmeans", cache_bytes=4 << 30):
+    dep = DgsfDeployment(DgsfConfig(num_gpus=1, artifact_cache_bytes=cache_bytes))
+    dep.setup()
+    register_workloads(dep.platform, names=[workload])
+    return dep
+
+
+def invoke(dep, workload="kmeans"):
+    inv, proc = dep.platform.invoke(workload)
+    dep.env.run(until=proc)
+    assert inv.status == "completed", inv.result
+    return inv
+
+
+def test_warm_repeat_skips_object_store_download():
+    dep = warm_deployment()
+    cold = invoke(dep)
+    server = dep.gpu_server.api_servers[0]
+    assert server.artifact_cache is not None
+    assert server.artifact_cache.used_bytes > 0  # survives session teardown
+    warm = invoke(dep)
+    assert warm.phases["download"] < cold.phases["download"]
+    assert warm.e2e_s < cold.e2e_s
+    assert server.artifact_cache.hits > 0
+
+
+def test_crash_invalidates_cache():
+    dep = warm_deployment()
+    invoke(dep)
+    server = dep.gpu_server.api_servers[0]
+    cache = server.artifact_cache
+    assert cache.used_bytes > 0
+    server.crash()
+    assert cache.used_bytes == 0
+    assert cache.invalidations == 1
+
+
+def test_shutdown_invalidates_cache():
+    dep = warm_deployment()
+    invoke(dep)
+    caches = [s.artifact_cache for s in dep.gpu_server.api_servers]
+    assert any(c.used_bytes > 0 for c in caches)
+
+    def teardown():
+        yield from dep.gpu_server.shutdown()
+
+    proc = dep.env.process(teardown())
+    dep.env.run(until=proc)
+    assert all(c.used_bytes == 0 for c in caches)
+
+
+def test_cache_disabled_by_default():
+    dep = DgsfDeployment(DgsfConfig(num_gpus=1))
+    dep.setup()
+    register_workloads(dep.platform, names=["kmeans"])
+    assert all(s.artifact_cache is None for s in dep.gpu_server.api_servers)
+    cold = invoke(dep)
+    repeat = invoke(dep)
+    # Without the cache the repeat pays the full download again.
+    assert repeat.phases["download"] == pytest.approx(
+        cold.phases["download"], rel=0.01
+    )
+
+
+def test_cpu_only_functions_never_acquire_a_gpu_for_caching():
+    dep = warm_deployment()
+
+    class FakeSpec:
+        gpu_mem_bytes = 0
+
+    class FakeContext:
+        spec = FakeSpec()
+
+        def acquire_gpu(self):
+            raise AssertionError("CPU-only function must not acquire a GPU")
+            yield  # pragma: no cover
+
+    gen = dep.platform.gpu_provider.artifact_cache_for(FakeContext())
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        assert stop.value is None

@@ -1,0 +1,148 @@
+"""Guest-library async forwarding (pipelined RPC) semantics.
+
+Enqueue-only calls leave immediately on the pipelined channel; remote
+failures are deferred and surface at the next synchronization point;
+backpressure bounds the in-flight depth; lost replies become deferred
+errors instead of hangs.
+"""
+
+import pytest
+
+from repro.core.config import DgsfConfig, OptimizationFlags
+from repro.core.guest import GuestRpcError
+from repro.simcuda.errors import CudaError
+from repro.simnet import LinkFaultInjector
+from repro.testing import make_world
+
+ASYNC_FLAGS = OptimizationFlags.all().with_(async_forward=True)
+
+
+def attach(world, **kwargs):
+    return world.attach_guest(flags=ASYNC_FLAGS, **kwargs)
+
+
+def test_async_launch_returns_immediately_and_drains_at_sync():
+    world = make_world(DgsfConfig(num_gpus=1))
+    guest, api_server, _ = attach(world)
+
+    def body():
+        token = yield from guest.cudaGetFunction("timed")
+        t0 = world.env.now
+        for _ in range(10):
+            yield from guest.cudaLaunchKernel(token, args=(0.001,))
+        issue_time = world.env.now - t0
+        depth_before_sync = guest.async_in_flight
+        yield from guest.cudaDeviceSynchronize()
+        return issue_time, depth_before_sync
+
+    issue_time, depth = world.drive(body())
+    # Issuing 10 launches costs only guest-side time — far less than one
+    # network round trip each (the sync path would pay >= 10 * 2.4 ms).
+    assert issue_time < 0.001
+    assert depth > 0  # replies genuinely outstanding while issuing
+    assert guest.calls_async_forwarded == 10
+    assert guest.max_async_in_flight_seen > 1
+    # The sync point harvested everything.
+    assert guest.async_in_flight == 0
+    assert guest.async_deferred_errors == 0
+    assert api_server.requests_handled >= 11  # 10 launches + sync
+
+
+def test_remote_failure_is_deferred_to_next_sync_point():
+    world = make_world(DgsfConfig(num_gpus=1))
+    guest, _, _ = attach(world)
+
+    def body():
+        # Unknown kernel token: the server raises, but the guest has
+        # already moved on — the error must NOT surface here ...
+        yield from guest.cudaLaunchKernel(0xDEAD_BEEF, args=(0.001,))
+        assert guest._deferred_error is None  # reply not even back yet
+        yield world.env.timeout(0.1)  # host compute; failure arrives meanwhile
+        # ... but at the next synchronization point.
+        with pytest.raises(CudaError):
+            yield from guest.cudaDeviceSynchronize()
+        # The error was consumed: the next sync is clean.
+        yield from guest.cudaDeviceSynchronize()
+
+    world.drive(body())
+    assert guest.async_deferred_errors == 1
+    assert guest.async_in_flight == 0
+
+
+def test_backpressure_caps_in_flight_depth():
+    world = make_world(DgsfConfig(num_gpus=1))
+    guest, _, _ = attach(world, async_max_in_flight=4)
+
+    def body():
+        token = yield from guest.cudaGetFunction("timed")
+        for _ in range(20):
+            yield from guest.cudaLaunchKernel(token, args=(0.0001,))
+            assert guest.async_in_flight <= 4
+        yield from guest.cudaDeviceSynchronize()
+
+    world.drive(body())
+    assert guest.calls_async_forwarded == 20
+    # Sync round trips add at most one to the channel depth.
+    assert guest.rpc.max_in_flight <= 5
+    assert guest.async_in_flight == 0
+    assert guest.async_deferred_errors == 0
+
+
+def test_lost_async_reply_surfaces_as_deferred_error_at_sync():
+    world = make_world(DgsfConfig(num_gpus=1))
+    guest, _, _ = attach(world)
+    conn = guest.rpc.endpoint.connection
+
+    def body():
+        token = yield from guest.cudaGetFunction("timed")
+        now = world.env.now
+        # Drop everything the server sends for the next 100 ms: the async
+        # launch below goes out before the window opens, its reply is
+        # born inside it.
+        conn.faults = LinkFaultInjector(None, partitions=[(now + 1e-4, now + 0.1)])
+        yield from guest.cudaLaunchKernel(token, args=(0.0001,))
+        yield world.env.timeout(0.5)  # host compute; window heals meanwhile
+        with pytest.raises(GuestRpcError, match="reply lost"):
+            yield from guest.cudaDeviceSynchronize()
+
+    world.drive(body())
+    assert guest.async_replies_lost == 1
+    assert guest.async_deferred_errors == 1
+    assert guest.async_in_flight == 0
+
+
+def test_detach_abandons_pending_without_raising():
+    world = make_world(DgsfConfig(num_gpus=1))
+    guest, api_server, rpc_server = attach(world)
+    conn = guest.rpc.endpoint.connection
+
+    def body():
+        token = yield from guest.cudaGetFunction("timed")
+        now = world.env.now
+        conn.faults = LinkFaultInjector(None, partitions=[(now + 1e-4, now + 0.1)])
+        yield from guest.cudaLaunchKernel(token, args=(0.0001,))
+        yield world.env.timeout(0.5)
+
+    world.drive(body())
+    assert guest.async_in_flight == 1
+    conn.faults = None
+    # Process exit is not a synchronization point: no error escapes.
+    world.detach_guest(guest, api_server, rpc_server)
+    assert guest.async_in_flight == 0
+    assert guest._deferred_error is None
+
+
+def test_flags_off_never_touches_async_path():
+    world = make_world(DgsfConfig(num_gpus=1))
+    guest, _, _ = world.attach_guest(flags=OptimizationFlags.all())
+
+    def body():
+        token = yield from guest.cudaGetFunction("timed")
+        for _ in range(5):
+            yield from guest.cudaLaunchKernel(token, args=(0.001,))
+        yield from guest.cudaDeviceSynchronize()
+
+    world.drive(body())
+    assert guest.calls_async_forwarded == 0
+    assert guest.async_in_flight == 0
+    assert guest.calls_batched == 5

@@ -1,0 +1,118 @@
+"""Batching under faults: a retried sync call must not replay the batch.
+
+The guest flushes its batch buffer (one-way) immediately before every
+synchronous round trip.  If that round trip's *reply* is lost and the
+idempotent call is retried, the already-shipped batch must not be sent —
+or applied — a second time: ``_flush_now`` hands the buffer off before
+the send, and the retry loop sits below the flush.
+"""
+
+import pytest
+
+from repro.core.config import DgsfConfig, OptimizationFlags
+from repro.simnet import LinkFaultInjector
+from repro.testing import make_world
+
+
+def test_retried_sync_does_not_replay_batched_calls():
+    world = make_world(DgsfConfig(num_gpus=1))
+    guest, api_server, _ = world.attach_guest(
+        flags=OptimizationFlags.all(),
+        rpc_timeout_s=0.5,
+        rpc_retry_backoff_s=0.25,
+    )
+    conn = guest.rpc.endpoint.connection
+    n_launches = 6
+
+    def body():
+        token = yield from guest.cudaGetFunction("timed")
+        handled_before = api_server.requests_handled
+        for _ in range(n_launches):
+            yield from guest.cudaLaunchKernel(token, args=(0.0001,))
+        assert len(guest._batch) == n_launches  # buffered, nothing sent yet
+        # Open a partition that swallows the sync call's reply (born a few
+        # ms from now) but heals before the retry fires at now+0.75: the
+        # batch and the sync request leave *now*, before the window opens.
+        now = world.env.now
+        conn.faults = LinkFaultInjector(None, partitions=[(now + 1e-4, now + 0.2)])
+        yield from guest.cudaDeviceSynchronize()
+        return handled_before
+
+    handled_before = world.drive(body())
+
+    # The guest saw exactly one lost reply and one retry.
+    assert guest.rpc_timeouts == 1
+    assert guest.rpc_retries == 1
+    assert guest._batch == []
+    # Server side: the batch was applied exactly once (n_launches calls),
+    # the sync twice (original + retry) — never 2 * n_launches.
+    handled = api_server.requests_handled - handled_before
+    assert handled == n_launches + 2
+    # Client side: the batch crossed the wire in exactly one message.
+    assert guest.calls_batched == n_launches
+    assert guest.messages_sent >= 3  # attach/getFunction + batch + 2 syncs
+
+
+def test_flush_threshold_under_faults_still_applies_once():
+    """A threshold-triggered mid-stream flush followed by a retried sync:
+    neither flush may be duplicated by the retry."""
+    world = make_world(DgsfConfig(num_gpus=1))
+    guest, api_server, _ = world.attach_guest(
+        flags=OptimizationFlags.all(),
+        batch_flush_threshold=4,
+        rpc_timeout_s=0.5,
+        rpc_retry_backoff_s=0.25,
+    )
+    conn = guest.rpc.endpoint.connection
+
+    def body():
+        token = yield from guest.cudaGetFunction("timed")
+        handled_before = api_server.requests_handled
+        for _ in range(10):  # two threshold flushes (4+4) + 2 left over
+            yield from guest.cudaLaunchKernel(token, args=(0.0001,))
+        assert len(guest._batch) == 2
+        now = world.env.now
+        conn.faults = LinkFaultInjector(None, partitions=[(now + 1e-4, now + 0.2)])
+        yield from guest.cudaDeviceSynchronize()
+        return handled_before
+
+    handled_before = world.drive(body())
+    assert guest.rpc_retries == 1
+    handled = api_server.requests_handled - handled_before
+    # 10 launches once each + sync applied twice.
+    assert handled == 10 + 2
+    assert guest._batch == []
+
+
+def test_exhausted_retries_fail_cleanly_without_batch_replay():
+    """When every retry reply is lost the guest raises GuestRpcError; the
+    batch still went over exactly once."""
+    from repro.core.guest import GuestRpcError
+
+    world = make_world(DgsfConfig(num_gpus=1))
+    guest, api_server, _ = world.attach_guest(
+        flags=OptimizationFlags.all(),
+        rpc_timeout_s=0.2,
+        rpc_max_retries=1,
+        rpc_retry_backoff_s=0.1,
+    )
+    conn = guest.rpc.endpoint.connection
+
+    def body():
+        token = yield from guest.cudaGetFunction("timed")
+        handled_before = api_server.requests_handled
+        for _ in range(3):
+            yield from guest.cudaLaunchKernel(token, args=(0.0001,))
+        now = world.env.now
+        # Window outlives every retry: all sync replies are lost.
+        conn.faults = LinkFaultInjector(None, partitions=[(now + 1e-4, now + 60.0)])
+        with pytest.raises(GuestRpcError):
+            yield from guest.cudaDeviceSynchronize()
+        return handled_before
+
+    handled_before = world.drive(body())
+    assert guest.rpc_timeouts == 2  # original + 1 retry
+    handled = api_server.requests_handled - handled_before
+    # Batch once, first sync once; the retry's *request* died inside the
+    # partition window.  Crucially not 2 * 3: the batch never re-flushed.
+    assert handled == 3 + 1

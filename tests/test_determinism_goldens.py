@@ -1,0 +1,67 @@
+"""Bit-identical determinism goldens.
+
+These values were captured from the simulator with default flags and no
+faults; they must stay *exactly* equal (``==`` on floats, no approx).
+Anything that reorders event creation, renames/reorders RNG streams, or
+changes the cost model will trip these — which is the point: the async
+pipelining and cache layers must be invisible while their flags are off.
+
+If a change is *supposed* to alter the timeline (a cost-model change, a
+new mandatory phase), re-capture the constants and say so in the commit.
+"""
+
+from repro.core.config import DgsfConfig
+from repro.experiments.runner import run_mixed_scenario, run_single_invocation
+from repro.faas.workload_gen import exponential_gap_arrivals
+from repro.sim.rng import RngRegistry
+
+FACE_ID_DGSF_E2E = 10.632098228949541
+FACE_ID_DGSF_PHASES = {
+    "cuda_init": 0.004890598400006496,
+    "download": 5.6759869257142865,
+    "gpu_queue": 0.004799999999999471,
+    "model_load": 1.0790491612278785,
+    "processing": 3.8575309260073585,
+}
+FACE_ID_UNOPT_E2E = 21.95291271165436
+KMEANS_DGSF_E2E = 11.361748619862041
+MIXED_PROVIDER_E2E = 26.877116275928223
+MIXED_FUNCTION_E2E_SUM = 107.12672355760257
+
+
+def test_single_invocation_timeline_is_bit_identical():
+    inv = run_single_invocation(
+        "face_identification", "dgsf", DgsfConfig(num_gpus=1, seed=0)
+    )
+    assert inv.e2e_s == FACE_ID_DGSF_E2E
+    assert dict(inv.phases) == FACE_ID_DGSF_PHASES
+
+
+def test_unoptimized_timeline_is_bit_identical():
+    inv = run_single_invocation(
+        "face_identification", "dgsf_unopt", DgsfConfig(num_gpus=1, seed=0)
+    )
+    assert inv.e2e_s == FACE_ID_UNOPT_E2E
+
+
+def test_kmeans_timeline_is_bit_identical():
+    inv = run_single_invocation("kmeans", "dgsf", DgsfConfig(num_gpus=1, seed=0))
+    assert inv.e2e_s == KMEANS_DGSF_E2E
+
+
+def test_mixed_scenario_is_bit_identical():
+    plan = exponential_gap_arrivals(
+        ["face_identification", "kmeans"] * 3,
+        mean_gap_s=2.0,
+        rng=RngRegistry(seed=7).stream("arrivals"),
+    )
+    res = run_mixed_scenario(DgsfConfig(num_gpus=2, seed=7), plan)
+    assert res.stats.provider_e2e_s == MIXED_PROVIDER_E2E
+    assert res.stats.function_e2e_sum_s == MIXED_FUNCTION_E2E_SUM
+
+
+def test_repeat_run_reproduces_itself():
+    a = run_single_invocation("kmeans", "dgsf", DgsfConfig(num_gpus=1, seed=3))
+    b = run_single_invocation("kmeans", "dgsf", DgsfConfig(num_gpus=1, seed=3))
+    assert a.e2e_s == b.e2e_s
+    assert dict(a.phases) == dict(b.phases)
