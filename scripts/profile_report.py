@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Trace one invocation (or a mixed run) and emit profiling artifacts.
+
+Runs a workload with span tracing enabled, then writes next to each other:
+
+* ``trace.json`` — Chrome trace-event JSON (load in Perfetto or
+  ``chrome://tracing``),
+* ``breakdown.json`` — per-invocation phase attribution plus p50/p95/p99
+  aggregates,
+* ``metrics.json`` — the metrics-registry snapshot.
+
+It also *validates* the trace: every invocation's root span must equal
+its measured end-to-end latency, and phase spans must attribute at least
+``--min-coverage`` of that time.  A violation exits non-zero, which makes
+this script double as the observability smoke test in ``scripts/verify.sh``.
+
+Usage::
+
+    python scripts/profile_report.py --workload kmeans --out-dir /tmp/prof
+    python scripts/profile_report.py --mixed --copies 3 --min-coverage 0.95
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.config import DgsfConfig
+from repro.experiments.runner import (
+    make_plan,
+    run_mixed_scenario,
+    run_single_invocation_traced,
+)
+from repro.obs import aggregate_breakdowns, breakdown_table_rows, invocation_breakdowns
+from repro.workloads import ALL_WORKLOAD_NAMES
+
+
+def _validate(rows: list[dict], min_coverage: float) -> list[str]:
+    problems = []
+    for row in rows:
+        label = f"invocation {row['invocation_id']} ({row['workload']})"
+        if row.get("e2e_matches_span") is False:
+            problems.append(
+                f"{label}: root span {row['e2e_s']:.6f}s != measured "
+                f"e2e {row['measured_e2e_s']:.6f}s"
+            )
+        if row["coverage"] < min_coverage:
+            problems.append(
+                f"{label}: phase coverage {row['coverage']:.3f} "
+                f"< required {min_coverage}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default="kmeans",
+                        choices=ALL_WORKLOAD_NAMES)
+    parser.add_argument("--variant", default="dgsf",
+                        help="execution variant for single-invocation mode")
+    parser.add_argument("--mixed", action="store_true",
+                        help="trace a mixed-arrival scenario instead of one "
+                             "uncontended invocation")
+    parser.add_argument("--copies", type=int, default=2,
+                        help="instances per workload in --mixed mode")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out-dir", default="profile_out")
+    parser.add_argument("--min-coverage", type=float, default=0.95,
+                        help="minimum fraction of each invocation's e2e time "
+                             "that phase spans must attribute")
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    if args.mixed:
+        config = DgsfConfig(num_gpus=2, seed=args.seed, tracing_enabled=True)
+        plan = make_plan("exponential", seed=args.seed, copies=args.copies)
+        result = run_mixed_scenario(config, plan)
+        dep, invocations = result.deployment, result.invocations
+    else:
+        inv, dep = run_single_invocation_traced(
+            args.workload, args.variant, DgsfConfig(num_gpus=1, seed=args.seed)
+        )
+        invocations = [inv]
+
+    trace_path = out_dir / "trace.json"
+    dep.tracer.dump_chrome(trace_path)
+    rows = invocation_breakdowns(dep.tracer, invocations)
+    aggregate = aggregate_breakdowns(rows)
+    (out_dir / "breakdown.json").write_text(json.dumps(
+        {"per_invocation": rows, "aggregate": aggregate,
+         "tracer": dep.tracer.summary()},
+        indent=2, sort_keys=True,
+    ))
+    (out_dir / "metrics.json").write_text(
+        json.dumps(dep.metrics.as_dict(), indent=2, sort_keys=True)
+    )
+
+    print(f"trace:     {trace_path} ({dep.tracer.summary()['spans']} spans)")
+    print(f"breakdown: {out_dir / 'breakdown.json'}")
+    print(f"metrics:   {out_dir / 'metrics.json'}")
+    print()
+    header = f"{'workload':<22}{'phase':<16}{'mean_s':>9}{'p50_s':>9}{'p95_s':>9}{'p99_s':>9}"
+    print(header)
+    print("-" * len(header))
+    for row in breakdown_table_rows(aggregate):
+        print(f"{row['workload']:<22}{row['phase']:<16}"
+              f"{row['mean_s']:>9.4f}{row['p50_s']:>9.4f}"
+              f"{row['p95_s']:>9.4f}{row['p99_s']:>9.4f}")
+    if dep.tracer.dropped:
+        print(f"WARNING: tracer dropped {dep.tracer.dropped} spans "
+              f"(max_spans={dep.tracer.max_spans})", file=sys.stderr)
+
+    problems = _validate(rows, args.min_coverage)
+    if problems:
+        print("\ntrace validation FAILED:", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+    print(f"\ntrace validation OK: {len(rows)} invocation(s), "
+          f"coverage >= {args.min_coverage}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,3 +14,9 @@ fi
 
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q "$@"
+
+echo "== observability smoke (profile_report) =="
+PYTHONPATH=src python scripts/profile_report.py \
+    --workload kmeans \
+    --out-dir "${PROFILE_OUT_DIR:-/tmp/dgsf-profile}" \
+    --min-coverage 0.95

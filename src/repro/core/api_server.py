@@ -150,7 +150,14 @@ class ApiServer:
         if cache_bytes:
             from repro.faas.storage import ArtifactCache
 
-            self.artifact_cache = ArtifactCache(cache_bytes)
+            self.artifact_cache = ArtifactCache(
+                cache_bytes,
+                metrics=getattr(gpu_server, "metrics", None),
+                server=server_id,
+            )
+        #: optional :class:`repro.obs.Tracer` (set by the deployment):
+        #: execution of each remoted call/batch becomes a "server" span
+        self.tracer = None
         #: optional :class:`~repro.core.faults.ServerFaultInjector`
         self.fault_injector = None
         #: calls remaining until the injected crash fires (None = no crash)
@@ -281,22 +288,45 @@ class ApiServer:
             self.kernel_work_multiplier = 1.0
 
     # -- RPC dispatch -------------------------------------------------------------------
+    def _trace_track(self) -> tuple[str, str]:
+        host = getattr(self.gpu_server, "host", None)
+        pid = host.name if host is not None else "gpu-server"
+        return pid, f"api-{self.server_id}"
+
+    def _trace_server_span(self, name, t0, request, status, calls=1) -> None:
+        """Record execution of a remoted call/batch (t0 = arrival, so the
+        exec-lock wait is visible inside the span)."""
+        trace_id, parent_id = getattr(request, "_trace", (None, None))
+        pid, tid = self._trace_track()
+        self.tracer.complete(
+            name, t0, self.env.now, cat="server", pid=pid, tid=tid,
+            trace_id=trace_id, parent_id=parent_id, status=status,
+            server=self.server_id, msg_id=request.msg_id, calls=calls,
+        )
+
     def handle(self, request: RpcRequest) -> Generator:
         """Dispatch one remoted API call (the RpcServer handler)."""
-        with self.exec_lock.request() as lock:
-            yield lock
-            self.requests_handled += 1
-            if self.session is not None:
-                self.session.api_calls += 1
-            yield self.env.timeout(self.costs.api_call_server_s)
-            self._maybe_crash(1)
-            method = getattr(self, "_rpc_" + request.method, None)
-            if method is None:
-                raise CudaError(
-                    cudaError.cudaErrorNotSupported, f"unknown API {request.method!r}"
-                )
-            result = yield from method(*request.args, **request.kwargs)
-            return result
+        t0 = self.env.now
+        status = "error"
+        try:
+            with self.exec_lock.request() as lock:
+                yield lock
+                self.requests_handled += 1
+                if self.session is not None:
+                    self.session.api_calls += 1
+                yield self.env.timeout(self.costs.api_call_server_s)
+                self._maybe_crash(1)
+                method = getattr(self, "_rpc_" + request.method, None)
+                if method is None:
+                    raise CudaError(
+                        cudaError.cudaErrorNotSupported, f"unknown API {request.method!r}"
+                    )
+                result = yield from method(*request.args, **request.kwargs)
+                status = "ok"
+                return result
+        finally:
+            if self.tracer is not None:
+                self._trace_server_span(f"srv:{request.method}", t0, request, status)
 
     def handle_batch(self, requests: list) -> Generator:
         """Execute a shipped batch under one exec-lock acquisition.
@@ -304,23 +334,32 @@ class ApiServer:
         Per-call unmarshal/dispatch cost is charged as a single aggregate
         timeout; migration still only happens at (batch) boundaries.
         """
-        with self.exec_lock.request() as lock:
-            yield lock
-            self.requests_handled += len(requests)
-            if self.session is not None:
-                self.session.api_calls += len(requests)
-            yield self.env.timeout(self.costs.api_call_server_s * len(requests))
-            self._maybe_crash(len(requests))
-            values = []
-            for request in requests:
-                method = getattr(self, "_rpc_" + request.method, None)
-                if method is None:
-                    raise CudaError(
-                        cudaError.cudaErrorNotSupported,
-                        f"unknown API {request.method!r}",
-                    )
-                values.append((yield from method(*request.args, **request.kwargs)))
-            return values
+        t0 = self.env.now
+        status = "error"
+        try:
+            with self.exec_lock.request() as lock:
+                yield lock
+                self.requests_handled += len(requests)
+                if self.session is not None:
+                    self.session.api_calls += len(requests)
+                yield self.env.timeout(self.costs.api_call_server_s * len(requests))
+                self._maybe_crash(len(requests))
+                values = []
+                for request in requests:
+                    method = getattr(self, "_rpc_" + request.method, None)
+                    if method is None:
+                        raise CudaError(
+                            cudaError.cudaErrorNotSupported,
+                            f"unknown API {request.method!r}",
+                        )
+                    values.append((yield from method(*request.args, **request.kwargs)))
+                status = "ok"
+                return values
+        finally:
+            if self.tracer is not None and requests:
+                self._trace_server_span(
+                    "srv:__batch__", t0, requests[0], status, calls=len(requests)
+                )
 
     # Each _rpc_* method below implements one remoted API.
 
@@ -740,6 +779,12 @@ class ApiServer:
         self.dead = True
         self.crashes += 1
         self.crashed_mid_session = self.busy
+        if self.tracer is not None:
+            pid, tid = self._trace_track()
+            self.tracer.instant(
+                "server_crash", pid=pid, tid=tid, server=self.server_id,
+                mid_session=self.busy,
+            )
         self._crash_countdown = None
         if self.artifact_cache is not None:
             # staged artifacts died with the process's scratch directory

@@ -113,6 +113,15 @@ class DgsfConfig:
     #: backpressure bound for async forwarding: at most this many
     #: enqueue-only calls may be unharvested in flight per guest
     async_max_in_flight: int = 64
+    #: record nested sim-time spans for every invocation into a
+    #: :class:`repro.obs.Tracer` (Chrome trace-event export).  Tracing is
+    #: pure bookkeeping — it creates no events and draws no RNG — so the
+    #: timeline is identical with it on or off; it defaults off only to
+    #: avoid the memory cost on large runs.
+    tracing_enabled: bool = False
+    #: bound on stored trace records; past it the tracer counts drops
+    #: (never silently) instead of growing
+    trace_max_spans: int = 250_000
 
     def __post_init__(self):
         if self.num_gpus <= 0:
@@ -145,6 +154,8 @@ class DgsfConfig:
             raise ConfigurationError("artifact_cache_bytes must be non-negative")
         if self.async_max_in_flight <= 0:
             raise ConfigurationError("async_max_in_flight must be positive")
+        if self.trace_max_spans <= 0:
+            raise ConfigurationError("trace_max_spans must be positive")
 
     @property
     def sharing_enabled(self) -> bool:

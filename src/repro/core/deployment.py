@@ -41,6 +41,7 @@ from repro.core.config import DgsfConfig
 from repro.core.faults import FaultDirector
 from repro.core.gpu_server import GpuServer
 from repro.core.guest import GuestLibrary, GuestGpuBundle, GuestRpcError
+from repro.obs import MetricsRegistry, Tracer
 
 __all__ = [
     "NativeGpuSession",
@@ -351,10 +352,12 @@ class DgsfGpuProvider:
         request = None
         try:
             yield fc.env.timeout(self.control_rtt_s)
+            span = fc.invocation._span
             request = gpu_server.monitor.submit_request(
                 spec.gpu_mem_bytes,
                 fc.invocation.invocation_id,
                 expected_duration_s=spec.expected_duration_s,
+                trace_ctx=(span.trace_id, span.span_id) if span is not None else None,
             )
             while True:
                 api_server = yield request.granted
@@ -376,6 +379,8 @@ class DgsfGpuProvider:
         connection = dep.network.connect(fc.host, gpu_server.host)
         if dep.fault_director is not None:
             connection.faults = dep.fault_director.link_injector()
+        connection.tracer = dep.tracer
+        connection.label = f"inv-{fc.invocation.invocation_id}"
         try:
             api_server.begin_session(
                 spec.gpu_mem_bytes, invocation_id=fc.invocation.invocation_id
@@ -390,6 +395,9 @@ class DgsfGpuProvider:
                 rpc_max_retries=dep.config.rpc_max_retries,
                 rpc_retry_backoff_s=dep.config.rpc_retry_backoff_s,
                 async_max_in_flight=dep.config.async_max_in_flight,
+                metrics=dep.metrics,
+                tracer=dep.tracer,
+                span=fc.invocation._span,
             )
             kernel_names = fc.params.get("kernel_names", dep.kernels.names())
             # The attach handshake happens here; workloads time their own
@@ -461,6 +469,15 @@ class DgsfDeployment:
         self.env = env or Environment()
         self.rngs = RngRegistry(seed=config.seed)
         self.kernels = kernel_registry or builtin_registry()
+        # Observability: one registry + (optional) tracer shared by every
+        # layer.  Both only read ``env.now`` and append to Python lists, so
+        # enabling them cannot perturb the event timeline.
+        self.metrics = MetricsRegistry()
+        self.tracer: Optional[Tracer] = (
+            Tracer(self.env, max_spans=config.trace_max_spans)
+            if config.tracing_enabled
+            else None
+        )
         profile = network_profile or NetworkProfile(latency_s=1.2e-3)
         self.network = Network(
             self.env, default_profile=profile, rng=self.rngs.stream("network")
@@ -471,6 +488,8 @@ class DgsfDeployment:
             self.env, profile=storage_profile, rng=self.rngs.stream("storage")
         )
         self.platform = ServerlessPlatform(self.env, self.fn_host, storage=self.storage)
+        self.platform.metrics = self.metrics
+        self.platform.tracer = self.tracer
         # one or more disaggregated GPU servers behind the backend (§IV)
         self.backend = GpuBackend(policy=config.backend_policy)
         self.gpu_servers: list[GpuServer] = []
@@ -478,10 +497,11 @@ class DgsfDeployment:
             host = self.gpu_host if i == 0 else self.network.add_host(
                 f"gpu-server-{i}", bandwidth_bps=10e9
             )
-            self.gpu_servers.append(
-                GpuServer(self.env, config, host=host,
-                          kernel_registry=self.kernels, costs=costs)
-            )
+            server = GpuServer(self.env, config, host=host,
+                               kernel_registry=self.kernels, costs=costs,
+                               metrics=self.metrics, tracer=self.tracer)
+            server.nvml.bind_metrics(self.metrics, gpu_server=i)
+            self.gpu_servers.append(server)
         self.platform.gpu_provider = DgsfGpuProvider(self)
         # Fault injection: one director per deployment, drawing from its own
         # RNG stream so fault-free runs keep their exact event timeline.
@@ -547,17 +567,25 @@ class NativeDeployment:
         storage_profile: StorageProfile = S3_DEFAULT,
         seed: int = 0,
         env: Optional[Environment] = None,
+        tracing_enabled: bool = False,
+        trace_max_spans: int = 250_000,
     ):
         self.env = env or Environment()
         self.costs = costs
         self.rngs = RngRegistry(seed=seed)
         self.kernels = kernel_registry or builtin_registry()
+        self.metrics = MetricsRegistry()
+        self.tracer: Optional[Tracer] = (
+            Tracer(self.env, max_spans=trace_max_spans) if tracing_enabled else None
+        )
         self.network = Network(self.env, rng=self.rngs.stream("network"))
         self.fn_host = self.network.add_host("gpu-machine", bandwidth_bps=10e9)
         self.storage = ObjectStore(
             self.env, profile=storage_profile, rng=self.rngs.stream("storage")
         )
         self.platform = ServerlessPlatform(self.env, self.fn_host, storage=self.storage)
+        self.platform.metrics = self.metrics
+        self.platform.tracer = self.tracer
         self.platform.gpu_provider = NativeGpuProvider(
             self.env, num_gpus=num_gpus,
             kernel_registry=self.kernels, costs=costs,

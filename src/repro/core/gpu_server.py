@@ -49,11 +49,19 @@ class GpuServer:
         host=None,
         kernel_registry: Optional[KernelRegistry] = None,
         costs: CostModel = DEFAULT_COSTS,
+        metrics=None,
+        tracer=None,
     ):
         self.env = env
         self.config = config
         self.host = host
         self.costs = costs
+        if metrics is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self.tracer = tracer
         self.devices = [SimGPU(env, i, costs=costs) for i in range(config.num_gpus)]
         self.driver = DriverAPI(env, self.devices, kernel_registry or builtin_registry(), costs)
         self.driver.cuInit()
@@ -62,7 +70,9 @@ class GpuServer:
         sid = 0
         for device in self.devices:
             for _ in range(config.api_servers_per_gpu):
-                self.api_servers.append(ApiServer(env, self, sid, device.device_id))
+                server = ApiServer(env, self, sid, device.device_id)
+                server.tracer = tracer
+                self.api_servers.append(server)
                 sid += 1
         #: device_id -> spare context (None while claimed)
         self._migration_slots: dict[int, Optional[CudaContext]] = {}
@@ -76,6 +86,7 @@ class GpuServer:
             queue_discipline=config.queue_discipline,
             heartbeat_timeout_s=config.heartbeat_timeout_s,
         )
+        self.monitor.tracer = tracer
         self.nvml = NvmlSampler(env, self.devices)
         self.ready = Event(env)
         self._setup_proc = None

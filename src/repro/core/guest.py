@@ -41,12 +41,14 @@ from repro.simcuda.cudnn import DESCRIPTOR_KINDS
 from repro.simcuda.errors import CudaError, cudaError
 from repro.simcuda.runtime import PointerAttributes
 from repro.simnet.rpc import PendingReply, RpcClient, RpcError, RpcTimeout
+from repro.obs.metrics import MetricsRegistry
 from repro.core.classify import ApiClass, classify
 from repro.core.config import OptimizationFlags
 
 __all__ = ["GuestLibrary", "GuestGpuBundle", "GuestRpcError", "IDEMPOTENT_METHODS"]
 
 _local_ids = itertools.count(0x6000_0000)
+_guest_ids = itertools.count(1)
 
 #: flush the batch buffer when it reaches this many calls even without a
 #: synchronization point (bounds guest memory and server burstiness)
@@ -105,6 +107,9 @@ class GuestLibrary:
         rpc_max_retries: int = 2,
         rpc_retry_backoff_s: float = 0.25,
         async_max_in_flight: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
+        span=None,
     ):
         self.env = env
         self.rpc = rpc
@@ -131,15 +136,66 @@ class GuestLibrary:
         # first remote failure awaiting the next synchronization point
         self._pending: list[PendingReply] = []
         self._deferred_error: Optional[Exception] = None
-        # counters
-        self.calls_intercepted = 0
-        self.calls_localized = 0
-        self.calls_batched = 0
-        self.calls_async_forwarded = 0
-        self.async_deferred_errors = 0
-        self.async_replies_lost = 0
-        self.rpc_timeouts = 0
-        self.rpc_retries = 0
+        # counters live in the (possibly shared) metrics registry, one
+        # labeled instrument per guest; the legacy attribute names below
+        # are read-only views so CommStats/CallTrace keep working
+        self.guest_id = next(_guest_ids)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        c = self.metrics.counter
+        g = self.guest_id
+        self._c_intercepted = c("guest.calls_intercepted", guest=g)
+        self._c_localized = c("guest.calls_localized", guest=g)
+        self._c_batched = c("guest.calls_batched", guest=g)
+        self._c_async_forwarded = c("guest.calls_async_forwarded", guest=g)
+        self._c_async_deferred_errors = c("guest.async_deferred_errors", guest=g)
+        self._c_async_replies_lost = c("guest.async_replies_lost", guest=g)
+        self._c_rpc_timeouts = c("guest.rpc_timeouts", guest=g)
+        self._c_rpc_retries = c("guest.rpc_retries", guest=g)
+        # tracing: RPC spans hang off the invocation's root span when one
+        # is provided (sharing its track), else a per-guest track
+        self.tracer = tracer
+        self._span = span
+        if span is not None:
+            self._trace_pid, self._trace_tid = span.pid, span.tid
+        else:
+            self._trace_pid, self._trace_tid = "guest", f"guest-{g}"
+        if tracer is not None and span is not None:
+            # propagate the trace context on the wire so the API server
+            # can parent its execution spans under this invocation
+            rpc.trace_ctx = (span.trace_id, span.span_id)
+
+    # -- counter views ----------------------------------------------------------
+    @property
+    def calls_intercepted(self) -> int:
+        return self._c_intercepted.value
+
+    @property
+    def calls_localized(self) -> int:
+        return self._c_localized.value
+
+    @property
+    def calls_batched(self) -> int:
+        return self._c_batched.value
+
+    @property
+    def calls_async_forwarded(self) -> int:
+        return self._c_async_forwarded.value
+
+    @property
+    def async_deferred_errors(self) -> int:
+        return self._c_async_deferred_errors.value
+
+    @property
+    def async_replies_lost(self) -> int:
+        return self._c_async_replies_lost.value
+
+    @property
+    def rpc_timeouts(self) -> int:
+        return self._c_rpc_timeouts.value
+
+    @property
+    def rpc_retries(self) -> int:
+        return self._c_rpc_retries.value
 
     # -- derived counters -----------------------------------------------------------
     @property
@@ -192,17 +248,18 @@ class GuestLibrary:
         yield from self._flush()
         for pending in self._pending:
             pending.abandon()
+            self._end_async_span(pending, "abandoned")
         self._pending = []
         self._deferred_error = None
         self.attached = False
 
     # -- plumbing ----------------------------------------------------------------------
     def _intercept(self) -> None:
-        self.calls_intercepted += 1
+        self._c_intercepted.inc()
 
     def _local(self) -> Generator:
         """Account a localized call: guest-side cost only."""
-        self.calls_localized += 1
+        self._c_localized.inc()
         yield self.env.timeout(self.costs.api_call_local_s)
 
     def _remote(self, method: str, *args, extra_bytes: int = 0,
@@ -218,37 +275,60 @@ class GuestLibrary:
         retries = self.rpc_max_retries if (
             timeout_s is not None and method in IDEMPOTENT_METHODS
         ) else 0
-        for attempt in range(retries + 1):
-            try:
-                result = yield from self.rpc.call(
-                    method,
-                    *args,
-                    extra_bytes=extra_bytes,
-                    reply_extra_bytes=reply_extra_bytes,
-                    timeout_s=timeout_s,
-                    **kwargs,
+        t0 = self.env.now
+        status = "error"
+        attempts = 0
+        try:
+            for attempt in range(retries + 1):
+                attempts = attempt + 1
+                try:
+                    result = yield from self.rpc.call(
+                        method,
+                        *args,
+                        extra_bytes=extra_bytes,
+                        reply_extra_bytes=reply_extra_bytes,
+                        timeout_s=timeout_s,
+                        **kwargs,
+                    )
+                except RpcTimeout as exc:
+                    self._c_rpc_timeouts.inc()
+                    if attempt >= retries:
+                        status = "timeout"
+                        raise GuestRpcError(
+                            f"{method} gave up after {attempt + 1} attempt(s): {exc}"
+                        ) from None
+                    self._c_rpc_retries.inc()
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "rpc_retry", pid=self._trace_pid,
+                            tid=self._trace_tid, parent=self._span,
+                            method=method, attempt=attempt + 1,
+                        )
+                    yield self.env.timeout(self.rpc_retry_backoff_s * (2 ** attempt))
+                except RpcError as exc:
+                    status = "remote_error"
+                    raise _translate_remote_error(exc) from None
+                else:
+                    # The sync round trip succeeded; it is a synchronization
+                    # point: harvest async-forwarded completions and surface
+                    # the first deferred failure (tentpole semantics).
+                    # No-ops unless async forwarding is active.
+                    status = "ok"
+                    if self._pending:
+                        self._drain_pending()
+                    if self._deferred_error is not None:
+                        err, self._deferred_error = self._deferred_error, None
+                        raise err
+                    return result
+        finally:
+            if self.tracer is not None:
+                self.tracer.complete(
+                    f"rpc:{method}", t0, self.env.now, cat="rpc",
+                    pid=self._trace_pid, tid=self._trace_tid,
+                    parent=self._span, route="sync", status=status,
+                    attempts=attempts, req_bytes=extra_bytes,
+                    reply_bytes=reply_extra_bytes,
                 )
-            except RpcTimeout as exc:
-                self.rpc_timeouts += 1
-                if attempt >= retries:
-                    raise GuestRpcError(
-                        f"{method} gave up after {attempt + 1} attempt(s): {exc}"
-                    ) from None
-                self.rpc_retries += 1
-                yield self.env.timeout(self.rpc_retry_backoff_s * (2 ** attempt))
-            except RpcError as exc:
-                raise _translate_remote_error(exc) from None
-            else:
-                # Every synchronous round trip is a synchronization point:
-                # harvest async-forwarded completions and surface the first
-                # deferred failure (tentpole semantics).  No-ops unless
-                # async forwarding is active.
-                if self._pending:
-                    self._drain_pending()
-                if self._deferred_error is not None:
-                    err, self._deferred_error = self._deferred_error, None
-                    raise err
-                return result
 
     def _enqueue(self, method: str, args: tuple, extra_bytes: int = 0) -> Generator:
         """Forward an enqueue-only call per the active optimization flags:
@@ -256,7 +336,7 @@ class GuestLibrary:
         if self.flags.async_forward:
             yield from self._forward_async(method, args, extra_bytes)
         elif self.flags.batching:
-            self.calls_batched += 1
+            self._c_batched.inc()
             self._batch.append((method, args, extra_bytes))
             if len(self._batch) >= self.batch_flush_threshold:
                 self._flush_now()
@@ -280,10 +360,17 @@ class GuestLibrary:
         while len(self._pending) >= self.async_max_in_flight:
             # backpressure: absorb the oldest in-flight call before sending
             yield from self._absorb_oldest()
-        self.calls_async_forwarded += 1
-        self._pending.append(
-            self.rpc.call_async(method, *args, extra_bytes=extra_bytes)
-        )
+        self._c_async_forwarded.inc()
+        pending = self.rpc.call_async(method, *args, extra_bytes=extra_bytes)
+        if self.tracer is not None:
+            # open span closed at harvest time — the span's extent is the
+            # call's full pipelined lifetime (send -> completion observed)
+            pending.span = self.tracer.begin(
+                f"rpc:{method}", cat="rpc", pid=self._trace_pid,
+                tid=self._trace_tid, parent=self._span, route="async",
+                req_bytes=extra_bytes, msg_id=pending.msg_id,
+            )
+        self._pending.append(pending)
         yield self.env.timeout(self.costs.api_call_local_s)
 
     def _absorb_oldest(self) -> Generator:
@@ -295,13 +382,17 @@ class GuestLibrary:
         try:
             yield from pending.wait(timeout_s=timeout_s)
         except RpcTimeout:
-            self.rpc_timeouts += 1
-            self.async_replies_lost += 1
+            self._c_rpc_timeouts.inc()
+            self._c_async_replies_lost.inc()
+            self._end_async_span(pending, "lost")
             self._defer(GuestRpcError(
                 f"async {pending.method} reply lost (msg {pending.msg_id})"
             ))
         except RpcError as exc:
+            self._end_async_span(pending, "remote_error")
             self._defer(_translate_remote_error(exc))
+        else:
+            self._end_async_span(pending, "ok")
 
     def _drain_pending(self) -> None:
         """Harvest async completions at a synchronization point.
@@ -317,17 +408,26 @@ class GuestLibrary:
                 try:
                     p.result()
                 except RpcError as exc:
+                    self._end_async_span(p, "remote_error")
                     self._defer(_translate_remote_error(exc))
+                else:
+                    self._end_async_span(p, "ok")
             else:
                 p.abandon()
-                self.async_replies_lost += 1
+                self._c_async_replies_lost.inc()
+                self._end_async_span(p, "lost")
                 self._defer(GuestRpcError(
                     f"async {p.method} reply lost (msg {p.msg_id})"
                 ))
 
+    def _end_async_span(self, pending: PendingReply, status: str) -> None:
+        if pending.span is not None:
+            pending.span.end(status=status)
+            pending.span = None
+
     def _defer(self, err: Exception) -> None:
         """Record a failed async-forwarded call for the next sync point."""
-        self.async_deferred_errors += 1
+        self._c_async_deferred_errors.inc()
         if self._deferred_error is None:
             self._deferred_error = err
 
@@ -340,6 +440,11 @@ class GuestLibrary:
 
     def _flush_now(self) -> None:
         batch, self._batch = self._batch, []
+        if self.tracer is not None:
+            self.tracer.instant(
+                "batch_flush", pid=self._trace_pid, tid=self._trace_tid,
+                parent=self._span, calls=len(batch),
+            )
         # one-way: ordering is guaranteed by the FIFO connection and the
         # server's sequential dispatch; the next sync call observes it
         gen = self.rpc.call_batch(batch, oneway=True)

@@ -57,6 +57,9 @@ class GpuRequest:
     resubmitted: Optional[Event] = None
     #: the replacement request, once re-queued
     superseded: Optional["GpuRequest"] = None
+    #: (trace_id, parent_span_id) of the requesting invocation, when
+    #: tracing — lets the monitor parent its queue span under it
+    trace_ctx: Optional[tuple] = None
 
 
 class Monitor:
@@ -106,6 +109,12 @@ class Monitor:
         self.crashes_detected = 0
         self.requests_requeued = 0
         self._health_proc = None
+        #: optional :class:`repro.obs.Tracer` (set by the deployment)
+        self.tracer = None
+
+    def _trace_track(self) -> tuple[str, str]:
+        host = getattr(self.gpu_server, "host", None)
+        return (host.name if host is not None else "gpu-server"), "monitor"
 
     # -- bring-up ----------------------------------------------------------------
     def finalize_capacity(self) -> None:
@@ -144,7 +153,8 @@ class Monitor:
         return len(self._queue)
 
     def submit_request(self, declared_bytes: int, invocation_id: int = -1,
-                       expected_duration_s: float = 0.0) -> GpuRequest:
+                       expected_duration_s: float = 0.0,
+                       trace_ctx: Optional[tuple] = None) -> GpuRequest:
         """Enqueue a GPU request; its ``granted`` event fires with a server."""
         if declared_bytes <= 0:
             raise SimulationError("declared GPU memory must be positive")
@@ -161,6 +171,7 @@ class Monitor:
             granted=Event(self.env),
             expected_duration_s=expected_duration_s,
             resubmitted=Event(self.env),
+            trace_ctx=trace_ctx,
         )
         self.requests_total += 1
         self._queue.append(request)
@@ -246,6 +257,17 @@ class Monitor:
         server._charged_bytes = request.declared_bytes
         self._inflight[server.server_id] = request
         request.granted_at = self.env.now
+        if self.tracer is not None:
+            pid, tid = self._trace_track()
+            trace_id, parent_id = request.trace_ctx or (None, None)
+            self.tracer.complete(
+                "gpu_request", request.submitted_at, self.env.now,
+                cat="queue", pid=pid, tid=tid,
+                trace_id=trace_id, parent_id=parent_id,
+                invocation_id=request.invocation_id,
+                declared_bytes=request.declared_bytes,
+                server=server.server_id, device=device_id,
+            )
         request.granted.succeed(server)
 
     def _try_dispatch(self) -> None:
@@ -349,6 +371,9 @@ class Monitor:
         """Uncommit a dead server's charge, rescue its request, restart it."""
         sid = server.server_id
         self.crashes_detected += 1
+        if self.tracer is not None:
+            pid, tid = self._trace_track()
+            self.tracer.instant("crash_detected", pid=pid, tid=tid, server=sid)
         server.recovering = True
         device_id = self._charged_device.pop(sid, None)
         if device_id is not None:
@@ -374,9 +399,18 @@ class Monitor:
             granted=Event(self.env),
             expected_duration_s=orphan.expected_duration_s,
             resubmitted=Event(self.env),
+            trace_ctx=orphan.trace_ctx,
         )
         orphan.superseded = clone
         self.requests_requeued += 1
+        if self.tracer is not None:
+            pid, tid = self._trace_track()
+            trace_id, parent_id = orphan.trace_ctx or (None, None)
+            self.tracer.instant(
+                "request_requeued", pid=pid, tid=tid,
+                trace_id=trace_id, parent_id=parent_id,
+                invocation_id=orphan.invocation_id,
+            )
         self._queue.appendleft(clone)
         if orphan.resubmitted is not None:
             orphan.resubmitted.succeed(clone)
@@ -438,6 +472,16 @@ class Monitor:
         except SimulationError:
             return  # server finished in the meantime; nothing to do
         self.migration_records.append(record)
+        if self.tracer is not None:
+            pid, tid = self._trace_track()
+            self.tracer.complete(
+                "migration", record.started_at,
+                record.started_at + record.duration_s,
+                cat="migration", pid=pid, tid=tid,
+                server=record.server_id, source=record.source_device,
+                target=record.target_device, moved_bytes=record.moved_bytes,
+                allocations=record.allocations_moved,
+            )
         # move the scheduling charge with the server
         self.committed[source] -= server._charged_bytes
         self.committed[target_device_id] += server._charged_bytes

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.faas.platform import Invocation
+from repro.obs import percentile
 
 __all__ = [
     "WorkloadStats",
@@ -40,6 +41,9 @@ class WorkloadStats:
     std_e2e_s: float
     mean_queue_s: float
     mean_exec_s: float
+    p50_e2e_s: float = 0.0
+    p95_e2e_s: float = 0.0
+    p99_e2e_s: float = 0.0
 
     def as_row(self) -> dict:
         return {
@@ -47,6 +51,9 @@ class WorkloadStats:
             "n": self.count,
             "mean_e2e_s": round(self.mean_e2e_s, 3),
             "std_e2e_s": round(self.std_e2e_s, 3),
+            "p50_e2e_s": round(self.p50_e2e_s, 3),
+            "p95_e2e_s": round(self.p95_e2e_s, 3),
+            "p99_e2e_s": round(self.p99_e2e_s, 3),
             "mean_queue_s": round(self.mean_queue_s, 3),
             "mean_exec_s": round(self.mean_exec_s, 3),
         }
@@ -59,11 +66,18 @@ class RunStats:
     provider_e2e_s: float
     function_e2e_sum_s: float
     per_workload: dict[str, WorkloadStats] = field(default_factory=dict)
+    #: latency percentiles over *all* completed invocations
+    p50_e2e_s: float = 0.0
+    p95_e2e_s: float = 0.0
+    p99_e2e_s: float = 0.0
 
     def as_dict(self) -> dict:
         return {
             "provider_e2e_s": round(self.provider_e2e_s, 3),
             "function_e2e_sum_s": round(self.function_e2e_sum_s, 3),
+            "p50_e2e_s": round(self.p50_e2e_s, 3),
+            "p95_e2e_s": round(self.p95_e2e_s, 3),
+            "p99_e2e_s": round(self.p99_e2e_s, 3),
             "per_workload": {k: v.as_row() for k, v in self.per_workload.items()},
         }
 
@@ -98,11 +112,18 @@ def summarize_invocations(invocations: list[Invocation]) -> RunStats:
             std_e2e_s=float(e2es.std()),
             mean_queue_s=float(queues.mean()),
             mean_exec_s=float((e2es - queues).mean()),
+            p50_e2e_s=percentile(e2es.tolist(), 50),
+            p95_e2e_s=percentile(e2es.tolist(), 95),
+            p99_e2e_s=percentile(e2es.tolist(), 99),
         )
+    all_e2es = [i.e2e_s for i in done]
     return RunStats(
         provider_e2e_s=provider_e2e,
         function_e2e_sum_s=e2e_sum,
         per_workload=per,
+        p50_e2e_s=percentile(all_e2es, 50),
+        p95_e2e_s=percentile(all_e2es, 95),
+        p99_e2e_s=percentile(all_e2es, 99),
     )
 
 
@@ -173,6 +194,21 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @classmethod
+    def from_registry(cls, registry, **match) -> "CacheStats":
+        """Aggregate the ``artifact_cache.*`` counters of a
+        :class:`~repro.obs.MetricsRegistry` (optionally filtered by label,
+        e.g. ``server=3``)."""
+        t = registry.total
+        return cls(
+            hits=int(t("artifact_cache.hits", **match)),
+            misses=int(t("artifact_cache.misses", **match)),
+            hit_bytes=int(t("artifact_cache.hit_bytes", **match)),
+            miss_bytes=int(t("artifact_cache.miss_bytes", **match)),
+            evictions=int(t("artifact_cache.evictions", **match)),
+            invalidations=int(t("artifact_cache.invalidations", **match)),
+        )
+
     def as_dict(self) -> dict:
         return {
             "hits": self.hits,
@@ -232,6 +268,40 @@ class OutcomeSummary:
             "mean_completed_e2e_s": round(self.mean_completed_e2e_s, 3),
             "all_terminal": self.all_terminal,
         }
+
+    @classmethod
+    def from_registry(cls, registry, expected_total: "int | None" = None) -> "OutcomeSummary":
+        """Build the census from ``invocation.*`` metrics instead of the
+        invocation list.
+
+        The platform only publishes *terminal* invocations, so a wedged
+        function is invisible here unless ``expected_total`` (how many
+        invocations were submitted) is given — then the shortfall is
+        reported as non-terminal.
+        """
+        counts: dict[str, int] = {}
+        for metric in registry.find("invocation.status"):
+            status = metric.labels.get("status", "unknown")
+            counts[status] = counts.get(status, 0) + int(metric.value)
+        seen = sum(counts.values())
+        total = expected_total if expected_total is not None else seen
+        stuck = total - seen
+        completed_obs = [
+            obs
+            for h in registry.find("invocation.e2e_s", status="completed")
+            for obs in h.observations
+        ]
+        completed = counts.get("completed", 0)
+        return cls(
+            counts=counts,
+            total=total,
+            completion_rate=(completed / total) if total else 0.0,
+            mean_completed_e2e_s=(
+                float(np.mean(completed_obs)) if completed_obs else 0.0
+            ),
+            all_terminal=stuck == 0
+            and all(s in TERMINAL_STATUSES for s in counts),
+        )
 
 
 def summarize_outcomes(invocations: list[Invocation]) -> OutcomeSummary:

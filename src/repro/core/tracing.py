@@ -33,17 +33,40 @@ class CallRecord:
 
 @dataclass
 class CallTrace:
-    """An append-only trace with summary helpers."""
+    """An append-only trace with summary helpers.
+
+    Bounded: past :attr:`max_records`, new records are counted in
+    :attr:`dropped` instead of silently discarded, so a truncated trace is
+    always distinguishable from a complete one.
+    """
 
     records: list[CallRecord] = field(default_factory=list)
     max_records: int = 1_000_000
+    #: records refused because the trace was full (never silent)
+    dropped: int = 0
 
     def add(self, record: CallRecord) -> None:
         if len(self.records) < self.max_records:
             self.records.append(record)
+        else:
+            self.dropped += 1
 
     def __len__(self) -> int:
         return len(self.records)
+
+    @property
+    def truncated(self) -> bool:
+        return self.dropped > 0
+
+    def summary(self) -> dict:
+        """Headline numbers, including truncation state."""
+        return {
+            "records": len(self.records),
+            "dropped": self.dropped,
+            "max_records": self.max_records,
+            "truncated": self.truncated,
+            "by_route": self.counts_by_route(),
+        }
 
     # -- summaries -------------------------------------------------------------
     def counts_by_api(self) -> dict[str, int]:
@@ -74,6 +97,7 @@ class CallTrace:
         return CallTrace(
             records=[r for r in self.records if start <= r.t < end],
             max_records=self.max_records,
+            dropped=self.dropped,  # window may be missing records too
         )
 
 

@@ -30,14 +30,18 @@ def _print_rows(title: str, rows) -> None:
     print()
 
 
-def run_one(name: str, seed: int, copies: int) -> None:
+def run_one(name: str, seed: int, copies: int, trace_dir: str = None) -> None:
     t0 = time.time()
     if name == "table2":
         _print_rows("Table II — workload runtimes (s)", table2.run())
     elif name == "fig3":
         _print_rows("Figure 3 — phase breakdown (s)", fig3.run(seed=seed))
     elif name == "fig4":
-        _print_rows("Figure 4 — ablation (s)", fig4.run(seed=seed))
+        _print_rows("Figure 4 — ablation (s)",
+                     fig4.run(seed=seed, trace_dir=trace_dir))
+        if trace_dir:
+            print(f"[trace + breakdown artifacts in {trace_dir}]\n",
+                  file=sys.stderr)
     elif name == "table3":
         _print_rows("Table III — heavy load (s)", table3.run(seed=seed, copies=copies))
     elif name == "fig5":
@@ -79,10 +83,14 @@ def main(argv=None) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--copies", type=int, default=10,
                         help="instances per workload (bursts for fig7)")
+    parser.add_argument("--trace-dir", default=None,
+                        help="export Chrome trace + latency-breakdown JSON "
+                             "artifacts here (fig4 only)")
     args = parser.parse_args(argv)
     names = EXPERIMENTS if args.experiment == "all" else [args.experiment]
     for name in names:
-        run_one(name, seed=args.seed, copies=args.copies)
+        run_one(name, seed=args.seed, copies=args.copies,
+                trace_dir=args.trace_dir)
 
 
 if __name__ == "__main__":

@@ -20,11 +20,14 @@ Cumulative configurations (paper order):
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Optional
 
 from repro.core.config import DgsfConfig, OptimizationFlags
 from repro.core.deployment import DgsfDeployment
 from repro.experiments.runner import build_deployment
+from repro.obs import aggregate_breakdowns, invocation_breakdowns
 from repro.workloads import WORKLOADS, register_workloads
 
 __all__ = ["run", "ABLATION_STEPS"]
@@ -50,26 +53,59 @@ def _gpu_time(inv) -> float:
     )
 
 
-def run(workloads: Optional[list[str]] = None, seed: int = 0) -> list[dict]:
-    """Rows: one per workload with native + each cumulative step's time."""
+def _dump_trace(dep, inv, trace_dir: Path, stem: str) -> None:
+    """Export the step's Chrome trace + latency breakdown artifacts."""
+    dep.tracer.dump_chrome(trace_dir / f"{stem}.trace.json")
+    breakdowns = invocation_breakdowns(dep.tracer, [inv])
+    payload = {
+        "per_invocation": breakdowns,
+        "aggregate": aggregate_breakdowns(breakdowns),
+        "tracer": dep.tracer.summary(),
+    }
+    (trace_dir / f"{stem}.breakdown.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True)
+    )
+
+
+def run(workloads: Optional[list[str]] = None, seed: int = 0,
+        trace_dir: Optional[str] = None) -> list[dict]:
+    """Rows: one per workload with native + each cumulative step's time.
+
+    With ``trace_dir`` set, every (workload, step) run executes with span
+    tracing on and exports ``<workload>_<step>.trace.json`` (Chrome
+    trace-event format, Perfetto-loadable) plus a latency-breakdown JSON
+    next to it.  Tracing never perturbs the simulated timeline, so the
+    reported numbers are identical either way.
+    """
+    tracing = trace_dir is not None
+    if tracing:
+        trace_dir = Path(trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
     rows = []
     for name in workloads or list(WORKLOADS):
         row: dict = {"workload": name}
         # native reference
-        dep = build_deployment("native", DgsfConfig(num_gpus=1, seed=seed))
+        dep = build_deployment(
+            "native", DgsfConfig(num_gpus=1, seed=seed, tracing_enabled=tracing)
+        )
         dep.setup()
         register_workloads(dep.platform, names=[name])
         inv, proc = dep.platform.invoke(name)
         dep.env.run(until=proc)
         row["native"] = round(_gpu_time(inv), 3)
+        if tracing:
+            _dump_trace(dep, inv, trace_dir, f"{name}_native")
         # cumulative DGSF steps
         for label, flags in ABLATION_STEPS:
-            cfg = DgsfConfig(num_gpus=1, seed=seed, optimizations=flags)
+            cfg = DgsfConfig(num_gpus=1, seed=seed, optimizations=flags,
+                             tracing_enabled=tracing)
             dep = DgsfDeployment(cfg)
             dep.setup()
             register_workloads(dep.platform, names=[name])
             inv, proc = dep.platform.invoke(name)
             dep.env.run(until=proc)
             row[label] = round(_gpu_time(inv), 3)
+            if tracing:
+                _dump_trace(dep, inv, trace_dir, f"{name}_{label.lstrip('+')}")
         rows.append(row)
     return rows

@@ -42,5 +42,8 @@ def run(seed: int = 0, copies: int = 10, num_gpus: int = 4,
                     "mean_queue_s": round(ws.mean_queue_s, 2),
                     "mean_exec_s": round(ws.mean_exec_s, 2),
                     "mean_e2e_s": round(ws.mean_e2e_s, 2),
+                    "p50_e2e_s": round(ws.p50_e2e_s, 2),
+                    "p95_e2e_s": round(ws.p95_e2e_s, 2),
+                    "p99_e2e_s": round(ws.p99_e2e_s, 2),
                 })
     return rows

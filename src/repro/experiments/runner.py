@@ -28,6 +28,7 @@ from repro.workloads import register_workloads, ALL_WORKLOAD_NAMES
 __all__ = [
     "build_deployment",
     "run_single_invocation",
+    "run_single_invocation_traced",
     "run_mixed_scenario",
     "run_chaos_scenario",
     "MixedScenarioResult",
@@ -46,9 +47,13 @@ def build_deployment(variant: str, config: Optional[DgsfConfig] = None):
     """Create (but do not set up) a deployment for one execution variant."""
     config = config or DgsfConfig(num_gpus=1)
     if variant == "native":
-        return NativeDeployment(num_gpus=config.num_gpus, seed=config.seed)
+        return NativeDeployment(num_gpus=config.num_gpus, seed=config.seed,
+                                tracing_enabled=config.tracing_enabled,
+                                trace_max_spans=config.trace_max_spans)
     if variant == "cpu":
-        return NativeDeployment(num_gpus=1, seed=config.seed)
+        return NativeDeployment(num_gpus=1, seed=config.seed,
+                                tracing_enabled=config.tracing_enabled,
+                                trace_max_spans=config.trace_max_spans)
     if variant == "dgsf":
         return DgsfDeployment(config)
     if variant == "dgsf_unopt":
@@ -73,6 +78,26 @@ def run_single_invocation(
     the second (warm-cache) one: its artifacts are already staged on the
     API server, so the download phase collapses to local staging time.
     """
+    inv, _ = _run_single(workload, variant, config)
+    return inv
+
+
+def run_single_invocation_traced(
+    workload: str,
+    variant: str = "dgsf",
+    config: Optional[DgsfConfig] = None,
+):
+    """Like :func:`run_single_invocation` but with span tracing forced on.
+
+    Returns ``(invocation, deployment)`` so callers can export the trace
+    (``deployment.tracer.dump_chrome``) and the metrics registry alongside
+    the invocation itself.
+    """
+    config = (config or DgsfConfig(num_gpus=1)).with_(tracing_enabled=True)
+    return _run_single(workload, variant, config)
+
+
+def _run_single(workload, variant, config):
     dep = build_deployment(variant, config)
     dep.setup()
     register_workloads(dep.platform, names=[workload], cpu=(variant == "cpu"))
@@ -85,7 +110,7 @@ def run_single_invocation(
     dep.env.run(until=proc)
     if inv.status != "completed":
         raise RuntimeError(f"{workload}/{variant} failed: {inv.result}")
-    return inv
+    return inv, dep
 
 
 @dataclass

@@ -76,6 +76,12 @@ class Invocation:
     #: processing, gpu_queue, ...)
     phases: dict[str, float] = field(default_factory=dict)
     result: Any = None
+    #: trace id when the platform has a tracer attached (None otherwise)
+    trace_id: Optional[int] = None
+
+    # root span handle while tracing (class attr, not a dataclass field:
+    # span handles must stay out of repr/compare and of __init__)
+    _span = None
 
     @property
     def e2e_s(self) -> float:
@@ -93,6 +99,15 @@ class Invocation:
 
     def add_phase(self, name: str, seconds: float) -> None:
         self.phases[name] = self.phases.get(name, 0.0) + seconds
+        # add_phase is always called at the phase's end, so a traced
+        # invocation can emit the span retroactively: [now-seconds, now].
+        if self._span is not None and seconds > 0:
+            self._span.phase(name, seconds)
+
+    def bind_span(self, span) -> None:
+        """Attach a root tracing span (set by the platform when tracing)."""
+        self._span = span
+        self.trace_id = span.trace_id
 
 
 class FunctionContext:
@@ -191,6 +206,12 @@ class ServerlessPlatform:
         #: (FunctionContext) -> context-ish object with .gpu APIs + release
         self.gpu_provider = None
         self.invocations: list[Invocation] = []
+        #: optional repro.obs.Tracer — when set, every invocation gets a
+        #: root span plus one child span per measured phase
+        self.tracer = None
+        #: optional repro.obs.MetricsRegistry — when set, terminal
+        #: invocation outcomes and latencies are published to it
+        self.metrics = None
 
     # -- registry ---------------------------------------------------------------
     def register(self, spec: FunctionSpec) -> None:
@@ -221,6 +242,16 @@ class ServerlessPlatform:
             t_submit=self.env.now,
         )
         self.invocations.append(invocation)
+        if self.tracer is not None:
+            invocation.bind_span(self.tracer.begin(
+                f"invocation:{name}",
+                cat="invocation",
+                pid="invocations",
+                tid=f"inv-{invocation.invocation_id}",
+                trace_id=self.tracer.new_trace_id(),
+                workload=name,
+                invocation_id=invocation.invocation_id,
+            ))
         proc = self.env.process(
             self._run(spec, invocation, params), name=f"inv-{invocation.invocation_id}"
         )
@@ -248,6 +279,14 @@ class ServerlessPlatform:
         container, token = yield from pool.acquire()
         invocation.status = "running"
         invocation.t_start = self.env.now
+        if invocation._span is not None and invocation.t_start > invocation.t_submit:
+            # Pre-start wait is a phase of the trace's breakdown but is
+            # deliberately NOT an Invocation.phases entry: phases holds
+            # only handler-measured intervals (queue_s already covers it).
+            invocation._span.child_complete(
+                "platform_queue", invocation.t_submit, invocation.t_start,
+                cat="phase",
+            )
         ctx = FunctionContext(
             self.env, invocation, container.host, self.storage, self, params,
             spec=spec,
@@ -282,6 +321,26 @@ class ServerlessPlatform:
             raise
         finally:
             invocation.t_end = self.env.now
+            if invocation._span is not None:
+                # Close at t_end: lease release below may consume further
+                # sim time that belongs to the platform, not the function.
+                invocation._span.end(
+                    t_end=invocation.t_end, status=invocation.status
+                )
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "invocation.status",
+                    workload=invocation.function_name,
+                    status=invocation.status,
+                ).inc()
+                self.metrics.histogram(
+                    "invocation.e2e_s",
+                    workload=invocation.function_name,
+                    status=invocation.status,
+                ).observe(invocation.e2e_s)
+                self.metrics.histogram(
+                    "invocation.queue_s", workload=invocation.function_name
+                ).observe(invocation.queue_s)
             if ctx._gpu_lease is not None:
                 yield from ctx._gpu_lease.release()
             pool.release(container, token)

@@ -73,7 +73,8 @@ class ArtifactCache:
     server process: :meth:`invalidate_all` is called on crash/teardown.
     """
 
-    def __init__(self, capacity_bytes: int, hit_latency_s: float = 0.002):
+    def __init__(self, capacity_bytes: int, hit_latency_s: float = 0.002,
+                 metrics=None, **labels):
         if capacity_bytes <= 0:
             raise ConfigurationError("ArtifactCache needs a positive capacity")
         self.capacity_bytes = int(capacity_bytes)
@@ -82,13 +83,44 @@ class ArtifactCache:
         self.hit_latency_s = hit_latency_s
         self._entries: OrderedDict[str, int] = OrderedDict()
         self.used_bytes = 0
-        # counters surfaced via core.stats/core.tracing
-        self.hits = 0
-        self.misses = 0
-        self.hit_bytes = 0
-        self.miss_bytes = 0
-        self.evictions = 0
-        self.invalidations = 0
+        # counters live in the (possibly shared) metrics registry — the
+        # attribute names below stay readable so core.stats summaries work
+        if metrics is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        c = metrics.counter
+        self._c_hits = c("artifact_cache.hits", **labels)
+        self._c_misses = c("artifact_cache.misses", **labels)
+        self._c_hit_bytes = c("artifact_cache.hit_bytes", **labels)
+        self._c_miss_bytes = c("artifact_cache.miss_bytes", **labels)
+        self._c_evictions = c("artifact_cache.evictions", **labels)
+        self._c_invalidations = c("artifact_cache.invalidations", **labels)
+
+    @property
+    def hits(self) -> int:
+        return self._c_hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._c_misses.value
+
+    @property
+    def hit_bytes(self) -> int:
+        return self._c_hit_bytes.value
+
+    @property
+    def miss_bytes(self) -> int:
+        return self._c_miss_bytes.value
+
+    @property
+    def evictions(self) -> int:
+        return self._c_evictions.value
+
+    @property
+    def invalidations(self) -> int:
+        return self._c_invalidations.value
 
     def __contains__(self, name: str) -> bool:
         return name in self._entries
@@ -100,11 +132,11 @@ class ArtifactCache:
         """Return the cached size of ``name`` (touching LRU) or None."""
         size = self._entries.get(name)
         if size is None:
-            self.misses += 1
+            self._c_misses.inc()
             return None
         self._entries.move_to_end(name)
-        self.hits += 1
-        self.hit_bytes += size
+        self._c_hits.inc()
+        self._c_hit_bytes.inc(size)
         return size
 
     def insert(self, name: str, size_bytes: int) -> None:
@@ -114,16 +146,15 @@ class ArtifactCache:
         evict everything for a guaranteed future miss).
         """
         size = int(size_bytes)
+        self._c_miss_bytes.inc(size)
         if size > self.capacity_bytes:
-            self.miss_bytes += size
             return
-        self.miss_bytes += size
         if name in self._entries:
             self.used_bytes -= self._entries.pop(name)
         while self.used_bytes + size > self.capacity_bytes:
             _, evicted = self._entries.popitem(last=False)
             self.used_bytes -= evicted
-            self.evictions += 1
+            self._c_evictions.inc()
         self._entries[name] = size
         self.used_bytes += size
 
@@ -131,7 +162,7 @@ class ArtifactCache:
         """Drop everything (server crash / teardown: the staging directory
         died with the process)."""
         if self._entries:
-            self.invalidations += 1
+            self._c_invalidations.inc()
         self._entries.clear()
         self.used_bytes = 0
 

@@ -1,0 +1,42 @@
+"""Cross-layer observability: span tracing, metrics registry, reports.
+
+``repro.obs`` is the substrate every layer of the stack reports into:
+
+* :mod:`repro.obs.trace` — a bounded sim-time span :class:`Tracer` with
+  Chrome trace-event JSON export (loadable in Perfetto / chrome://tracing).
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of labeled
+  counters, gauge time-series, and sim-time histograms that the legacy
+  stat summaries (``CommStats``/``CacheStats``/``OutcomeSummary``) are
+  views over.
+* :mod:`repro.obs.report` — per-invocation latency breakdowns (phase
+  attribution + coverage) and p50/p95/p99 aggregation.
+
+Everything here is pure bookkeeping: recording a span or bumping a
+counter reads ``env.now`` and appends to Python lists, but never creates
+events, timeouts, or RNG draws — so an instrumented run is
+timeline-identical to an uninstrumented one, and the determinism goldens
+hold bit-for-bit with tracing on or off.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import (
+    aggregate_breakdowns,
+    breakdown_table_rows,
+    invocation_breakdowns,
+    percentile,
+)
+from repro.obs.trace import Span, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "aggregate_breakdowns",
+    "breakdown_table_rows",
+    "invocation_breakdowns",
+    "percentile",
+]

@@ -1,0 +1,209 @@
+"""A minimal labeled-metrics registry for the simulator.
+
+Three instrument kinds, all zero-sim-time (they never touch the event
+queue, only read clocks the caller passes in):
+
+* :class:`Counter` — monotonically increasing count (calls, bytes,
+  faults).
+* :class:`Gauge` — a sampled time series of (sim_time, value) points,
+  e.g. NVML utilization.
+* :class:`Histogram` — a bag of observations with percentile queries,
+  e.g. per-invocation end-to-end latency.
+
+Instruments are identified by ``(name, labels)``; the registry
+get-or-creates on access so call sites never need existence checks:
+
+    registry.counter("guest.calls_localized", guest=3).inc()
+    registry.gauge("gpu.utilization", device=0).set(0.82, t=env.now)
+    registry.histogram("invocation.e2e_s", workload="kmeans").observe(11.3)
+
+Naming convention: dotted ``<layer>.<metric>`` names
+(``guest.rpc_retries``, ``artifact_cache.hits``, ``invocation.status``);
+dimensions go in labels, never in the name.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Linear-interpolation percentile (numpy's default method), local so
+    the metrics layer stays import-light."""
+    if not values:
+        raise ValueError("percentile of empty series")
+    xs = sorted(values)
+    if len(xs) == 1:
+        return xs[0]
+    pos = (q / 100.0) * (len(xs) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(xs) - 1)
+    frac = pos - lo
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def __repr__(self):
+        return f"Counter({self.name}{self.labels or ''}={self.value})"
+
+
+class Gauge:
+    """A last-value gauge that also keeps its full (time, value) series."""
+
+    __slots__ = ("name", "labels", "times", "values")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def set(self, value: float, t: float) -> None:
+        self.times.append(t)
+        self.values.append(value)
+
+    @property
+    def value(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+    def series(self) -> list[tuple[float, float]]:
+        return list(zip(self.times, self.values))
+
+    def __repr__(self):
+        return f"Gauge({self.name}{self.labels or ''}={self.value})"
+
+
+class Histogram:
+    """A bag of observations with mean/percentile queries."""
+
+    __slots__ = ("name", "labels", "observations")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.observations: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.observations.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.observations)
+
+    @property
+    def total(self) -> float:
+        return sum(self.observations)
+
+    @property
+    def mean(self) -> float:
+        if not self.observations:
+            raise ValueError(f"histogram {self.name} is empty")
+        return self.total / len(self.observations)
+
+    def percentile(self, q: float) -> float:
+        return _percentile(self.observations, q)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def __repr__(self):
+        return f"Histogram({self.name}{self.labels or ''}, n={self.count})"
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create store of labeled instruments."""
+
+    def __init__(self):
+        self._metrics: dict[tuple[str, tuple], object] = {}
+
+    def _get(self, kind: str, name: str, labels: dict):
+        key = (name, tuple(sorted(labels.items())))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = _KINDS[kind](name, labels)
+            self._metrics[key] = metric
+            return metric
+        expected = _KINDS[kind]
+        if not isinstance(metric, expected):
+            raise TypeError(
+                f"metric {name!r}{labels} already registered as "
+                f"{type(metric).__name__}, not {expected.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get("histogram", name, labels)
+
+    # -- queries ---------------------------------------------------------------
+    def find(self, name: str, **match) -> Iterator:
+        """Yield every instrument named ``name`` whose labels are a
+        superset of ``match``."""
+        for (metric_name, _), metric in self._metrics.items():
+            if metric_name != name:
+                continue
+            if all(metric.labels.get(k) == v for k, v in match.items()):
+                yield metric
+
+    def total(self, name: str, **match) -> int:
+        """Sum of every matching counter's value (0 if none exist)."""
+        return sum(m.value for m in self.find(name, **match))
+
+    def as_dict(self) -> dict:
+        """A plain serializable snapshot, for reports and debugging."""
+        out = {}
+        for (name, label_items), metric in sorted(self._metrics.items()):
+            key = name
+            if label_items:
+                key += "{" + ",".join(f"{k}={v}" for k, v in label_items) + "}"
+            if isinstance(metric, Counter):
+                out[key] = metric.value
+            elif isinstance(metric, Gauge):
+                out[key] = {"last": metric.value, "samples": len(metric.times)}
+            else:
+                entry = {"count": metric.count, "sum": metric.total}
+                if metric.count:
+                    entry.update(
+                        mean=metric.mean,
+                        p50=metric.p50,
+                        p95=metric.p95,
+                        p99=metric.p99,
+                    )
+                out[key] = entry
+        return out
+
+    def __len__(self):
+        return len(self._metrics)

@@ -1,0 +1,152 @@
+"""Latency-breakdown reports over a :class:`~repro.obs.trace.Tracer`.
+
+The platform emits, per invocation, a root ``invocation`` span whose
+``phase``-category children partition the invocation's wall sim-time
+(platform queue, download, cuda_init, gpu_queue, model_load,
+processing, ...).  This module turns those span trees into:
+
+* :func:`invocation_breakdowns` — one row per invocation with its phase
+  attribution and *coverage* (fraction of the root span accounted for by
+  phase children; the acceptance bar is >= 0.95), plus the RPC call mix
+  observed under that invocation.
+* :func:`aggregate_breakdowns` — p50/p95/p99 (and mean) per phase and
+  for end-to-end latency, overall and per workload.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import _percentile
+
+__all__ = ["percentile", "invocation_breakdowns", "aggregate_breakdowns"]
+
+
+def percentile(values, q: float) -> float:
+    """Linear-interpolation percentile of a sequence."""
+    return _percentile(list(values), q)
+
+
+def invocation_breakdowns(tracer, invocations=None) -> list[dict]:
+    """One breakdown row per root ``invocation`` span in ``tracer``.
+
+    ``invocations`` (optional) restricts/orders the rows to the given
+    :class:`~repro.faas.platform.Invocation` records via their
+    ``trace_id`` and lets the report cross-check the span tree against
+    the invocation's measured ``e2e_s``.
+    """
+    by_trace = tracer.by_trace()
+    wanted: Optional[list] = None
+    if invocations is not None:
+        wanted = [inv for inv in invocations
+                  if getattr(inv, "trace_id", None) in by_trace]
+    rows = []
+    trace_ids = ([inv.trace_id for inv in wanted] if wanted is not None
+                 else sorted(by_trace))
+    inv_by_trace = ({inv.trace_id: inv for inv in wanted}
+                    if wanted is not None else {})
+    for trace_id in trace_ids:
+        records = by_trace[trace_id]
+        roots = [r for r in records if r.ph == "X" and r.cat == "invocation"]
+        if not roots:
+            continue
+        root = roots[0]
+        phases: dict[str, float] = {}
+        for r in records:
+            if r.ph == "X" and r.cat == "phase" and r.parent_id == root.span_id:
+                phases[r.name] = phases.get(r.name, 0.0) + r.duration_s
+        rpc_mix: dict[str, int] = {}
+        rpc_time = 0.0
+        for r in records:
+            if r.ph == "X" and r.cat == "rpc":
+                rpc_mix[r.name] = rpc_mix.get(r.name, 0) + 1
+                rpc_time += r.duration_s
+        attributed = sum(phases.values())
+        duration = root.duration_s
+        row = {
+            "trace_id": trace_id,
+            "invocation_id": root.args.get("invocation_id"),
+            "workload": root.args.get("workload", root.name),
+            "status": root.args.get("status", "unknown"),
+            "e2e_s": duration,
+            "phases": phases,
+            "attributed_s": attributed,
+            "coverage": attributed / duration if duration > 0 else 1.0,
+            "rpc_calls": sum(rpc_mix.values()),
+            "rpc_time_s": rpc_time,
+            "rpc_mix": rpc_mix,
+        }
+        inv = inv_by_trace.get(trace_id)
+        if inv is not None:
+            row["measured_e2e_s"] = inv.e2e_s
+            row["e2e_matches_span"] = abs(inv.e2e_s - duration) < 1e-9
+        rows.append(row)
+    return rows
+
+
+def _series_stats(values: list[float]) -> dict:
+    return {
+        "mean": sum(values) / len(values),
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+    }
+
+
+def _aggregate(rows: list[dict]) -> dict:
+    phase_series: dict[str, list[float]] = {}
+    for row in rows:
+        for name, seconds in row["phases"].items():
+            phase_series.setdefault(name, []).append(seconds)
+    rpc_mix: dict[str, int] = {}
+    for row in rows:
+        for name, n in row["rpc_mix"].items():
+            rpc_mix[name] = rpc_mix.get(name, 0) + n
+    return {
+        "count": len(rows),
+        "e2e": _series_stats([row["e2e_s"] for row in rows]),
+        "coverage_min": min(row["coverage"] for row in rows),
+        "coverage_mean": sum(row["coverage"] for row in rows) / len(rows),
+        "phases": {name: _series_stats(vals)
+                   for name, vals in sorted(phase_series.items())},
+        "rpc_mix": dict(sorted(rpc_mix.items())),
+    }
+
+
+def aggregate_breakdowns(rows: list[dict]) -> dict:
+    """Aggregate breakdown rows to percentiles, overall and per workload."""
+    if not rows:
+        return {"count": 0, "workloads": {}}
+    out = _aggregate(rows)
+    by_workload: dict[str, list[dict]] = {}
+    for row in rows:
+        by_workload.setdefault(row["workload"], []).append(row)
+    out["workloads"] = {
+        name: _aggregate(group) for name, group in sorted(by_workload.items())
+    }
+    return out
+
+
+def breakdown_table_rows(aggregate: dict) -> list[dict]:
+    """Flatten an :func:`aggregate_breakdowns` result into table rows
+    (one per workload phase) for ``experiments.reporting.render_table``."""
+    rows = []
+    for workload, agg in aggregate.get("workloads", {}).items():
+        for phase, stats in agg["phases"].items():
+            rows.append({
+                "workload": workload,
+                "phase": phase,
+                "mean_s": round(stats["mean"], 4),
+                "p50_s": round(stats["p50"], 4),
+                "p95_s": round(stats["p95"], 4),
+                "p99_s": round(stats["p99"], 4),
+            })
+        rows.append({
+            "workload": workload,
+            "phase": "e2e",
+            "mean_s": round(agg["e2e"]["mean"], 4),
+            "p50_s": round(agg["e2e"]["p50"], 4),
+            "p95_s": round(agg["e2e"]["p95"], 4),
+            "p99_s": round(agg["e2e"]["p99"], 4),
+        })
+    return rows

@@ -1,0 +1,286 @@
+"""Span-based sim-time tracing with Chrome trace-event export.
+
+Every invocation gets a *trace* (one ``trace_id``); layers along the way
+open *spans* against it: the platform records the root ``invocation``
+span and one child span per measured phase, the guest wraps each RPC
+round trip (sync and async), the API server wraps execution of each
+request, and the monitor records GPU-queue waits and migrations.
+Point-in-time happenings (retries, crashes, batch flushes) are
+*instants*.
+
+The tracer is **bounded**: past ``max_spans`` records it stops storing
+and counts what it dropped — it never drops silently (``dropped`` is
+surfaced in :meth:`Tracer.summary` and in the exported JSON's
+``otherData``).
+
+Recording is pure bookkeeping over ``env.now`` — no events, no timeouts,
+no RNG — so tracing never perturbs the simulated timeline.
+
+Export is the Chrome trace-event JSON object format (``traceEvents`` +
+metadata), loadable in Perfetto or chrome://tracing.  Track names
+(``pid``/``tid``) are strings internally and mapped to integers with
+``process_name``/``thread_name`` metadata events on export; timestamps
+are microseconds per the format spec.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Span", "SpanRecord", "Tracer"]
+
+_span_ids = itertools.count(1)
+_trace_ids = itertools.count(1)
+
+
+@dataclass
+class SpanRecord:
+    """One completed span ("X") or instant ("i") event."""
+
+    span_id: int
+    parent_id: Optional[int]
+    trace_id: Optional[int]
+    name: str
+    cat: str
+    t_start: float
+    t_end: float
+    pid: str
+    tid: str
+    ph: str = "X"
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_end - self.t_start
+
+
+class Span:
+    """An open span; call :meth:`end` to record it."""
+
+    __slots__ = (
+        "tracer", "span_id", "parent_id", "trace_id",
+        "name", "cat", "pid", "tid", "t_start", "args", "_ended",
+    )
+
+    def __init__(self, tracer, name, cat, pid, tid, trace_id, parent_id,
+                 t_start, args):
+        self.tracer = tracer
+        self.span_id = next(_span_ids)
+        self.parent_id = parent_id
+        self.trace_id = trace_id
+        self.name = name
+        self.cat = cat
+        self.pid = pid
+        self.tid = tid
+        self.t_start = t_start
+        self.args = args
+        self._ended = False
+
+    def end(self, t_end: Optional[float] = None, **args) -> None:
+        """Record the span, closing it at ``t_end`` (default: now)."""
+        if self._ended:
+            return
+        self._ended = True
+        if args:
+            self.args.update(args)
+        self.tracer._record(SpanRecord(
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            trace_id=self.trace_id,
+            name=self.name,
+            cat=self.cat,
+            t_start=self.t_start,
+            t_end=self.tracer.now if t_end is None else t_end,
+            pid=self.pid,
+            tid=self.tid,
+            args=self.args,
+        ))
+
+    # -- children ---------------------------------------------------------------
+    def child(self, name: str, cat: str = "span", **args) -> "Span":
+        """Open a child span on the same track, starting now."""
+        return self.tracer.begin(
+            name, cat=cat, pid=self.pid, tid=self.tid,
+            trace_id=self.trace_id, parent=self, **args,
+        )
+
+    def child_complete(self, name: str, t_start: float, t_end: float,
+                       cat: str = "span", **args) -> None:
+        """Record an already-finished child span (retroactive)."""
+        self.tracer.complete(
+            name, t_start, t_end, cat=cat, pid=self.pid, tid=self.tid,
+            trace_id=self.trace_id, parent=self, **args,
+        )
+
+    def phase(self, name: str, seconds: float) -> None:
+        """Record a phase that just finished (ending now) and took
+        ``seconds`` — the shape ``Invocation.add_phase`` reports in."""
+        now = self.tracer.now
+        self.child_complete(name, now - seconds, now, cat="phase")
+
+    def instant(self, name: str, **args) -> None:
+        self.tracer.instant(
+            name, pid=self.pid, tid=self.tid,
+            trace_id=self.trace_id, parent=self, **args,
+        )
+
+
+class Tracer:
+    """Bounded collector of spans across the whole deployment."""
+
+    def __init__(self, env, max_spans: int = 250_000):
+        if max_spans <= 0:
+            raise ValueError("max_spans must be positive")
+        self.env = env
+        self.max_spans = max_spans
+        self.records: list[SpanRecord] = []
+        #: records discarded because the tracer was full — never silent:
+        #: surfaced in summary() and the exported JSON
+        self.dropped = 0
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def new_trace_id(self) -> int:
+        return next(_trace_ids)
+
+    # -- recording --------------------------------------------------------------
+    def begin(self, name: str, cat: str = "span", pid: str = "sim",
+              tid: str = "main", trace_id: Optional[int] = None,
+              parent: Optional[Span] = None, t_start: Optional[float] = None,
+              **args) -> Span:
+        """Open a span starting now (or at ``t_start``)."""
+        return Span(
+            self, name, cat, pid, tid,
+            trace_id=trace_id if trace_id is not None else
+            (parent.trace_id if parent is not None else None),
+            parent_id=parent.span_id if parent is not None else None,
+            t_start=self.now if t_start is None else t_start,
+            args=args,
+        )
+
+    def complete(self, name: str, t_start: float, t_end: float,
+                 cat: str = "span", pid: str = "sim", tid: str = "main",
+                 trace_id: Optional[int] = None,
+                 parent: Optional[Span] = None,
+                 parent_id: Optional[int] = None, **args) -> None:
+        """Record an already-finished span in one shot.
+
+        ``parent`` takes a :class:`Span` handle; layers that only carry the
+        propagated ``(trace_id, span_id)`` wire context (e.g. the API
+        server) pass the raw ``parent_id`` instead.
+        """
+        self._record(SpanRecord(
+            span_id=next(_span_ids),
+            parent_id=parent.span_id if parent is not None else parent_id,
+            trace_id=trace_id if trace_id is not None else
+            (parent.trace_id if parent is not None else None),
+            name=name, cat=cat, t_start=t_start, t_end=t_end,
+            pid=pid, tid=tid, args=args,
+        ))
+
+    def instant(self, name: str, cat: str = "event", pid: str = "sim",
+                tid: str = "main", trace_id: Optional[int] = None,
+                parent: Optional[Span] = None,
+                parent_id: Optional[int] = None, **args) -> None:
+        """Record a point-in-time event (retry, crash, flush, ...)."""
+        now = self.now
+        self._record(SpanRecord(
+            span_id=next(_span_ids),
+            parent_id=parent.span_id if parent is not None else parent_id,
+            trace_id=trace_id if trace_id is not None else
+            (parent.trace_id if parent is not None else None),
+            name=name, cat=cat, t_start=now, t_end=now,
+            pid=pid, tid=tid, ph="i", args=args,
+        ))
+
+    def _record(self, record: SpanRecord) -> None:
+        if len(self.records) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.records.append(record)
+
+    # -- queries ----------------------------------------------------------------
+    def spans(self, cat: Optional[str] = None) -> list[SpanRecord]:
+        if cat is None:
+            return [r for r in self.records if r.ph == "X"]
+        return [r for r in self.records if r.ph == "X" and r.cat == cat]
+
+    def instants(self, name: Optional[str] = None) -> list[SpanRecord]:
+        if name is None:
+            return [r for r in self.records if r.ph == "i"]
+        return [r for r in self.records if r.ph == "i" and r.name == name]
+
+    def by_trace(self) -> dict[int, list[SpanRecord]]:
+        out: dict[int, list[SpanRecord]] = {}
+        for r in self.records:
+            if r.trace_id is not None:
+                out.setdefault(r.trace_id, []).append(r)
+        return out
+
+    def summary(self) -> dict:
+        return {
+            "spans": sum(1 for r in self.records if r.ph == "X"),
+            "instants": sum(1 for r in self.records if r.ph == "i"),
+            "traces": len(self.by_trace()),
+            "dropped": self.dropped,
+            "max_spans": self.max_spans,
+        }
+
+    # -- export -----------------------------------------------------------------
+    def to_chrome(self) -> dict:
+        """Chrome trace-event JSON (object format) for Perfetto."""
+        pids: dict[str, int] = {}
+        tids: dict[tuple[str, str], int] = {}
+        events: list[dict] = []
+        for r in self.records:
+            if r.pid not in pids:
+                pids[r.pid] = len(pids) + 1
+                events.append({
+                    "ph": "M", "name": "process_name", "pid": pids[r.pid],
+                    "tid": 0, "args": {"name": r.pid},
+                })
+            track = (r.pid, r.tid)
+            if track not in tids:
+                tids[track] = len(tids) + 1
+                events.append({
+                    "ph": "M", "name": "thread_name", "pid": pids[r.pid],
+                    "tid": tids[track], "args": {"name": r.tid},
+                })
+            args = dict(r.args)
+            if r.trace_id is not None:
+                args["trace_id"] = r.trace_id
+            args["span_id"] = r.span_id
+            if r.parent_id is not None:
+                args["parent_id"] = r.parent_id
+            event = {
+                "name": r.name,
+                "cat": r.cat,
+                "ph": r.ph,
+                "ts": r.t_start * 1e6,
+                "pid": pids[r.pid],
+                "tid": tids[track],
+                "args": args,
+            }
+            if r.ph == "X":
+                event["dur"] = (r.t_end - r.t_start) * 1e6
+            else:
+                event["s"] = "t"
+            events.append(event)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "source": "repro.obs",
+                "clock": "sim-seconds",
+                "dropped": self.dropped,
+            },
+        }
+
+    def dump_chrome(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome(), fh)

@@ -44,6 +44,16 @@ class NvmlSampler:
         self.samples: dict[int, list[float]] = {d.device_id: [] for d in devices}
         self._proc = None
         self._stopped = False
+        #: device_id -> repro.obs Gauge mirroring the sample stream
+        self._gauges: dict[int, object] = {}
+
+    def bind_metrics(self, registry, **labels) -> None:
+        """Publish each device's utilization as a ``gpu.utilization`` gauge
+        series in ``registry`` (labels identify the GPU server)."""
+        for device in self.devices:
+            self._gauges[device.device_id] = registry.gauge(
+                "gpu.utilization", device=device.device_id, **labels
+            )
 
     def start(self):
         """Begin sampling; returns the sampler process."""
@@ -62,7 +72,11 @@ class NvmlSampler:
                 continue
             self.times.append(now)
             for device in self.devices:
-                self.samples[device.device_id].append(device.utilization(start, now))
+                util = device.utilization(start, now)
+                self.samples[device.device_id].append(util)
+                gauge = self._gauges.get(device.device_id)
+                if gauge is not None:
+                    gauge.set(util, now)
 
     def series(self, device_id: int) -> tuple[np.ndarray, np.ndarray]:
         """(times, utilization%) for one GPU."""

@@ -44,6 +44,11 @@ class Connection:
         #: optional :class:`~repro.simnet.faults.LinkFaultInjector` applied
         #: to messages in both directions
         self.faults = None
+        #: optional :class:`repro.obs.Tracer`: when set, every message
+        #: transfer is recorded as a "net" span (bytes, route, drops)
+        self.tracer = None
+        #: track label for trace export (set by whoever owns the connection)
+        self.label = ""
 
     @property
     def endpoints(self) -> tuple["Endpoint", "Endpoint"]:
@@ -101,7 +106,17 @@ class Endpoint:
         self._last_delivery = deliver_at
         self.messages_sent += 1
         self.bytes_out += size
-        if faults is not None and faults.drops(self.env.now):
+        lost = faults is not None and faults.drops(self.env.now)
+        tracer = self.connection.tracer
+        if tracer is not None:
+            tracer.complete(
+                f"xfer:{type(payload).__name__}", self.env.now, deliver_at,
+                cat="net", pid="net",
+                tid=self.connection.label or f"{self.local.name}->{self.remote.name}",
+                bytes=size, src=self.local.name, dst=self.remote.name,
+                **({"dropped": True} if lost else {}),
+            )
+        if lost:
             # Transmitted (wire time charged above) but lost in flight.
             return deliver_at
         peer_inbox = self._peer.inbox

@@ -94,7 +94,7 @@ class PendingReply:
     is.
     """
 
-    __slots__ = ("client", "msg_id", "method", "_recv", "_done")
+    __slots__ = ("client", "msg_id", "method", "_recv", "_done", "span")
 
     def __init__(self, client: "RpcClient", msg_id: int, method: str, recv):
         self.client = client
@@ -102,6 +102,9 @@ class PendingReply:
         self.method = method
         self._recv = recv
         self._done = False
+        #: optional open tracing span (repro.obs) closed when the reply is
+        #: harvested, times out, or the handle is abandoned
+        self.span = None
 
     @property
     def arrived(self) -> bool:
@@ -168,6 +171,10 @@ class RpcClient:
         self.in_flight = 0
         self.max_in_flight = 0
         self.replies_harvested = 0
+        #: optional (trace_id, parent_span_id) propagated on every request
+        #: so the server can parent its execution spans under the caller's
+        #: invocation (set by the guest when tracing is on)
+        self.trace_ctx = None
 
     @property
     def env(self) -> Environment:
@@ -200,6 +207,8 @@ class RpcClient:
             extra_bytes=extra_bytes,
         )
         request._reply_extra = reply_extra_bytes  # hint carried to the server
+        if self.trace_ctx is not None:
+            request._trace = self.trace_ctx  # non-wire tracing context
         self.calls_sent += 1
         self.messages_sent += 1
         self.in_flight += 1
@@ -245,6 +254,8 @@ class RpcClient:
             extra_bytes=extra_bytes,
             oneway=True,
         )
+        if self.trace_ctx is not None:
+            request._trace = self.trace_ctx
         self.calls_sent += 1
         self.messages_sent += 1
         self.endpoint.send(request, extra_bytes=extra_bytes)
@@ -270,6 +281,8 @@ class RpcClient:
             oneway=oneway,
             extra_bytes=sum(s.extra_bytes for s in subs),
         )
+        if self.trace_ctx is not None:
+            batch._trace = self.trace_ctx
         self.calls_sent += len(subs)
         self.messages_sent += 1
         self.endpoint.send(batch, extra_bytes=batch.extra_bytes)
@@ -342,6 +355,11 @@ class RpcServer:
         reply_extra = getattr(request, "_reply_extra", 0)
         try:
             if request.batch is not None:
+                trace = getattr(request, "_trace", None)
+                if trace is not None and request.batch:
+                    # the batch handler only sees the sub-requests; carry
+                    # the envelope's tracing context on the first of them
+                    request.batch[0]._trace = trace
                 if self.batch_handler is not None:
                     value = yield from self.batch_handler(request.batch)
                 else:

@@ -1,0 +1,101 @@
+"""Unit tests for the repro.obs metrics registry."""
+
+import numpy as np
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, percentile
+
+
+# --- instruments -------------------------------------------------------------
+
+def test_counter_increments_and_rejects_negative():
+    c = Counter("x", {})
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_keeps_series_and_last_value():
+    g = Gauge("g", {})
+    assert g.value is None
+    g.set(0.5, t=1.0)
+    g.set(0.7, t=2.0)
+    assert g.value == 0.7
+    assert g.series() == [(1.0, 0.5), (2.0, 0.7)]
+
+
+def test_histogram_percentiles_match_numpy():
+    h = Histogram("h", {})
+    rng = np.random.default_rng(7)
+    values = rng.uniform(0, 100, size=257)
+    for v in values:
+        h.observe(float(v))
+    for q in (50, 95, 99):
+        assert h.percentile(q) == pytest.approx(float(np.percentile(values, q)))
+    assert h.p50 == h.percentile(50)
+    assert h.mean == pytest.approx(float(values.mean()))
+    assert h.count == 257
+
+
+def test_histogram_empty_raises():
+    h = Histogram("h", {})
+    with pytest.raises(ValueError):
+        h.mean
+    with pytest.raises(ValueError):
+        h.percentile(50)
+
+
+def test_percentile_single_value_and_interpolation():
+    assert percentile([3.0], 50) == 3.0
+    assert percentile([1.0, 2.0], 50) == pytest.approx(1.5)
+    assert percentile([0.0, 10.0], 95) == pytest.approx(9.5)
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+# --- registry ----------------------------------------------------------------
+
+def test_registry_get_or_create_is_idempotent():
+    reg = MetricsRegistry()
+    a = reg.counter("rpc.calls", guest=1)
+    b = reg.counter("rpc.calls", guest=1)
+    assert a is b
+    other = reg.counter("rpc.calls", guest=2)
+    assert other is not a
+    assert len(reg) == 2
+
+
+def test_registry_kind_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.counter("m")
+    with pytest.raises(TypeError):
+        reg.gauge("m")
+    with pytest.raises(TypeError):
+        reg.histogram("m")
+
+
+def test_registry_find_matches_label_superset():
+    reg = MetricsRegistry()
+    reg.counter("cache.hits", server=0, tier="ssd").inc(3)
+    reg.counter("cache.hits", server=1, tier="ssd").inc(5)
+    reg.counter("cache.misses", server=0).inc(9)
+    hits = list(reg.find("cache.hits", tier="ssd"))
+    assert len(hits) == 2
+    only0 = list(reg.find("cache.hits", server=0))
+    assert len(only0) == 1 and only0[0].value == 3
+    assert reg.total("cache.hits") == 8
+    assert reg.total("cache.hits", server=1) == 5
+    assert reg.total("nothing.here") == 0
+
+
+def test_registry_as_dict_snapshot():
+    reg = MetricsRegistry()
+    reg.counter("a.b", x=1).inc(2)
+    reg.gauge("g").set(0.25, t=3.0)
+    reg.histogram("h").observe(1.0)
+    snap = reg.as_dict()
+    assert snap["a.b{x=1}"] == 2
+    assert snap["g"]["last"] == 0.25
+    assert snap["h"]["count"] == 1

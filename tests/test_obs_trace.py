@@ -1,0 +1,147 @@
+"""Unit tests for the repro.obs span tracer and Chrome export."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer
+from repro.sim import Environment
+
+
+def make_tracer(**kw):
+    return Tracer(Environment(), **kw)
+
+
+# --- span lifecycle ----------------------------------------------------------
+
+def test_begin_end_records_span():
+    tracer = make_tracer()
+    span = tracer.begin("work", cat="test", pid="p", tid="t",
+                        trace_id=tracer.new_trace_id(), foo=1)
+    tracer.env.run(until=2.5)
+    span.end(status="ok")
+    (rec,) = tracer.records
+    assert rec.name == "work" and rec.cat == "test"
+    assert rec.t_start == 0.0 and rec.t_end == 2.5
+    assert rec.args == {"foo": 1, "status": "ok"}
+    assert rec.ph == "X"
+
+
+def test_end_is_idempotent():
+    tracer = make_tracer()
+    span = tracer.begin("once")
+    span.end()
+    span.end()
+    assert len(tracer.records) == 1
+
+
+def test_end_at_explicit_time():
+    tracer = make_tracer()
+    span = tracer.begin("s")
+    tracer.env.run(until=5.0)
+    span.end(t_end=3.0)
+    assert tracer.records[0].t_end == 3.0
+
+
+def test_children_share_trace_and_parent():
+    tracer = make_tracer()
+    root = tracer.begin("root", trace_id=tracer.new_trace_id())
+    child = root.child("child")
+    child.end()
+    root.child_complete("done", 0.0, 1.0, cat="phase")
+    root.instant("blip", detail="x")
+    root.end()
+    by_name = {r.name: r for r in tracer.records}
+    for name in ("child", "done", "blip"):
+        assert by_name[name].parent_id == root.span_id
+        assert by_name[name].trace_id == root.trace_id
+    assert by_name["blip"].ph == "i"
+    assert by_name["done"].cat == "phase"
+
+
+def test_phase_helper_records_trailing_window():
+    tracer = make_tracer()
+    root = tracer.begin("root", trace_id=tracer.new_trace_id())
+    tracer.env.run(until=4.0)
+    root.phase("download", 1.5)
+    (rec,) = tracer.records
+    assert rec.t_start == pytest.approx(2.5)
+    assert rec.t_end == pytest.approx(4.0)
+    assert rec.cat == "phase"
+
+
+def test_complete_with_raw_parent_id():
+    """Server-side layers only carry the wire (trace_id, span_id) context."""
+    tracer = make_tracer()
+    tracer.complete("srv:exec", 1.0, 2.0, cat="server",
+                    trace_id=42, parent_id=7, server=3)
+    (rec,) = tracer.records
+    assert rec.trace_id == 42 and rec.parent_id == 7
+    assert rec.duration_s == pytest.approx(1.0)
+
+
+# --- bounding ----------------------------------------------------------------
+
+def test_tracer_never_drops_silently():
+    tracer = make_tracer(max_spans=3)
+    for i in range(5):
+        tracer.complete(f"s{i}", 0.0, 1.0)
+    assert len(tracer.records) == 3
+    assert tracer.dropped == 2
+    assert tracer.summary()["dropped"] == 2
+    assert tracer.to_chrome()["otherData"]["dropped"] == 2
+
+
+def test_max_spans_validation():
+    with pytest.raises(ValueError):
+        make_tracer(max_spans=0)
+
+
+# --- queries -----------------------------------------------------------------
+
+def test_queries_by_cat_name_and_trace():
+    tracer = make_tracer()
+    t1, t2 = tracer.new_trace_id(), tracer.new_trace_id()
+    tracer.complete("a", 0, 1, cat="rpc", trace_id=t1)
+    tracer.complete("b", 0, 2, cat="phase", trace_id=t1)
+    tracer.complete("c", 0, 3, cat="rpc", trace_id=t2)
+    tracer.instant("retry", trace_id=t2)
+    assert len(tracer.spans()) == 3
+    assert [r.name for r in tracer.spans("rpc")] == ["a", "c"]
+    assert [r.name for r in tracer.instants("retry")] == ["retry"]
+    grouped = tracer.by_trace()
+    assert {len(grouped[t1]), len(grouped[t2])} == {2}
+    s = tracer.summary()
+    assert s["spans"] == 3 and s["instants"] == 1 and s["traces"] == 2
+
+
+# --- Chrome export -----------------------------------------------------------
+
+def test_chrome_export_format(tmp_path):
+    tracer = make_tracer()
+    trace_id = tracer.new_trace_id()
+    root = tracer.begin("invocation:x", cat="invocation",
+                        pid="invocations", tid="inv-1", trace_id=trace_id)
+    tracer.env.run(until=1.25)
+    root.phase("download", 1.0)
+    root.instant("blip")
+    root.end()
+    out = tracer.to_chrome()
+    assert out["displayTimeUnit"] == "ms"
+    events = out["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert {m["name"] for m in meta} == {"process_name", "thread_name"}
+    # integer pids/tids, names carried in metadata
+    assert all(isinstance(e["pid"], int) for e in events)
+    xs = [e for e in events if e["ph"] == "X"]
+    root_ev = next(e for e in xs if e["name"] == "invocation:x")
+    assert root_ev["ts"] == 0.0 and root_ev["dur"] == pytest.approx(1.25e6)
+    phase_ev = next(e for e in xs if e["name"] == "download")
+    assert phase_ev["args"]["parent_id"] == root.span_id
+    assert phase_ev["args"]["trace_id"] == trace_id
+    inst = next(e for e in events if e["ph"] == "i")
+    assert inst["s"] == "t"
+    # round-trips through a file as valid JSON
+    path = tmp_path / "trace.json"
+    tracer.dump_chrome(path)
+    assert json.loads(path.read_text())["otherData"]["clock"] == "sim-seconds"

@@ -74,3 +74,90 @@ def test_moving_average_empty_and_invalid():
     assert moving_average([], 5).size == 0
     with pytest.raises(ValueError):
         moving_average([1], 0)
+
+
+# --- edge cases: zero-length windows, crashes, migration ---------------------
+
+def test_zero_length_window_rejected_by_engine():
+    """The utilization engine refuses an empty window — the contract the
+    sampler's ``now <= start`` guard exists to respect."""
+    env = Environment()
+    gpu = SimGPU(env, 0)
+    env.run(until=1.0)
+    with pytest.raises(ValueError):
+        gpu.utilization(1.0, 1.0)
+
+
+def test_sampler_window_clamped_at_time_zero():
+    """A sample window larger than elapsed sim time clamps to [0, now]
+    instead of producing a zero/negative-length window."""
+    env = Environment()
+    gpu = SimGPU(env, 0)
+    sampler = NvmlSampler(env, [gpu], query_interval_s=0.1, sample_window_s=5.0)
+    sampler.start()
+    gpu.launch(0.35)
+    env.run(until=0.31)
+    assert sampler.times == pytest.approx([0.1, 0.2, 0.3])
+    for util in sampler.samples[0]:
+        assert util == pytest.approx(1.0)
+
+
+def test_sampler_survives_api_server_crash_and_teardown():
+    """Crashing an API server (and later tearing the whole GPU server
+    down) must not wedge or corrupt the sampler: it keeps emitting samples
+    and its bound gauge series stays in lockstep."""
+    from repro.core import DgsfConfig
+    from repro.testing import make_world
+
+    world = make_world(DgsfConfig(num_gpus=1))
+    sampler = world.gpu_server.nvml
+    sampler.start()
+    world.env.run(until=world.env.now + 1.0)
+    before_crash = len(sampler.times)
+    assert before_crash > 0
+    server = world.gpu_server.api_servers[0]
+    server.crash()
+    world.env.run(until=world.env.now + 10.0)  # crash + full re-bring-up
+    assert not server.dead
+    after_recovery = len(sampler.times)
+    assert after_recovery > before_crash
+    world.env.run(until=world.env.now + 1.0)
+    assert len(sampler.times) > after_recovery
+    # gauge series (bound by the deployment) mirrors the raw samples
+    (gauge,) = world.dep.metrics.find("gpu.utilization", device=0)
+    assert gauge.times == sampler.times
+    assert gauge.values == sampler.samples[0]
+    # teardown: sampling continues (reads 0%) without raising
+    world.drive(world.gpu_server.shutdown())
+    world.env.run(until=world.env.now + 1.0)
+    assert sampler.samples[0][-1] == pytest.approx(0.0)
+
+
+def test_samples_survive_live_migration():
+    """Live-migrating an API server between GPUs must leave the sampler's
+    per-device streams intact — equal length, strictly increasing times —
+    and attribute post-migration kernel work to the target GPU."""
+    from repro.core import DgsfConfig
+    from repro.core.migration import migrate_api_server
+    from repro.simcuda.types import GB, MB
+    from repro.testing import make_world
+
+    world = make_world(DgsfConfig(num_gpus=2))
+    sampler = world.gpu_server.nvml
+    sampler.start()
+    guest, server, rpc = world.attach_guest(declared_bytes=1 * GB)
+    ptr = world.drive(guest.cudaMalloc(64 * MB))
+    world.drive(guest.memcpyH2D(ptr, 64 * MB))
+    proc = world.env.process(migrate_api_server(server, 1))
+    world.env.run(until=proc)
+    assert server.current_device_id == 1
+    # post-migration work lands on GPU 1
+    inc = world.drive(guest.cudaGetFunction("increment"))
+    world.drive(guest.cudaLaunchKernel(inc, args=(0.5, ptr, 16)))
+    world.drive(guest.cudaDeviceSynchronize())
+    world.env.run(until=world.env.now + 0.5)
+    assert len(sampler.samples[0]) == len(sampler.samples[1]) == len(sampler.times)
+    assert all(b > a for a, b in zip(sampler.times, sampler.times[1:]))
+    tail = sampler.samples[1][-6:]
+    assert max(tail) > 0.0  # GPU 1 saw the post-migration kernel
+    world.detach_guest(guest, server, rpc)

@@ -71,6 +71,31 @@ def test_trace_capacity_bound():
     assert len(trace) == 2
 
 
+def test_trace_truncation_is_never_silent():
+    """Records refused at the cap are counted, not dropped silently."""
+    trace = CallTrace(max_records=2)
+    for t in range(5):
+        trace.add(CallRecord(t=float(t), api="x", route="local", duration_s=0))
+    assert trace.dropped == 3
+    assert trace.truncated
+    summary = trace.summary()
+    assert summary["dropped"] == 3
+    assert summary["truncated"] is True
+    assert summary["records"] == 2
+    # sub-traces inherit the truncation marker: the window may be missing
+    # records too
+    assert trace.between(0.0, 1.5).dropped == 3
+
+
+def test_untruncated_trace_reports_clean_summary():
+    trace = CallTrace()
+    trace.add(CallRecord(t=0.0, api="x", route="remote", duration_s=0.1))
+    summary = trace.summary()
+    assert summary["dropped"] == 0
+    assert summary["truncated"] is False
+    assert summary["by_route"] == {"remote": 1}
+
+
 def test_traced_guest_still_returns_correct_results(traced):
     """Tracing must be transparent to the application."""
     import numpy as np
