@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Scheduler ablation benchmark: queue-wait fairness across disciplines.
+
+Runs the contended mixed workload under every queue discipline (fcfs,
+sff, sff_aged, mqfq) and writes the per-size-class queue-wait table to
+``BENCH_sched.json`` at the repo root so successive PRs can diff
+fairness behaviour alongside ``BENCH_ablation.json``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_sched.py [--out PATH] [--copies N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.scheduler import DISCIPLINES  # noqa: E402
+from repro.experiments import render_table, sched_ablation  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_sched.json",
+        help="output JSON path (default: BENCH_sched.json at the repo root)",
+    )
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--copies", type=int, default=4,
+                        help="instances per workload in the contended plan")
+    args = parser.parse_args(argv)
+
+    t0 = time.perf_counter()
+    rows = sched_ablation.run(seed=args.seed, copies=args.copies)
+    wall_s = time.perf_counter() - t0
+
+    print(
+        render_table(
+            "Scheduler ablation — queue wait by size class (s)",
+            rows,
+            columns=[
+                "discipline", "size_class", "n", "mean_queue_s",
+                "p50_queue_s", "p99_queue_s", "max_wait_s", "provider_e2e_s",
+            ],
+        )
+    )
+
+    result = {
+        "experiment": "sched_ablation",
+        "seed": args.seed,
+        "copies": args.copies,
+        "python": platform.python_version(),
+        "wall_seconds": round(wall_s, 2),
+        "disciplines": list(DISCIPLINES),
+        "rows": rows,
+    }
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

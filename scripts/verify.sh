@@ -20,3 +20,7 @@ PYTHONPATH=src python scripts/profile_report.py \
     --workload kmeans \
     --out-dir "${PROFILE_OUT_DIR:-/tmp/dgsf-profile}" \
     --min-coverage 0.95
+
+echo "== scheduler ablation smoke (bench_sched) =="
+PYTHONPATH=src python scripts/bench_sched.py --copies 2 \
+    --out "${SCHED_BENCH_OUT:-/tmp/dgsf-bench-sched.json}"

@@ -8,8 +8,11 @@
   descriptor pooling, call batching, local emulation (§V-B, §V-C).
 * :mod:`~repro.core.api_server` — API servers with pre-created contexts
   and handle pools; restricted-API simulation (§V-A, §V-C).
-* :mod:`~repro.core.monitor` — GPU-server monitor: statistics, FCFS
-  function queue, GPU assignment policies, imbalance detection (§V-A).
+* :mod:`~repro.core.monitor` — GPU-server monitor: statistics, the
+  function queue + charge ledger, GPU assignment policies, imbalance
+  detection (§V-A).
+* :mod:`~repro.core.scheduler` — pluggable dispatch disciplines: FCFS,
+  SFF, aged SFF (starvation-bounded), MQFQ-style fair queueing.
 * :mod:`~repro.core.migration` — VA-preserving live migration (§V-D).
 * :mod:`~repro.core.gpu_server` — manager + assembly of one GPU server.
 * :mod:`~repro.core.deployment` — end-to-end wiring: serverless platform
@@ -23,6 +26,7 @@ from repro.core.backend import GpuBackend
 from repro.core.handlepool import HandlePools
 from repro.core.api_server import ApiServer, ApiServerDown
 from repro.core.monitor import Monitor, GpuRequest
+from repro.core.scheduler import DISCIPLINES, DispatchScheduler, make_scheduler, size_class
 from repro.core.gpu_server import GpuServer
 from repro.core.guest import GuestLibrary, GuestGpuBundle, GuestRpcError
 from repro.core.migration import migrate_api_server, MigrationRecord
@@ -60,6 +64,10 @@ __all__ = [
     "ApiServerDown",
     "Monitor",
     "GpuRequest",
+    "DISCIPLINES",
+    "DispatchScheduler",
+    "make_scheduler",
+    "size_class",
     "GpuServer",
     "GuestLibrary",
     "GuestGpuBundle",

@@ -125,8 +125,6 @@ class ApiServer:
         self.exec_lock = Resource(env, capacity=1)
         self.migrations = 0
         self.requests_handled = 0
-        #: declared bytes the monitor charged this server's assignment with
-        self._charged_bytes = 0
         #: set by the monitor between grant and release so a server cannot
         #: be handed to two functions (begin_session happens later, after
         #: the reply network hop)
@@ -169,6 +167,13 @@ class ApiServer:
     @property
     def costs(self) -> CostModel:
         return self.gpu_server.costs
+
+    @property
+    def charged_bytes(self) -> int:
+        """Declared bytes the monitor's charge ledger holds against this
+        server's current assignment (0 while idle)."""
+        monitor = getattr(self.gpu_server, "monitor", None)
+        return monitor.charged_bytes(self) if monitor is not None else 0
 
     def setup(self) -> Generator:
         """Create the home context + own handle pair (off critical path)."""

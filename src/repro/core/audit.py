@@ -6,9 +6,9 @@ model can silently drift apart.  This module checks, at any quiescent
 point:
 
 * **committed-vs-charged consistency** — the monitor's per-device
-  ``committed`` bytes equal the sum of per-server ``_charged_bytes`` the
-  scheduler charged against that device, and every charge belongs to a
-  live (or recovering) server,
+  ``committed`` bytes equal the sum of the charges its ledger
+  (:meth:`Monitor.charges`) holds against that device, and every charge
+  belongs to a live (or recovering) server,
 * **device memory accounting** — ``mem_used`` never exceeds capacity and
   always covers the bytes of live tracked allocations (the rest is
   reserved static footprint: contexts, handles),
@@ -77,22 +77,23 @@ def audit_gpu_server(gpu_server, end_state: bool = False,
 
     # 1. committed == sum of charges, per device; charges map to real servers.
     by_id = {s.server_id: s for s in servers}
+    charges = monitor.charges()
     charged_sum: dict[int, int] = {d.device_id: 0 for d in gpu_server.devices}
-    for sid, device_id in monitor._charged_device.items():
+    for sid, (device_id, charged_bytes) in charges.items():
         server = by_id.get(sid)
         if server is None:
             report.add("charge", f"charge for unknown server {sid}")
             continue
-        if server._charged_bytes <= 0:
+        if charged_bytes <= 0:
             report.add(
                 "charge",
                 f"server {sid} charged against GPU {device_id} "
-                f"with non-positive bytes ({server._charged_bytes})",
+                f"with non-positive bytes ({charged_bytes})",
             )
         if device_id not in charged_sum:
             report.add("charge", f"server {sid} charged against unknown GPU {device_id}")
             continue
-        charged_sum[device_id] += server._charged_bytes
+        charged_sum[device_id] += charged_bytes
     for device_id, committed in monitor.committed.items():
         if committed < 0:
             report.add("committed", f"GPU {device_id} committed is negative ({committed})")
@@ -106,19 +107,13 @@ def audit_gpu_server(gpu_server, end_state: bool = False,
     # 2. charge <-> reservation coherence (dead/recovering servers exempt:
     #    the monitor intentionally keeps them fenced while recovery runs).
     for server in servers:
-        charged = server.server_id in monitor._charged_device
+        charged = server.server_id in charges
         if server.dead or server.recovering:
             continue
         if charged and not (server.reserved or server.busy):
             report.add(
                 "reservation",
                 f"server {server.server_id} is charged but neither reserved nor busy",
-            )
-        if server._charged_bytes and not charged:
-            report.add(
-                "reservation",
-                f"server {server.server_id} carries {server._charged_bytes} "
-                "charged bytes without a charge record",
             )
 
     # 3. device memory accounting.

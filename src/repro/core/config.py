@@ -67,10 +67,21 @@ class DgsfConfig:
     #: GPU assignment policy: "best_fit" | "worst_fit" | "first_fit"
     policy: str = "best_fit"
     #: queue discipline at the monitor: "fcfs" (the paper's deployed
-    #: policy) or "sff" — shortest-function-first, which the paper leaves
+    #: policy), "sff" — shortest-function-first, which the paper leaves
     #: as future work ("could improve throughput at some loss of
-    #: fairness", §VIII-D)
+    #: fairness", §VIII-D) — "sff_aged" (SFF with a wait-time credit that
+    #: bounds starvation), or "mqfq" (MQFQ-style per-function-class fair
+    #: queueing with GPU stickiness; an extension beyond the paper)
     queue_discipline: str = "fcfs"
+    #: aging credit rate for ``sff_aged``: a request's effective SFF key
+    #: shrinks by ``sff_aging_factor`` seconds per second waited, and once
+    #: the credit covers its full expected duration (wait ≥ expected /
+    #: factor) it is dispatched FCFS-style, ahead of any shorter work
+    sff_aging_factor: float = 0.1
+    #: MQFQ throttle window ``T`` (seconds of virtual time): a flow whose
+    #: start tag leads global virtual time by more than this is throttled
+    #: until the laggards catch up
+    mqfq_throttle_window_s: float = 60.0
     #: number of disaggregated GPU servers behind the backend (§IV:
     #: "Scaling up GPU servers in DGSF is simple")
     num_gpu_servers: int = 1
@@ -130,10 +141,14 @@ class DgsfConfig:
             raise ConfigurationError("api_servers_per_gpu must be positive")
         if self.policy not in ("best_fit", "worst_fit", "first_fit"):
             raise ConfigurationError(f"unknown policy {self.policy!r}")
-        if self.queue_discipline not in ("fcfs", "sff"):
+        if self.queue_discipline not in ("fcfs", "sff", "sff_aged", "mqfq"):
             raise ConfigurationError(
                 f"unknown queue discipline {self.queue_discipline!r}"
             )
+        if self.sff_aging_factor <= 0:
+            raise ConfigurationError("sff_aging_factor must be positive")
+        if self.mqfq_throttle_window_s < 0:
+            raise ConfigurationError("mqfq_throttle_window_s must be non-negative")
         if self.num_gpu_servers <= 0:
             raise ConfigurationError("num_gpu_servers must be positive")
         if self.backend_policy not in ("least_loaded", "round_robin"):

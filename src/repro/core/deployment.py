@@ -358,6 +358,7 @@ class DgsfGpuProvider:
                 fc.invocation.invocation_id,
                 expected_duration_s=spec.expected_duration_s,
                 trace_ctx=(span.trace_id, span.span_id) if span is not None else None,
+                flow_key=spec.name,
             )
             while True:
                 api_server = yield request.granted

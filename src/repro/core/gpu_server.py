@@ -85,6 +85,9 @@ class GpuServer:
             confirm_checks=config.migration_confirm_checks,
             queue_discipline=config.queue_discipline,
             heartbeat_timeout_s=config.heartbeat_timeout_s,
+            sff_aging_factor=config.sff_aging_factor,
+            mqfq_throttle_window_s=config.mqfq_throttle_window_s,
+            metrics=self.metrics,
         )
         self.monitor.tracer = tracer
         self.nvml = NvmlSampler(env, self.devices)

@@ -7,12 +7,19 @@ server."
 
 Responsibilities implemented here:
 
-* an FCFS queue of function GPU requests ("Scheduling at the GPU server
-  enforces a first-come first-serve policy", §VIII-D — head-of-line
-  blocking included),
+* a queue of function GPU requests, dispatched by a pluggable discipline
+  (:mod:`repro.core.scheduler`): the paper's deployed FCFS policy
+  ("Scheduling at the GPU server enforces a first-come first-serve
+  policy", §VIII-D — head-of-line blocking included), its future-work
+  shortest-function-first, plus the starvation-bounded ``sff_aged`` and
+  MQFQ-style fair-queueing extensions,
 * GPU selection via the configured policy (best-fit / worst-fit) over
   GPUs that currently have an idle API server and enough *schedulable*
   memory (capacity minus static footprints minus committed declarations),
+* the scheduling charge ledger: every granted request charges its
+  declared bytes against one device until release — the single
+  accounting that feasibility checks, migration targeting and the
+  invariant auditor all read,
 * imbalance detection and migration triggering: when one GPU hosts ≥2
   busy API servers while another is idle, move the cheapest busy server
   over (§V-D's scenario).
@@ -20,7 +27,6 @@ Responsibilities implemented here:
 
 from __future__ import annotations
 
-import collections
 from dataclasses import dataclass
 from typing import Generator, Optional
 
@@ -28,6 +34,7 @@ from repro.errors import SimulationError
 from repro.sim.core import Environment, Event
 from repro.core.migration import migrate_api_server, MigrationRecord
 from repro.core.policies import Policy
+from repro.core.scheduler import DISCIPLINES, make_scheduler
 
 __all__ = ["Monitor", "GpuRequest"]
 
@@ -60,6 +67,9 @@ class GpuRequest:
     #: (trace_id, parent_span_id) of the requesting invocation, when
     #: tracing — lets the monitor parent its queue span under it
     trace_ctx: Optional[tuple] = None
+    #: function-class key for fair-queueing disciplines (the function
+    #: name, when the platform submits it); None = derived from size
+    flow_key: Optional[str] = None
 
 
 class Monitor:
@@ -68,26 +78,36 @@ class Monitor:
     def __init__(self, env: Environment, gpu_server, policy: Policy,
                  migration_enabled: bool = False, period_s: float = 0.5,
                  confirm_checks: int = 4, queue_discipline: str = "fcfs",
-                 heartbeat_timeout_s: float = 2.0):
-        if queue_discipline not in ("fcfs", "sff"):
+                 heartbeat_timeout_s: float = 2.0,
+                 sff_aging_factor: float = 0.1,
+                 mqfq_throttle_window_s: float = 60.0,
+                 metrics=None):
+        if queue_discipline not in DISCIPLINES:
             raise SimulationError(f"unknown queue discipline {queue_discipline!r}")
         self.env = env
         self.gpu_server = gpu_server
         self.policy = policy
         self.queue_discipline = queue_discipline
+        self.metrics = metrics
+        self.scheduler = make_scheduler(
+            queue_discipline, self, metrics,
+            sff_aging_factor=sff_aging_factor,
+            mqfq_throttle_window_s=mqfq_throttle_window_s,
+        )
         self.migration_enabled = migration_enabled
         self.period_s = period_s
         self.confirm_checks = max(1, confirm_checks)
         self._imbalance_streak = 0
-        self._queue: collections.deque[GpuRequest] = collections.deque()
         #: device_id -> declared bytes committed by functions assigned there
         self.committed: dict[int, int] = {
             d.device_id: 0 for d in gpu_server.devices
         }
         #: device_id -> schedulable capacity (set after bring-up)
         self.schedulable_capacity: dict[int, int] = {}
-        #: api server -> device the scheduler charged it against
-        self._charged_device: dict[int, int] = {}
+        #: server_id -> (device_id, declared_bytes) the scheduler charged —
+        #: the ONE byte accounting for grants (feasibility, migration
+        #: targeting and the auditor all read it; see ``charged_bytes``)
+        self._charges: dict[int, tuple[int, int]] = {}
         self.requests_total = 0
         self.requests_queued_peak = 0
         #: server_id -> last received ApiServerStats (§V-A ③ updates)
@@ -141,6 +161,30 @@ class Monitor:
         self.last_stats[stats.server_id] = stats
         self._last_seen[stats.server_id] = stats.t
 
+    # -- charge ledger -----------------------------------------------------------
+    def charged_bytes(self, server) -> int:
+        """Declared bytes currently charged against ``server`` (0 if idle)."""
+        charge = self._charges.get(server.server_id)
+        return charge[1] if charge is not None else 0
+
+    def charged_device(self, server) -> Optional[int]:
+        """The device a server's charge rests on (None if uncharged)."""
+        charge = self._charges.get(server.server_id)
+        return charge[0] if charge is not None else None
+
+    def charges(self) -> dict[int, tuple[int, int]]:
+        """Snapshot of the ledger: server_id -> (device_id, bytes)."""
+        return dict(self._charges)
+
+    def _uncharge(self, server_id: int) -> Optional[int]:
+        """Drop a server's charge; returns the device it rested on."""
+        charge = self._charges.pop(server_id, None)
+        if charge is None:
+            return None
+        device_id, declared = charge
+        self.committed[device_id] -= declared
+        return device_id
+
     # -- request handling --------------------------------------------------------------
     def schedulable_free(self, device_id: int) -> int:
         capacity = self.schedulable_capacity.get(device_id)
@@ -150,11 +194,17 @@ class Monitor:
 
     @property
     def queue_length(self) -> int:
-        return len(self._queue)
+        return len(self.scheduler)
+
+    @property
+    def _queue(self):
+        """The scheduler's arrival-ordered deque (legacy test hook)."""
+        return self.scheduler._queue
 
     def submit_request(self, declared_bytes: int, invocation_id: int = -1,
                        expected_duration_s: float = 0.0,
-                       trace_ctx: Optional[tuple] = None) -> GpuRequest:
+                       trace_ctx: Optional[tuple] = None,
+                       flow_key: Optional[str] = None) -> GpuRequest:
         """Enqueue a GPU request; its ``granted`` event fires with a server."""
         if declared_bytes <= 0:
             raise SimulationError("declared GPU memory must be positive")
@@ -172,10 +222,11 @@ class Monitor:
             expected_duration_s=expected_duration_s,
             resubmitted=Event(self.env),
             trace_ctx=trace_ctx,
+            flow_key=flow_key,
         )
         self.requests_total += 1
-        self._queue.append(request)
-        self.requests_queued_peak = max(self.requests_queued_peak, len(self._queue))
+        self.scheduler.enqueue(request)
+        self.requests_queued_peak = max(self.requests_queued_peak, self.queue_length)
         self._try_dispatch()
         return request
 
@@ -190,15 +241,10 @@ class Monitor:
             if sid in self._restarted:
                 self._finish_recovery(api_server)
             return
-        device_id = self._charged_device.pop(sid, None)
-        if device_id is None:
+        if self._uncharge(sid) is None:
             raise SimulationError(f"server {sid} was not charged")
         # release is called after end_session, so the server is idle again
         # (possibly freshly returned to its home GPU)
-        # uncommit from wherever the scheduler last charged it
-        # (migration moves the charge, see note in _migrate_one)
-        self.committed[device_id] -= api_server._charged_bytes
-        api_server._charged_bytes = 0
         api_server.reserved = False
         self._try_dispatch()
 
@@ -211,11 +257,8 @@ class Monitor:
         """
         while request.superseded is not None:
             request = request.superseded
-        try:
-            self._queue.remove(request)
+        if self.scheduler.remove(request):
             return
-        except ValueError:
-            pass
         if not request.granted.triggered:
             return  # never queued here (or already cancelled)
         server = request.granted.value
@@ -223,10 +266,7 @@ class Monitor:
         if self._inflight.get(sid) is not request:
             return  # already released or recovered
         self._inflight.pop(sid, None)
-        device_id = self._charged_device.pop(sid, None)
-        if device_id is not None:
-            self.committed[device_id] -= server._charged_bytes
-            server._charged_bytes = 0
+        self._uncharge(sid)
         server.reserved = False
         self._try_dispatch()
 
@@ -253,8 +293,7 @@ class Monitor:
         )
         server.reserved = True
         self.committed[device_id] += request.declared_bytes
-        self._charged_device[server.server_id] = device_id
-        server._charged_bytes = request.declared_bytes
+        self._charges[server.server_id] = (device_id, request.declared_bytes)
         self._inflight[server.server_id] = request
         request.granted_at = self.env.now
         if self.tracer is not None:
@@ -271,49 +310,7 @@ class Monitor:
         request.granted.succeed(server)
 
     def _try_dispatch(self) -> None:
-        if self.queue_discipline == "sff":
-            self._dispatch_sff()
-        else:
-            self._dispatch_fcfs()
-
-    def _dispatch_fcfs(self) -> None:
-        """FCFS: grant from the head while the head fits somewhere.
-
-        A large head request blocks smaller later ones — the paper's
-        deployed policy ("a serverless function requiring a large portion
-        of the GPU can force other serverless functions to wait in
-        queue", §VIII-D)."""
-        while self._queue:
-            head = self._queue[0]
-            views = self._gpu_views()
-            choice = self.policy.choose(views, head.declared_bytes) if views else None
-            if choice is None:
-                return  # head-of-line blocks
-            self._queue.popleft()
-            self._grant(head, choice)
-
-    def _dispatch_sff(self) -> None:
-        """Shortest-function-first (the paper's future-work policy):
-        repeatedly grant the feasible queued request with the smallest
-        expected duration — better throughput, weaker fairness."""
-        progress = True
-        while progress and self._queue:
-            progress = False
-            views = self._gpu_views()
-            if not views:
-                return
-            candidates = []
-            for idx, request in enumerate(self._queue):
-                choice = self.policy.choose(views, request.declared_bytes)
-                if choice is not None:
-                    candidates.append((request.expected_duration_s, idx, choice))
-            if not candidates:
-                return
-            _, idx, choice = min(candidates)
-            request = self._queue[idx]
-            del self._queue[idx]
-            self._grant(request, choice)
-            progress = True
+        self.scheduler.dispatch()
 
     # -- migration control ------------------------------------------------------------
     def _migration_loop(self) -> Generator:
@@ -329,7 +326,7 @@ class Monitor:
             # Require sustained imbalance with no queued demand: a GPU
             # that is idle only because its next function is still
             # downloading must not trigger a move.
-            if self._queue:
+            if self.queue_length:
                 # Queued demand invalidates the observation entirely — a
                 # stale streak must not fire a move on the first tick
                 # after the queue drains.
@@ -375,10 +372,7 @@ class Monitor:
             pid, tid = self._trace_track()
             self.tracer.instant("crash_detected", pid=pid, tid=tid, server=sid)
         server.recovering = True
-        device_id = self._charged_device.pop(sid, None)
-        if device_id is not None:
-            self.committed[device_id] -= server._charged_bytes
-            server._charged_bytes = 0
+        self._uncharge(sid)
         orphan = self._inflight.pop(sid, None)
         if orphan is not None:
             if server.crashed_mid_session:
@@ -400,6 +394,7 @@ class Monitor:
             expected_duration_s=orphan.expected_duration_s,
             resubmitted=Event(self.env),
             trace_ctx=orphan.trace_ctx,
+            flow_key=orphan.flow_key,
         )
         orphan.superseded = clone
         self.requests_requeued += 1
@@ -411,7 +406,7 @@ class Monitor:
                 trace_id=trace_id, parent_id=parent_id,
                 invocation_id=orphan.invocation_id,
             )
-        self._queue.appendleft(clone)
+        self.scheduler.requeue(clone)
         if orphan.resubmitted is not None:
             orphan.resubmitted.succeed(clone)
         self._try_dispatch()
@@ -439,6 +434,13 @@ class Monitor:
         Decisions use the *reported* statistics (the last §V-A ③ update
         message from each server), not live state — the monitor acts on
         slightly stale information, as the real system does.
+
+        Candidate ordering and target feasibility both use the charge
+        ledger (declared bytes): the charge is what actually moves to the
+        target GPU's committed accounting, so ordering by live
+        ``used_bytes`` — which can sit far below the charge while a
+        function is still allocating — could prefer a server whose charge
+        barely fits (or doesn't fit) over a genuinely cheap one.
         """
         servers = self.gpu_server.api_servers
         busy_on: dict[int, list] = {d.device_id: [] for d in self.gpu_server.devices}
@@ -453,15 +455,17 @@ class Monitor:
         crowded = [(d, lst) for d, lst in busy_on.items() if len(lst) >= 2]
         if not idle_gpus or not crowded:
             return None
-        # most crowded GPU first; move its cheapest (least allocated) server
+        # most crowded GPU first; move its cheapest (least charged) server
         crowded.sort(key=lambda item: -len(item[1]))
         for device_id, servers_here in crowded:
-            candidates = sorted(servers_here, key=lambda s: s.used_bytes)
+            candidates = sorted(
+                servers_here, key=lambda s: (self.charged_bytes(s), s.server_id)
+            )
             for server in candidates:
                 for target in sorted(idle_gpus):
                     if not self.gpu_server.migration_slot_available(target):
                         continue
-                    if self.schedulable_free(target) >= server._charged_bytes:
+                    if self.schedulable_free(target) >= self.charged_bytes(server):
                         return server, target
         return None
 
@@ -483,6 +487,9 @@ class Monitor:
                 allocations=record.allocations_moved,
             )
         # move the scheduling charge with the server
-        self.committed[source] -= server._charged_bytes
-        self.committed[target_device_id] += server._charged_bytes
-        self._charged_device[server.server_id] = target_device_id
+        charge = self._charges.get(server.server_id)
+        if charge is not None:
+            _, declared = charge
+            self.committed[source] -= declared
+            self.committed[target_device_id] += declared
+            self._charges[server.server_id] = (target_device_id, declared)

@@ -1,0 +1,427 @@
+"""Pluggable dispatch disciplines for the monitor's GPU request queue.
+
+The paper's deployed policy is FCFS, which admits head-of-line blocking
+("a serverless function requiring a large portion of the GPU can force
+other serverless functions to wait in queue", §VIII-D), and its stated
+future-work alternative — shortest-function-first — trades that for
+unbounded starvation of large/long functions.  This module extracts the
+dispatch decision out of :class:`repro.core.monitor.Monitor` into small
+scheduler objects so disciplines can be compared under one accounting,
+and adds two starvation-aware disciplines beyond the paper's prototype:
+
+* ``fcfs`` — grant from the head while the head fits somewhere
+  (event-for-event identical to the pre-extraction monitor loop).
+* ``sff`` — repeatedly grant the feasible request with the smallest
+  expected duration (event-for-event identical to the pre-extraction
+  loop; starves large requests under a stream of small feasible ones).
+* ``sff_aged`` — SFF with a per-request wait-time credit: a request's
+  aged key is ``expected_duration_s - sff_aging_factor * wait_s``.  Once
+  the credit consumes the whole expected duration (wait has reached
+  ``expected_duration_s / sff_aging_factor``, the request's *starvation
+  bound*), the request is dispatched FCFS-style: the oldest starved
+  request becomes an exclusive head of line that blocks every younger
+  grant until it fits.  That bounds any request's queue wait by its
+  starvation bound plus the drain time of the sessions then running.
+  Requests with no duration hint (``expected_duration_s == 0``) have a
+  zero bound and therefore always queue FCFS-style — unknown cost is
+  treated conservatively.
+* ``mqfq`` — MQFQ-style virtual-time fair queueing (Fuerst et al.,
+  2025) over per-function-class *flows*.  Each flow carries virtual
+  start/finish tags advanced by its requests' expected costs; dispatch
+  serves the eligible flow with the smallest start tag, and a flow more
+  than the throttle window ``T`` of virtual time ahead of the global
+  virtual clock is ineligible until the clock catches up, which bounds
+  how far small-function flows can race ahead of a blocked large flow.
+  Repeat invocations of a flow prefer the GPU that served it last
+  (*stickiness*), keeping warm API-server / artifact-cache state hot.
+
+Schedulers only reorder grants: all byte accounting, tracing and event
+plumbing stays in the monitor, which calls back through
+``monitor._grant``.  Every discipline is deterministic — no RNG, no
+event creation — so runs reproduce bit-identically.
+
+Metrics (when the monitor carries a registry): ``scheduler.enqueued`` /
+``scheduler.granted`` counters, a ``scheduler.queue_wait_s`` histogram
+labeled by discipline and request size class, ``scheduler.
+starvation_grants`` (aged SFF) and ``scheduler.sticky_hits`` /
+``scheduler.sticky_misses`` (MQFQ).
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.monitor import GpuRequest
+
+__all__ = [
+    "DISCIPLINES",
+    "DispatchScheduler",
+    "FcfsScheduler",
+    "SffScheduler",
+    "AgedSffScheduler",
+    "MqfqScheduler",
+    "make_scheduler",
+    "size_class",
+]
+
+#: every queue discipline the monitor accepts
+DISCIPLINES = ("fcfs", "sff", "sff_aged", "mqfq")
+
+_GB = 1 << 30
+
+
+def size_class(declared_bytes: int) -> str:
+    """Bucket a request's declared GPU memory for fairness reporting.
+
+    The boundaries track the paper's workload set: kmeans (600 MB) is
+    small, face identification / NLP (4–4.5 GB) are medium, image
+    classification / face detection / CovidCTNet (8–14 GB) are large.
+    """
+    if declared_bytes < 2 * _GB:
+        return "small"
+    if declared_bytes < 8 * _GB:
+        return "medium"
+    return "large"
+
+
+class DispatchScheduler:
+    """Base queue + bookkeeping shared by every discipline.
+
+    Subclasses implement :meth:`dispatch`, granting zero or more queued
+    requests through ``monitor._grant`` until nothing more fits.  The
+    arrival-ordered deque ``_queue`` is the single source of truth for
+    membership (length, cancellation, introspection); disciplines that
+    need extra structure (MQFQ's flows) keep it in sync.
+    """
+
+    name = "abstract"
+
+    def __init__(self, monitor, metrics=None):
+        self.monitor = monitor
+        self.metrics = metrics
+        self._queue: collections.deque = collections.deque()
+        #: size_class -> worst queue wait observed at grant time (s)
+        self.max_wait_s: dict[str, float] = {}
+        self.granted_total = 0
+
+    # -- queue membership ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def queued(self) -> tuple:
+        """Arrival-ordered snapshot of the waiting requests."""
+        return tuple(self._queue)
+
+    def enqueue(self, request: "GpuRequest") -> None:
+        self._queue.append(request)
+        if self.metrics is not None:
+            self.metrics.counter("scheduler.enqueued", discipline=self.name).inc()
+
+    def requeue(self, request: "GpuRequest") -> None:
+        """Put a crash-rescued request back at the front of the line."""
+        self._queue.appendleft(request)
+
+    def remove(self, request: "GpuRequest") -> bool:
+        """Drop a cancelled request; True if it was queued here."""
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            return False
+        return True
+
+    # -- dispatch -----------------------------------------------------------
+    def dispatch(self) -> None:
+        raise NotImplementedError
+
+    def _grant(self, request: "GpuRequest", device_id: int) -> None:
+        wait = self.monitor.env.now - request.submitted_at
+        cls = size_class(request.declared_bytes)
+        if wait > self.max_wait_s.get(cls, -1.0):
+            self.max_wait_s[cls] = wait
+        self.granted_total += 1
+        if self.metrics is not None:
+            self.metrics.counter("scheduler.granted", discipline=self.name).inc()
+            self.metrics.histogram(
+                "scheduler.queue_wait_s", discipline=self.name, size_class=cls
+            ).observe(wait)
+        self.monitor._grant(request, device_id)
+
+
+class FcfsScheduler(DispatchScheduler):
+    """FCFS: grant from the head while the head fits somewhere.
+
+    A large head request blocks smaller later ones — the paper's
+    deployed policy (§VIII-D), head-of-line blocking included.
+    """
+
+    name = "fcfs"
+
+    def dispatch(self) -> None:
+        monitor = self.monitor
+        while self._queue:
+            head = self._queue[0]
+            views = monitor._gpu_views()
+            choice = monitor.policy.choose(views, head.declared_bytes) if views else None
+            if choice is None:
+                return  # head-of-line blocks
+            self._queue.popleft()
+            self._grant(head, choice)
+
+
+class SffScheduler(DispatchScheduler):
+    """Shortest-function-first (the paper's future-work policy):
+    repeatedly grant the feasible queued request with the smallest
+    expected duration — better throughput, unbounded unfairness."""
+
+    name = "sff"
+
+    def dispatch(self) -> None:
+        monitor = self.monitor
+        progress = True
+        while progress and self._queue:
+            progress = False
+            views = monitor._gpu_views()
+            if not views:
+                return
+            candidates = []
+            for idx, request in enumerate(self._queue):
+                choice = monitor.policy.choose(views, request.declared_bytes)
+                if choice is not None:
+                    candidates.append((request.expected_duration_s, idx, choice))
+            if not candidates:
+                return
+            _, idx, choice = min(candidates)
+            request = self._queue[idx]
+            del self._queue[idx]
+            self._grant(request, choice)
+            progress = True
+
+
+class AgedSffScheduler(DispatchScheduler):
+    """SFF with wait-time aging: starvation is bounded by construction.
+
+    While no request has exhausted its credit, dispatch is SFF on the
+    *aged* key ``expected_duration_s - aging_factor * wait_s`` (ties
+    break toward the oldest request).  Once a request's wait reaches its
+    starvation bound ``expected_duration_s / aging_factor``, it is
+    starved: the oldest starved request is dispatched FCFS-style — it
+    must be granted before anything younger, blocking the line exactly
+    like an FCFS head until capacity frees up for it.
+    """
+
+    name = "sff_aged"
+
+    def __init__(self, monitor, metrics=None, aging_factor: float = 0.1):
+        super().__init__(monitor, metrics)
+        if aging_factor <= 0:
+            raise ConfigurationError("sff_aging_factor must be positive")
+        self.aging_factor = aging_factor
+
+    def wait_bound_s(self, request: "GpuRequest") -> float:
+        """Wait after which ``request`` is dispatched FCFS-style."""
+        return request.expected_duration_s / self.aging_factor
+
+    def _starved(self, request: "GpuRequest", now: float) -> bool:
+        return (now - request.submitted_at) * self.aging_factor >= request.expected_duration_s
+
+    def dispatch(self) -> None:
+        monitor = self.monitor
+        while self._queue:
+            views = monitor._gpu_views()
+            if not views:
+                return
+            now = monitor.env.now
+            starved = next(
+                (r for r in self._queue if self._starved(r, now)), None
+            )
+            if starved is not None:
+                # FCFS-style: the oldest starved request owns the line.
+                choice = monitor.policy.choose(views, starved.declared_bytes)
+                if choice is None:
+                    return  # blocks every younger request until it fits
+                self._queue.remove(starved)
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "scheduler.starvation_grants", discipline=self.name
+                    ).inc()
+                self._grant(starved, choice)
+                continue
+            candidates = []
+            for idx, request in enumerate(self._queue):
+                choice = monitor.policy.choose(views, request.declared_bytes)
+                if choice is not None:
+                    aged = (
+                        request.expected_duration_s
+                        - self.aging_factor * (now - request.submitted_at)
+                    )
+                    candidates.append((aged, idx, choice))
+            if not candidates:
+                return
+            _, idx, choice = min(candidates)
+            request = self._queue[idx]
+            del self._queue[idx]
+            self._grant(request, choice)
+
+
+class _Flow:
+    """One function class's queue + virtual-time tags + sticky device."""
+
+    __slots__ = ("key", "index", "start_tag", "finish_tag", "requests", "last_device")
+
+    def __init__(self, key: str, index: int):
+        self.key = key
+        self.index = index  # creation order, the deterministic tie-break
+        self.start_tag = 0.0
+        self.finish_tag = 0.0
+        self.requests: collections.deque = collections.deque()
+        self.last_device: Optional[int] = None
+
+
+class MqfqScheduler(DispatchScheduler):
+    """MQFQ-style fair queueing with GPU stickiness.
+
+    Start-time fair queueing over per-function-class flows: an idle flow
+    (re)activates at ``start = max(V, finish)``; serving a request
+    advances the flow's tags by the request's cost (its expected
+    duration, or ``default_cost_s`` when unhinted).  The global virtual
+    clock ``V`` is the monotone minimum start tag across active flows.
+    Eligibility is throttled: a flow whose start tag exceeds ``V + T``
+    must wait for the clock, so a blocked (infeasible) flow — which pins
+    ``V`` while it waits — can be overtaken by at most ``T`` of virtual
+    time before everything else throttles and drains.  That is the MQFQ
+    fairness bound, with ``T = 0`` degrading to pure start-tag order and
+    ``T = inf`` to SFF-like work conservation.
+
+    Stickiness: each flow remembers the GPU that served it last and
+    prefers it while feasible (warm API-server and artifact-cache state
+    live there); otherwise the deployment's placement policy chooses.
+    """
+
+    name = "mqfq"
+
+    def __init__(self, monitor, metrics=None, throttle_window_s: float = 60.0,
+                 default_cost_s: float = 1.0):
+        super().__init__(monitor, metrics)
+        if throttle_window_s < 0:
+            raise ConfigurationError("mqfq_throttle_window_s must be non-negative")
+        self.throttle_window_s = throttle_window_s
+        self.default_cost_s = default_cost_s
+        self._flows: dict[str, _Flow] = {}
+        self._vtime = 0.0
+
+    # -- flow plumbing ------------------------------------------------------
+    def flow_key(self, request: "GpuRequest") -> str:
+        """Function class of a request (falls back to its size class)."""
+        return request.flow_key or f"~{size_class(request.declared_bytes)}"
+
+    def _flow_for(self, request: "GpuRequest") -> _Flow:
+        key = self.flow_key(request)
+        flow = self._flows.get(key)
+        if flow is None:
+            flow = _Flow(key, len(self._flows))
+            self._flows[key] = flow
+        return flow
+
+    def _cost(self, request: "GpuRequest") -> float:
+        return request.expected_duration_s or self.default_cost_s
+
+    def enqueue(self, request: "GpuRequest") -> None:
+        super().enqueue(request)
+        flow = self._flow_for(request)
+        if not flow.requests:
+            flow.start_tag = max(self._vtime, flow.finish_tag)
+            flow.finish_tag = flow.start_tag + self._cost(request)
+        flow.requests.append(request)
+
+    def requeue(self, request: "GpuRequest") -> None:
+        super().requeue(request)
+        flow = self._flow_for(request)
+        if not flow.requests:
+            # Reactivate where the flow left off — the crashed grant
+            # already advanced its tags, so it does not pay twice.
+            flow.start_tag = max(self._vtime, flow.start_tag)
+        flow.requests.appendleft(request)
+
+    def remove(self, request: "GpuRequest") -> bool:
+        if not super().remove(request):
+            return False
+        flow = self._flows.get(self.flow_key(request))
+        if flow is not None:
+            try:
+                flow.requests.remove(request)
+            except ValueError:
+                pass
+        return True
+
+    # -- dispatch -----------------------------------------------------------
+    def _choose_device(self, views, flow: _Flow, request: "GpuRequest"):
+        if flow.last_device is not None:
+            for view in views:
+                if (
+                    view.device_id == flow.last_device
+                    and view.schedulable_free >= request.declared_bytes
+                ):
+                    if self.metrics is not None:
+                        self.metrics.counter(
+                            "scheduler.sticky_hits", discipline=self.name
+                        ).inc()
+                    return view.device_id
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "scheduler.sticky_misses", discipline=self.name
+                ).inc()
+        return self.monitor.policy.choose(views, request.declared_bytes)
+
+    def dispatch(self) -> None:
+        monitor = self.monitor
+        progress = True
+        while progress and self._queue:
+            progress = False
+            views = monitor._gpu_views()
+            if not views:
+                return
+            active = [f for f in self._flows.values() if f.requests]
+            if not active:
+                return
+            # V also tracks the minimum active start tag, so the most
+            # lagging flow is always eligible (never throttled).
+            self._vtime = max(self._vtime, min(f.start_tag for f in active))
+            for flow in sorted(active, key=lambda f: (f.start_tag, f.index)):
+                if flow.start_tag > self._vtime + self.throttle_window_s:
+                    break  # this and every later flow is throttled
+                head = flow.requests[0]
+                choice = self._choose_device(views, flow, head)
+                if choice is None:
+                    continue  # head doesn't fit; let the next flow try
+                flow.requests.popleft()
+                self._queue.remove(head)
+                flow.start_tag = flow.finish_tag
+                if flow.requests:
+                    flow.finish_tag = flow.start_tag + self._cost(flow.requests[0])
+                flow.last_device = choice
+                self._grant(head, choice)
+                progress = True
+                break
+
+
+def make_scheduler(discipline: str, monitor, metrics=None, *,
+                   sff_aging_factor: float = 0.1,
+                   mqfq_throttle_window_s: float = 60.0) -> DispatchScheduler:
+    """Build the scheduler for one monitor's configured discipline."""
+    if discipline == "fcfs":
+        return FcfsScheduler(monitor, metrics)
+    if discipline == "sff":
+        return SffScheduler(monitor, metrics)
+    if discipline == "sff_aged":
+        return AgedSffScheduler(monitor, metrics, aging_factor=sff_aging_factor)
+    if discipline == "mqfq":
+        return MqfqScheduler(
+            monitor, metrics, throttle_window_s=mqfq_throttle_window_s
+        )
+    raise ConfigurationError(
+        f"unknown queue discipline {discipline!r} (choose from {DISCIPLINES})"
+    )

@@ -22,6 +22,7 @@ from repro.experiments import (
     fig6,
     fig7,
     fig8,
+    sched_ablation,
 )
 from repro.experiments.reporting import render_table, render_series
 
@@ -39,6 +40,7 @@ __all__ = [
     "fig6",
     "fig7",
     "fig8",
+    "sched_ablation",
     "render_table",
     "render_series",
 ]

@@ -16,12 +16,12 @@ import time
 
 from repro.experiments import (
     table2, table3, table4, table5, fig3, fig4, fig5, fig6, fig7, fig8,
-    render_table, render_series,
+    sched_ablation, render_table, render_series,
 )
 
 EXPERIMENTS = [
     "table2", "fig3", "fig4", "table3", "fig5", "table4", "fig6",
-    "fig7", "fig8", "table5",
+    "fig7", "fig8", "table5", "sched",
 ]
 
 
@@ -69,6 +69,11 @@ def run_one(name: str, seed: int, copies: int, trace_dir: str = None) -> None:
         _print_rows("Figure 8 — migration case study (s)", out["summary"])
     elif name == "table5":
         _print_rows("Table V — migration microbenchmark (s)", table5.run())
+    elif name == "sched":
+        _print_rows(
+            "Scheduler ablation — queue wait by size class (s)",
+            sched_ablation.run(seed=seed, copies=copies),
+        )
     else:
         raise SystemExit(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
     print(f"[{name} done in {time.time() - t0:.1f}s wall]\n", file=sys.stderr)

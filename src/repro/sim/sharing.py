@@ -79,16 +79,16 @@ class FairShareEngine:
         ``demand`` is the fraction of the engine the task can use when it is
         alone (kernel occupancy).  Returns an event that fires on completion.
         Zero-work tasks complete via the normal event path (not inline) so
-        ordering stays deterministic.
+        ordering stays deterministic: they join the task set, the engine's
+        zero-horizon wake-up fires at the same sim time but a later event
+        turn, and ``done`` succeeds from there — never before ``submit``
+        returns.  Their busy interval is zero-width and thus not recorded.
         """
         if work < 0:
             raise ValueError("work must be non-negative")
         if not 0 < demand <= 1.0:
             raise ValueError(f"demand must be in (0, 1], got {demand}")
         done = Event(self.env)
-        if work == 0.0:
-            done.succeed()
-            return done
         self._advance()
         task = ShareTask(work, demand, done, owner=owner)
         self._tasks.append(task)
@@ -181,18 +181,20 @@ class FairShareEngine:
         if dt > 0 and self._tasks:
             self._assign_rates()
             total_rate = 0.0
-            finished = []
             for task in self._tasks:
                 task._remaining -= task._rate * dt
                 total_rate += task._rate
-                if task._remaining <= 1e-12:
-                    task._remaining = 0.0
-                    finished.append(task)
             self._load_integral += (total_rate / self.capacity) * dt
-            for task in finished:
-                self._tasks.remove(task)
-                if not task.done.triggered:
-                    task.done.succeed()
+        # Completion sweep runs even for dt == 0: zero-work tasks arrive
+        # already finished and must complete on the engine's zero-horizon
+        # wake-up instead of re-arming it forever.
+        finished = [t for t in self._tasks if t._remaining <= 1e-12]
+        for task in finished:
+            task._remaining = 0.0
+            self._tasks.remove(task)
+            if not task.done.triggered:
+                task.done.succeed()
+        if finished or not self._tasks:
             self._close_busy_if_idle()
         self._last_update = now
 

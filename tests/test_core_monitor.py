@@ -188,6 +188,59 @@ def test_queued_demand_resets_imbalance_streak():
     assert len(moves) == 1
 
 
+def test_find_imbalance_orders_and_fits_on_charged_bytes(monkeypatch):
+    """Regression: candidate ordering and target fit must use the same
+    accounting — the charge ledger.  A server's live ``used_bytes`` can
+    run far below its charge while its function is still allocating, so
+    ordering candidates by used bytes picks the *most* expensive move
+    (here: one that fills the target completely) instead of the cheapest
+    charge."""
+    from repro.core.api_server import ApiServer
+
+    world = make_world(DgsfConfig(num_gpus=2, api_servers_per_gpu=2))
+    monitor = world.monitor
+    gpu1 = world.gpu_server.devices[1].device_id
+
+    heavy_req = monitor.submit_request(6 * GB)
+    heavy = grant_value(world, heavy_req)
+    begin(world, heavy, 6 * GB)
+    light_req = monitor.submit_request(3 * GB)
+    light = grant_value(world, light_req)
+    begin(world, light, 3 * GB)
+    assert heavy.home_device_id == light.home_device_id  # best-fit packs
+    assert heavy.charged_bytes == 6 * GB
+    assert light.charged_bytes == 3 * GB
+
+    # let the §V-A ③ heartbeats report both servers busy
+    world.env.run(until=world.env.now + monitor.period_s)
+
+    # live used bytes lag the charges: the heavier-charged server is
+    # still allocating and shows *less* used memory than the lighter one
+    used = {heavy.server_id: 1 * GB, light.server_id: 3 * GB}
+    monkeypatch.setattr(
+        ApiServer, "used_bytes",
+        property(lambda self: used.get(self.server_id, 0)),
+    )
+
+    # Give the idle GPU exactly 6 GB of schedulable headroom: the heavy
+    # charge "fits" only by filling the target completely; ordering by
+    # used bytes would pick it anyway.  Charged-bytes ordering moves the
+    # genuinely cheapest charge instead.
+    monitor.committed[gpu1] = monitor.schedulable_capacity[gpu1] - 6 * GB
+    server, target = monitor._find_imbalance()
+    assert (server, target) == (light, gpu1)
+
+    # With less headroom the heavy charge cannot move at all; the light
+    # one still can — the fit check reads the ledger, not used bytes.
+    monitor.committed[gpu1] = monitor.schedulable_capacity[gpu1] - 4 * GB
+    server, target = monitor._find_imbalance()
+    assert (server, target) == (light, gpu1)
+
+    monitor.committed[gpu1] = 0
+    release_server(world, heavy)
+    release_server(world, light)
+
+
 def test_queue_metrics():
     world = make_world(DgsfConfig(num_gpus=1))
     r1 = world.monitor.submit_request(1 * GB)

@@ -27,6 +27,18 @@ FACE_ID_UNOPT_E2E = 21.95291271165436
 KMEANS_DGSF_E2E = 11.361748619862041
 MIXED_PROVIDER_E2E = 26.877116275928223
 MIXED_FUNCTION_E2E_SUM = 107.12672355760257
+#: contended mixed plan (2 GPUs, sharing(2), every workload × 4) per
+#: discipline.  fcfs and sff were captured BEFORE the scheduler layer was
+#: extracted from the monitor — the extraction must be event-for-event
+#: invisible.  sff_aged equals fcfs here because the platform registers
+#: no duration hints, so every request's starvation bound is zero and
+#: aged SFF conservatively degrades to FCFS.
+DISCIPLINE_GOLDENS = {
+    "fcfs": (190.80676231822642, 1737.078470391451),
+    "sff": (172.8089731872337, 1548.5746535162375),
+    "sff_aged": (190.80676231822642, 1737.078470391451),
+    "mqfq": (178.45615095292126, 1609.4807497078716),
+}
 
 
 def test_single_invocation_timeline_is_bit_identical():
@@ -58,6 +70,18 @@ def test_mixed_scenario_is_bit_identical():
     res = run_mixed_scenario(DgsfConfig(num_gpus=2, seed=7), plan)
     assert res.stats.provider_e2e_s == MIXED_PROVIDER_E2E
     assert res.stats.function_e2e_sum_s == MIXED_FUNCTION_E2E_SUM
+
+
+def test_every_discipline_timeline_is_bit_identical():
+    from repro.experiments.runner import make_plan
+
+    plan = make_plan("exponential", seed=3, copies=4, mean_gap_s=1.5)
+    for discipline, (provider_e2e, fn_e2e_sum) in DISCIPLINE_GOLDENS.items():
+        cfg = DgsfConfig(num_gpus=2, api_servers_per_gpu=2,
+                         queue_discipline=discipline, seed=3)
+        res = run_mixed_scenario(cfg, plan)
+        assert res.stats.provider_e2e_s == provider_e2e, discipline
+        assert res.stats.function_e2e_sum_s == fn_e2e_sum, discipline
 
 
 def test_repeat_run_reproduces_itself():

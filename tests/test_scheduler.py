@@ -1,0 +1,282 @@
+"""Dispatch disciplines: aged SFF starvation bound, MQFQ fairness/stickiness.
+
+The starvation repro (satellite of ISSUE 4) drives the monitor directly:
+a large hinted request behind a continuous stream of small feasible
+requests waits for the whole stream under plain ``sff`` (its wait grows
+with the stream length — unbounded starvation), but under ``sff_aged``
+it is granted within its configured bound plus one session's drain time.
+"""
+
+import pytest
+
+from repro.core import DgsfConfig
+from repro.core.scheduler import (
+    DISCIPLINES, AgedSffScheduler, make_scheduler, size_class,
+)
+from repro.errors import ConfigurationError
+from repro.simcuda.types import GB
+from repro.testing import make_world
+
+
+def grant(world, req):
+    return world.env.run(until=req.granted)
+
+
+def occupy(world, declared=1 * GB, flow_key=None, expected=0.0):
+    req = world.monitor.submit_request(
+        declared, expected_duration_s=expected, flow_key=flow_key
+    )
+    server = grant(world, req)
+    server.begin_session(declared)
+    return server
+
+
+def release(world, server):
+    proc = world.env.process(server.end_session())
+    world.env.run(until=proc)
+    world.monitor.release(server)
+
+
+# -- configuration ------------------------------------------------------------
+def test_config_accepts_new_disciplines():
+    for disc in DISCIPLINES:
+        assert DgsfConfig(queue_discipline=disc).queue_discipline == disc
+
+
+def test_config_validates_scheduler_knobs():
+    with pytest.raises(ConfigurationError):
+        DgsfConfig(sff_aging_factor=0.0)
+    with pytest.raises(ConfigurationError):
+        DgsfConfig(sff_aging_factor=-1.0)
+    with pytest.raises(ConfigurationError):
+        DgsfConfig(mqfq_throttle_window_s=-0.1)
+    DgsfConfig(mqfq_throttle_window_s=0.0)  # pure start-tag order is valid
+
+
+def test_make_scheduler_rejects_unknown_discipline():
+    with pytest.raises(ConfigurationError):
+        make_scheduler("lifo", monitor=None)
+
+
+def test_size_class_boundaries():
+    assert size_class(600 * 1024 * 1024) == "small"
+    assert size_class(2 * GB - 1) == "small"
+    assert size_class(2 * GB) == "medium"
+    assert size_class(8 * GB - 1) == "medium"
+    assert size_class(8 * GB) == "large"
+    assert size_class(14 * GB) == "large"
+
+
+# -- aged SFF -----------------------------------------------------------------
+BIG_EXPECTED_S = 30.0
+HOLD_S = 2.0
+
+
+def _run_starvation(discipline: str, n_smalls: int, aging: float = 1.0) -> float:
+    """Queue wait of one large hinted request behind ``n_smalls`` small
+    feasible requests on a single-server world; the stream keeps at least
+    one small request queued whenever the server frees up."""
+    world = make_world(DgsfConfig(num_gpus=1, queue_discipline=discipline,
+                                  sff_aging_factor=aging))
+    env, monitor = world.env, world.monitor
+    blocker = occupy(world)
+    big = monitor.submit_request(2 * GB, expected_duration_s=BIG_EXPECTED_S)
+
+    def small_session(req):
+        server = yield req.granted
+        server.begin_session(1 * GB)
+        yield env.timeout(HOLD_S)
+        yield from server.end_session()
+        monitor.release(server)
+
+    def feeder():
+        for _ in range(n_smalls):
+            req = monitor.submit_request(1 * GB, expected_duration_s=2.0)
+            env.process(small_session(req))
+            yield env.timeout(HOLD_S / 2)
+
+    env.process(feeder())
+    release(world, blocker)
+    env.run(until=big.granted)
+    assert big.granted.triggered
+    return big.granted_at - big.submitted_at
+
+
+def test_sff_starves_large_request_unboundedly():
+    """Plain SFF makes the large request wait out the entire small stream:
+    doubling the stream roughly doubles the wait — no bound exists."""
+    short_stream = _run_starvation("sff", n_smalls=15)
+    long_stream = _run_starvation("sff", n_smalls=30)
+    assert long_stream > short_stream + 20.0
+    # and the wait sails past the bound sff_aged would have enforced
+    assert long_stream > BIG_EXPECTED_S + HOLD_S + 1.0
+
+
+def test_sff_aged_bounds_the_starvation():
+    """Same workload, ``sff_aged``: once the large request's wait reaches
+    ``expected / aging_factor`` it blocks the line FCFS-style, so its wait
+    is bounded by the aging bound plus one small session's drain time —
+    independent of how long the small stream runs."""
+    bound = BIG_EXPECTED_S / 1.0
+    for n_smalls in (15, 30):
+        wait = _run_starvation("sff_aged", n_smalls=n_smalls, aging=1.0)
+        assert wait <= bound + HOLD_S + 1.0
+
+
+def test_sff_aged_starvation_grant_counted():
+    world = make_world(DgsfConfig(num_gpus=1, queue_discipline="sff_aged",
+                                  sff_aging_factor=1.0))
+    # hint the blocker so its own grant doesn't count as a starvation grant
+    blocker = occupy(world, expected=5.0)
+    big = world.monitor.submit_request(2 * GB, expected_duration_s=1.0)
+    world.env.run(until=world.env.now + 2.0)  # wait past the 1 s bound
+    release(world, blocker)
+    grant(world, big)
+    assert world.dep.metrics.total(
+        "scheduler.starvation_grants", discipline="sff_aged"
+    ) == 1
+
+
+def test_sff_aged_credit_reorders_before_the_bound():
+    """An older request's wait credit can beat a shorter newcomer even
+    before anything is starved (aged key = expected - factor * wait)."""
+    world = make_world(DgsfConfig(num_gpus=1, queue_discipline="sff_aged",
+                                  sff_aging_factor=1.0))
+    blocker = occupy(world)
+    old = world.monitor.submit_request(1 * GB, expected_duration_s=10.0)
+    world.env.run(until=world.env.now + 4.0)
+    new = world.monitor.submit_request(1 * GB, expected_duration_s=8.0)
+    release(world, blocker)  # aged keys: old 10-4=6 beats new 8-0=8
+    server = grant(world, old)
+    assert not new.granted.triggered
+    server.begin_session(1 * GB)
+    release(world, server)
+    grant(world, new)
+
+
+def test_sff_aged_unhinted_degrades_to_fcfs():
+    """With no duration hint the starvation bound is zero, so every
+    request is immediately 'starved' and dispatch is plain FCFS — an
+    infeasible large head blocks a small later request (conservative
+    treatment of unknown cost)."""
+    world = make_world(DgsfConfig(num_gpus=1, api_servers_per_gpu=2,
+                                  queue_discipline="sff_aged"))
+    s1 = occupy(world, 10 * GB)
+    world.monitor.submit_request(12 * GB)
+    small = world.monitor.submit_request(1 * GB)
+    world.env.run(until=world.env.now + 0.5)
+    assert not small.granted.triggered
+    release(world, s1)
+
+
+def test_aged_scheduler_rejects_bad_factor():
+    with pytest.raises(ConfigurationError):
+        AgedSffScheduler(monitor=None, aging_factor=0.0)
+
+
+# -- MQFQ ---------------------------------------------------------------------
+def test_mqfq_overtakes_blocked_large_flow():
+    """A small flow is not blocked by an infeasible large flow's head
+    (the §VIII-D FCFS pathology), as long as it stays inside the window."""
+    world = make_world(DgsfConfig(num_gpus=1, api_servers_per_gpu=2,
+                                  queue_discipline="mqfq"))
+    s1 = occupy(world, 10 * GB)
+    big = world.monitor.submit_request(12 * GB, expected_duration_s=30,
+                                       flow_key="big")
+    small = world.monitor.submit_request(1 * GB, expected_duration_s=5,
+                                         flow_key="small")
+    world.env.run(until=world.env.now + 0.5)
+    assert not big.granted.triggered
+    assert small.granted.triggered
+    release(world, s1)
+
+
+def test_mqfq_throttle_window_bounds_overtaking():
+    """A blocked flow pins virtual time, so other flows can run ahead by
+    at most the throttle window ``T`` of virtual time before they stall;
+    once the blocked flow is served, the clock advances and they resume."""
+    world = make_world(DgsfConfig(num_gpus=1, api_servers_per_gpu=2,
+                                  queue_discipline="mqfq",
+                                  mqfq_throttle_window_s=6.0))
+    blocker = occupy(world, 10 * GB)
+    big = world.monitor.submit_request(12 * GB, expected_duration_s=30.0,
+                                       flow_key="big")  # infeasible: pins V=0
+    # each small costs 5 virtual seconds; start tags run 0, 5, 10, ...
+    s = occupy(world, 1 * GB, flow_key="small", expected=5.0)
+    release(world, s)
+    s = occupy(world, 1 * GB, flow_key="small", expected=5.0)
+    release(world, s)
+    third = world.monitor.submit_request(1 * GB, expected_duration_s=5.0,
+                                         flow_key="small")
+    world.env.run(until=world.env.now + 0.5)
+    # start tag 10 > V(0) + T(6): throttled despite a free, fitting GPU
+    assert not third.granted.triggered
+    release(world, blocker)  # big becomes feasible and is served
+    server = grant(world, big)
+    assert server is not None
+    # with the big flow drained, V advances to the small flow's start tag
+    grant(world, third)
+
+
+def test_mqfq_wide_window_does_not_throttle():
+    world = make_world(DgsfConfig(num_gpus=1, api_servers_per_gpu=2,
+                                  queue_discipline="mqfq",
+                                  mqfq_throttle_window_s=100.0))
+    blocker = occupy(world, 10 * GB)
+    world.monitor.submit_request(12 * GB, expected_duration_s=30.0,
+                                 flow_key="big")
+    for _ in range(3):
+        s = occupy(world, 1 * GB, flow_key="small", expected=5.0)
+        release(world, s)
+    release(world, blocker)
+
+
+def test_mqfq_stickiness_prefers_last_device():
+    """A repeat invocation of a flow goes back to the GPU that served it
+    last (warm API-server/artifact-cache state) even when the placement
+    policy would choose another GPU."""
+    world = make_world(DgsfConfig(num_gpus=2, api_servers_per_gpu=2,
+                                  policy="worst_fit", queue_discipline="mqfq"))
+    warm1 = occupy(world, 1 * GB, flow_key="warm", expected=1.0)
+    warm_device = warm1.home_device_id
+    release(world, warm1)
+    # load the warm device so worst-fit would now pick the other GPU
+    other = occupy(world, 4 * GB, flow_key="other", expected=1.0)
+    assert other.home_device_id == warm_device  # worst-fit tie-break
+    warm2 = occupy(world, 1 * GB, flow_key="warm", expected=1.0)
+    assert warm2.home_device_id == warm_device  # sticky, against worst-fit
+    metrics = world.dep.metrics
+    assert metrics.total("scheduler.sticky_hits", discipline="mqfq") >= 1
+    # a cold flow has no sticky device and follows the policy instead
+    cold = occupy(world, 1 * GB, flow_key="cold", expected=1.0)
+    assert cold.home_device_id != warm_device
+    for server in (other, warm2, cold):
+        release(world, server)
+
+
+def test_mqfq_cancel_keeps_flow_in_sync():
+    world = make_world(DgsfConfig(num_gpus=1, queue_discipline="mqfq"))
+    blocker = occupy(world)
+    first = world.monitor.submit_request(1 * GB, expected_duration_s=2.0,
+                                         flow_key="f")
+    second = world.monitor.submit_request(1 * GB, expected_duration_s=2.0,
+                                          flow_key="f")
+    world.monitor.cancel(first)
+    assert world.monitor.queue_length == 1
+    release(world, blocker)
+    grant(world, second)
+    assert not first.granted.triggered
+
+
+# -- metrics ------------------------------------------------------------------
+def test_scheduler_metrics_recorded():
+    world = make_world(DgsfConfig(num_gpus=1, queue_discipline="fcfs"))
+    server = occupy(world)
+    release(world, server)
+    metrics = world.dep.metrics
+    assert metrics.total("scheduler.enqueued", discipline="fcfs") == 1
+    assert metrics.total("scheduler.granted", discipline="fcfs") == 1
+    hists = list(metrics.find("scheduler.queue_wait_s",
+                              discipline="fcfs", size_class="small"))
+    assert hists and hists[0].count == 1
+    assert world.monitor.scheduler.max_wait_s["small"] >= 0.0

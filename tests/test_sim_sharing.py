@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import SimulationError
 from repro.sim import Environment, FairShareEngine
 
 
@@ -100,6 +101,40 @@ def test_zero_work_completes_immediately():
     assert p.value == 0.0
 
 
+def test_zero_work_completes_via_event_path_not_inline():
+    """Pins the docstring's promise: ``submit`` returns an *untriggered*
+    event, and completion arrives through the engine's zero-horizon
+    wake-up — same sim time, later event turn — so a timeout created
+    right after ``submit`` is always serviced first."""
+    env = Environment()
+    eng = FairShareEngine(env)
+    order = []
+    done = eng.submit(work=0.0)
+    assert not done.triggered  # event path, not inline
+    t0 = env.timeout(0.0)
+    t0.callbacks.append(lambda _e: order.append("timeout"))
+    done.callbacks.append(lambda _e: order.append("done"))
+    env.run()
+    assert env.now == 0.0
+    assert done.triggered
+    assert order == ["timeout", "done"]
+    assert eng.active_tasks == 0
+    # the zero-width busy interval is not recorded
+    assert eng.busy_intervals == []
+
+
+def test_zero_work_blip_does_not_disturb_running_task():
+    env = Environment()
+    eng = FairShareEngine(env)
+    running = eng.submit(work=2.0)
+    zero = eng.submit(work=0.0)
+    env.run(until=zero)
+    assert env.now == 0.0
+    env.run(until=running)
+    # the instantaneous co-runner charges no time against the real task
+    assert env.now == pytest.approx(2.0)
+
+
 def test_invalid_parameters():
     env = Environment()
     eng = FairShareEngine(env)
@@ -161,7 +196,32 @@ def test_utilization_invalid_window():
     env = Environment()
     eng = FairShareEngine(env)
     with pytest.raises(ValueError):
-        eng.utilization(2.0, 2.0)
+        eng.utilization(2.0, 2.0)  # zero width
+    with pytest.raises(ValueError):
+        eng.utilization(3.0, 2.0)  # reversed
+
+
+def test_utilization_open_busy_interval_clipped_at_now():
+    env = Environment()
+    eng = FairShareEngine(env)
+    eng.submit(work=10.0)
+    env.run(until=4.0)
+    # window reaching past now: the open interval contributes only [0, now]
+    assert eng.utilization(0.0, 8.0) == pytest.approx(0.5)
+
+
+def test_mean_load_zero_width_and_window_validation():
+    env = Environment()
+    eng = FairShareEngine(env)
+    # zero-width [0, 0] window is defined as 0.0, not a division by zero
+    assert eng.mean_load(0.0, 0.0) == 0.0
+    with pytest.raises(SimulationError):
+        eng.mean_load(1.0, 1.0)  # start != 0
+    done = eng.submit(work=1.0)
+    env.run(until=done)
+    with pytest.raises(SimulationError):
+        eng.mean_load(0.0, env.now / 2)  # end != now
+    assert eng.mean_load(0.0, env.now) == pytest.approx(1.0)
 
 
 def test_capacity_scales_rates():
