@@ -1,0 +1,50 @@
+"""Ablation: the critical-path bottleneck moves with load and flags.
+
+Uncontended + optimized, time is the work itself (GPU compute /
+downloads); with every optimization off, wire + serialization swamp it
+(Fig. 4's motivation read straight off the trace); crammed onto one GPU,
+the §VIII-D queue dominates regardless of discipline.
+"""
+
+import pytest
+
+from repro.experiments import critpath_ablation, render_table
+
+
+@pytest.mark.experiment("ablation-critpath")
+def test_bottleneck_shifts_across_settings(once):
+    rows = once(lambda: critpath_ablation.run(seed=0, copies=2))
+
+    print()
+    print(render_table(
+        "Critical-path ablation — dominant resource by setting",
+        rows,
+        columns=[
+            "setting", "n", "bottleneck_p50", "p50_share",
+            "bottleneck_p95", "p95_share", "e2e_p50_s", "e2e_p95_s",
+            "coverage_min",
+        ],
+    ))
+
+    cell = {r["setting"]: r for r in rows}
+    assert set(cell) == set(critpath_ablation.SETTINGS)
+
+    # attribution bar: the critical path explains >= 95% of every root
+    # span's wall time in every setting (run() raises otherwise, but the
+    # reported minimum must clear the bar too)
+    for row in rows:
+        assert row["coverage_min"] >= critpath_ablation.MIN_COVERAGE, row
+
+    # the acceptance criterion: the dominant resource CHANGES across
+    # settings — a profiler that always blames the same thing is useless
+    assert len({r["bottleneck_p50"] for r in rows}) >= 2
+
+    # uncontended + optimized: the work itself dominates
+    assert cell["light_opt"]["bottleneck_p50"] == "gpu_compute"
+    # single-GPU contention: queueing dominates under either discipline
+    assert cell["heavy_fcfs"]["bottleneck_p50"] == "queue"
+    assert cell["heavy_mqfq"]["bottleneck_p50"] == "queue"
+    # and the queue share at the median is larger than when uncontended
+    light_queue_share = cell["light_opt"]["p50_share"] \
+        if cell["light_opt"]["bottleneck_p50"] == "queue" else 0.0
+    assert cell["heavy_fcfs"]["p50_share"] > light_queue_share

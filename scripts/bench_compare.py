@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Perf-regression gate: diff a fresh bench JSON against a committed baseline.
+
+The simulator is deterministic, so a same-seed rerun of
+``scripts/bench_baseline.py`` / ``scripts/bench_sched.py`` must land
+within a tight tolerance band of the committed ``BENCH_ablation.json`` /
+``BENCH_sched.json``.  This script compares the two row-by-row:
+
+* **compat keys** (``experiment``, ``seed``, ``copies``) must match —
+  comparing runs with different parameters is a configuration error
+  (exit 2), not a pass,
+* rows are matched by identity (``workload`` for the ablation file,
+  ``discipline`` + ``size_class`` for the scheduler file); the fresh run
+  may cover a *subset* of the baseline's rows (CI runs two workloads),
+  but every fresh row must exist in the baseline,
+* every numeric metric must satisfy
+  ``|fresh - base| <= abs_tol + rel_tol * |base|`` — deviations in
+  either direction fail, because in a deterministic simulator "faster"
+  is just as much a behaviour change as "slower",
+* count fields (``n``) must match exactly.
+
+Environment-dependent keys (``python``, ``wall_seconds``) are ignored.
+
+Exit status: 0 = within tolerance, 1 = regression (prints every
+violation), 2 = files not comparable.
+
+Usage::
+
+    python scripts/bench_compare.py BENCH_sched.json /tmp/fresh-sched.json
+    python scripts/bench_compare.py BENCH_ablation.json fresh.json --rel-tol 0.01
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: experiment name -> [(section key, identity fields)]
+SECTIONS = {
+    "fig4_ablation_plus_async_cache": [
+        ("ablation", ("workload",)),
+        ("warm_cache", ("workload",)),
+    ],
+    "sched_ablation": [
+        ("rows", ("discipline", "size_class")),
+    ],
+}
+
+#: top-level keys that must match for two runs to be comparable
+COMPAT_KEYS = ("experiment", "seed", "copies")
+
+#: per-row fields compared exactly (counts, not timings)
+EXACT_FIELDS = {"n"}
+
+
+def load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read bench JSON {path}: {exc}")
+
+
+def check_compat(baseline: dict, fresh: dict) -> list[str]:
+    problems = []
+    for key in COMPAT_KEYS:
+        b, f = baseline.get(key), fresh.get(key)
+        if b is not None and f is not None and b != f:
+            problems.append(f"compat key {key!r} differs: baseline={b} fresh={f}")
+    if baseline.get("experiment") not in SECTIONS:
+        problems.append(
+            f"unknown experiment {baseline.get('experiment')!r} "
+            f"(known: {sorted(SECTIONS)})"
+        )
+    return problems
+
+
+def index_rows(rows: list[dict], identity: tuple) -> dict:
+    out = {}
+    for row in rows:
+        key = tuple(row.get(field) for field in identity)
+        out[key] = row
+    return out
+
+
+def compare_section(section: str, identity: tuple, base_rows: list,
+                    fresh_rows: list, rel_tol: float, abs_tol: float,
+                    require_full: bool) -> list[str]:
+    problems = []
+    base_by_key = index_rows(base_rows, identity)
+    fresh_by_key = index_rows(fresh_rows, identity)
+    for key, fresh_row in fresh_by_key.items():
+        label = f"{section}[{'/'.join(str(k) for k in key)}]"
+        base_row = base_by_key.get(key)
+        if base_row is None:
+            problems.append(f"{label}: row missing from baseline")
+            continue
+        for field, base_val in base_row.items():
+            if field in identity or not isinstance(base_val, (int, float)):
+                continue
+            fresh_val = fresh_row.get(field)
+            if not isinstance(fresh_val, (int, float)):
+                problems.append(f"{label}.{field}: missing from fresh run")
+                continue
+            if field in EXACT_FIELDS:
+                if fresh_val != base_val:
+                    problems.append(
+                        f"{label}.{field}: count changed "
+                        f"{base_val} -> {fresh_val}"
+                    )
+                continue
+            band = abs_tol + rel_tol * abs(base_val)
+            delta = fresh_val - base_val
+            if abs(delta) > band:
+                problems.append(
+                    f"{label}.{field}: {base_val} -> {fresh_val} "
+                    f"(delta {delta:+.4f} exceeds band ±{band:.4f})"
+                )
+    if require_full:
+        for key in base_by_key:
+            if key not in fresh_by_key:
+                problems.append(
+                    f"{section}[{'/'.join(str(k) for k in key)}]: "
+                    f"row missing from fresh run (--require-full)"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path,
+                        help="committed baseline JSON (e.g. BENCH_sched.json)")
+    parser.add_argument("fresh", type=Path,
+                        help="freshly generated JSON to gate")
+    parser.add_argument("--rel-tol", type=float, default=0.02,
+                        help="relative tolerance per metric (default 2%%)")
+    parser.add_argument("--abs-tol", type=float, default=0.05,
+                        help="absolute tolerance in metric units (default 0.05)")
+    parser.add_argument("--require-full", action="store_true",
+                        help="fail if the fresh run covers fewer rows than "
+                             "the baseline (default: subsets allowed)")
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    compat = check_compat(baseline, fresh)
+    if compat:
+        print(f"NOT COMPARABLE: {args.baseline} vs {args.fresh}", file=sys.stderr)
+        for p in compat:
+            print(f"  - {p}", file=sys.stderr)
+        return 2
+
+    problems = []
+    compared = 0
+    for section, identity in SECTIONS[baseline["experiment"]]:
+        base_rows = baseline.get(section, [])
+        fresh_rows = fresh.get(section, [])
+        compared += len(index_rows(fresh_rows, identity))
+        problems += compare_section(
+            section, identity, base_rows, fresh_rows,
+            args.rel_tol, args.abs_tol, args.require_full,
+        )
+
+    if compared == 0:
+        print("NOT COMPARABLE: fresh run contains no rows", file=sys.stderr)
+        return 2
+    if problems:
+        print(f"REGRESSION: {args.fresh} deviates from {args.baseline} "
+              f"({len(problems)} violation(s)):", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+    print(f"OK: {compared} row(s) of {args.fresh} within "
+          f"±({args.abs_tol} + {args.rel_tol * 100:g}%) of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

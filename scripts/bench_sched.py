@@ -64,6 +64,7 @@ def main(argv: list[str] | None = None) -> int:
         "disciplines": list(DISCIPLINES),
         "rows": rows,
     }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(result, indent=2) + "\n")
     print(f"\nwrote {args.out}")
     return 0

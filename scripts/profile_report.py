@@ -7,17 +7,25 @@ Runs a workload with span tracing enabled, then writes next to each other:
   ``chrome://tracing``),
 * ``breakdown.json`` — per-invocation phase attribution plus p50/p95/p99
   aggregates,
+* ``critpath.json`` — per-invocation critical-path resource attribution
+  (queue / wire / serialization / gpu_compute / object_store / cpu) and
+  the top-bottleneck-by-workload table,
+* ``flame.folded`` (with ``--flame``, default on) — folded critical-path
+  stacks, loadable in speedscope or FlameGraph's ``flamegraph.pl``,
+* ``alerts.json`` — the SLO engine's alert transition log,
 * ``metrics.json`` — the metrics-registry snapshot.
 
 It also *validates* the trace: every invocation's root span must equal
-its measured end-to-end latency, and phase spans must attribute at least
-``--min-coverage`` of that time.  A violation exits non-zero, which makes
-this script double as the observability smoke test in ``scripts/verify.sh``.
+its measured end-to-end latency, and both the phase spans and the
+critical path must attribute at least ``--min-coverage`` of that time.
+A violation exits non-zero, which makes this script double as the
+observability smoke test in ``scripts/verify.sh``.
 
 Usage::
 
     python scripts/profile_report.py --workload kmeans --out-dir /tmp/prof
     python scripts/profile_report.py --mixed --copies 3 --min-coverage 0.95
+    python scripts/profile_report.py --mixed --flame /tmp/prof/flame.folded
 """
 
 from __future__ import annotations
@@ -33,7 +41,15 @@ from repro.experiments.runner import (
     run_mixed_scenario,
     run_single_invocation_traced,
 )
-from repro.obs import aggregate_breakdowns, breakdown_table_rows, invocation_breakdowns
+from repro.obs import (
+    aggregate_breakdowns,
+    bottleneck_table,
+    breakdown_table_rows,
+    critpath_report,
+    dump_folded,
+    folded_stacks,
+    invocation_breakdowns,
+)
 from repro.workloads import ALL_WORKLOAD_NAMES
 
 
@@ -69,7 +85,14 @@ def main(argv=None) -> int:
     parser.add_argument("--out-dir", default="profile_out")
     parser.add_argument("--min-coverage", type=float, default=0.95,
                         help="minimum fraction of each invocation's e2e time "
-                             "that phase spans must attribute")
+                             "that phase spans (and the critical path) must "
+                             "attribute")
+    parser.add_argument("--flame", nargs="?", const="", default="",
+                        metavar="PATH",
+                        help="folded flamegraph output path (default: "
+                             "<out-dir>/flame.folded); pass --no-flame to skip")
+    parser.add_argument("--no-flame", action="store_true",
+                        help="skip the folded flamegraph export")
     args = parser.parse_args(argv)
 
     out_dir = Path(args.out_dir)
@@ -99,8 +122,31 @@ def main(argv=None) -> int:
         json.dumps(dep.metrics.as_dict(), indent=2, sort_keys=True)
     )
 
+    # critical-path attribution + flamegraph + SLO alert log
+    crit = critpath_report(dep.tracer, invocations,
+                           min_coverage=args.min_coverage)
+    (out_dir / "critpath.json").write_text(json.dumps(
+        {"per_invocation": crit["per_invocation"],
+         "aggregate": crit["aggregate"],
+         "bottlenecks": bottleneck_table(crit["aggregate"])},
+        indent=2, sort_keys=True,
+    ))
+    flame_path = None
+    if not args.no_flame:
+        flame_path = Path(args.flame) if args.flame else out_dir / "flame.folded"
+        n_stacks = dump_folded(folded_stacks(dep.tracer, invocations), flame_path)
+    (out_dir / "alerts.json").write_text(json.dumps(
+        {"alerts": dep.slo.alert_log(), "summary": dep.slo.summary()},
+        indent=2, sort_keys=True,
+    ))
+
     print(f"trace:     {trace_path} ({dep.tracer.summary()['spans']} spans)")
     print(f"breakdown: {out_dir / 'breakdown.json'}")
+    print(f"critpath:  {out_dir / 'critpath.json'}")
+    if flame_path is not None:
+        print(f"flame:     {flame_path} ({n_stacks} stacks)")
+    print(f"alerts:    {out_dir / 'alerts.json'} "
+          f"({len(dep.slo.alerts)} transitions)")
     print(f"metrics:   {out_dir / 'metrics.json'}")
     print()
     header = f"{'workload':<22}{'phase':<16}{'mean_s':>9}{'p50_s':>9}{'p95_s':>9}{'p99_s':>9}"
@@ -110,11 +156,19 @@ def main(argv=None) -> int:
         print(f"{row['workload']:<22}{row['phase']:<16}"
               f"{row['mean_s']:>9.4f}{row['p50_s']:>9.4f}"
               f"{row['p95_s']:>9.4f}{row['p99_s']:>9.4f}")
+    print()
+    header2 = f"{'workload':<22}{'pct':<6}{'bottleneck':<14}{'seconds':>9}{'share':>8}"
+    print(header2)
+    print("-" * len(header2))
+    for row in bottleneck_table(crit["aggregate"]):
+        print(f"{row['workload']:<22}{row['percentile']:<6}"
+              f"{row['bottleneck']:<14}{row['seconds']:>9.3f}"
+              f"{row['share']:>8.3f}")
     if dep.tracer.dropped:
         print(f"WARNING: tracer dropped {dep.tracer.dropped} spans "
               f"(max_spans={dep.tracer.max_spans})", file=sys.stderr)
 
-    problems = _validate(rows, args.min_coverage)
+    problems = _validate(rows, args.min_coverage) + crit["violations"]
     if problems:
         print("\ntrace validation FAILED:", file=sys.stderr)
         for p in problems:

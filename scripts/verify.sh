@@ -22,5 +22,10 @@ PYTHONPATH=src python scripts/profile_report.py \
     --min-coverage 0.95
 
 echo "== scheduler ablation smoke (bench_sched) =="
-PYTHONPATH=src python scripts/bench_sched.py --copies 2 \
-    --out "${SCHED_BENCH_OUT:-/tmp/dgsf-bench-sched.json}"
+# copies must match the committed BENCH_sched.json baseline (copies=4)
+# or bench_compare refuses the comparison
+SCHED_OUT="${SCHED_BENCH_OUT:-/tmp/dgsf-bench-sched.json}"
+PYTHONPATH=src python scripts/bench_sched.py --copies 4 --out "$SCHED_OUT"
+
+echo "== perf-regression gate (bench_compare) =="
+python scripts/bench_compare.py BENCH_sched.json "$SCHED_OUT"

@@ -41,7 +41,7 @@ from repro.core.config import DgsfConfig
 from repro.core.faults import FaultDirector
 from repro.core.gpu_server import GpuServer
 from repro.core.guest import GuestLibrary, GuestGpuBundle, GuestRpcError
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import MetricsRegistry, SloEngine, Tracer
 
 __all__ = [
     "NativeGpuSession",
@@ -382,6 +382,11 @@ class DgsfGpuProvider:
             connection.faults = dep.fault_director.link_injector()
         connection.tracer = dep.tracer
         connection.label = f"inv-{fc.invocation.invocation_id}"
+        root = fc.invocation._span
+        if root is not None:
+            # xfer spans join the invocation's trace: the critical-path
+            # report needs wire time inside the per-invocation span tree
+            connection.trace_ctx = (root.trace_id, root.span_id)
         try:
             api_server.begin_session(
                 spec.gpu_mem_bytes, invocation_id=fc.invocation.invocation_id
@@ -470,10 +475,12 @@ class DgsfDeployment:
         self.env = env or Environment()
         self.rngs = RngRegistry(seed=config.seed)
         self.kernels = kernel_registry or builtin_registry()
-        # Observability: one registry + (optional) tracer shared by every
-        # layer.  Both only read ``env.now`` and append to Python lists, so
-        # enabling them cannot perturb the event timeline.
-        self.metrics = MetricsRegistry()
+        # Observability: one registry + SLO engine + (optional) tracer
+        # shared by every layer.  All three only read ``env.now`` and
+        # append to Python lists, so enabling them cannot perturb the
+        # event timeline.
+        self.metrics = MetricsRegistry(clock=lambda: self.env.now)
+        self.slo = SloEngine().attach(self.metrics)
         self.tracer: Optional[Tracer] = (
             Tracer(self.env, max_spans=config.trace_max_spans)
             if config.tracing_enabled
@@ -575,7 +582,8 @@ class NativeDeployment:
         self.costs = costs
         self.rngs = RngRegistry(seed=seed)
         self.kernels = kernel_registry or builtin_registry()
-        self.metrics = MetricsRegistry()
+        self.metrics = MetricsRegistry(clock=lambda: self.env.now)
+        self.slo = SloEngine().attach(self.metrics)
         self.tracer: Optional[Tracer] = (
             Tracer(self.env, max_spans=trace_max_spans) if tracing_enabled else None
         )

@@ -352,6 +352,12 @@ class Monitor:
         while True:
             yield self.env.timeout(self.period_s)
             now = self.env.now
+            if self.metrics is not None:
+                # the tick doubles as the SLO engine's time pulse: its
+                # notification drives rule evaluation at ``now`` even when
+                # no invocations complete, so alerts can *clear* during a
+                # quiet recovery
+                self.metrics.counter("monitor.health_ticks").inc()
             for server in self.gpu_server.api_servers:
                 if server.recovering:
                     continue
@@ -368,6 +374,8 @@ class Monitor:
         """Uncommit a dead server's charge, rescue its request, restart it."""
         sid = server.server_id
         self.crashes_detected += 1
+        if self.metrics is not None:
+            self.metrics.counter("monitor.crashes_detected").inc()
         if self.tracer is not None:
             pid, tid = self._trace_track()
             self.tracer.instant("crash_detected", pid=pid, tid=tid, server=sid)
@@ -398,6 +406,8 @@ class Monitor:
         )
         orphan.superseded = clone
         self.requests_requeued += 1
+        if self.metrics is not None:
+            self.metrics.counter("monitor.requests_requeued").inc()
         if self.tracer is not None:
             pid, tid = self._trace_track()
             trace_id, parent_id = orphan.trace_ctx or (None, None)

@@ -120,10 +120,17 @@ class DispatchScheduler:
         self._queue.append(request)
         if self.metrics is not None:
             self.metrics.counter("scheduler.enqueued", discipline=self.name).inc()
+            self._publish_backlog()
 
     def requeue(self, request: "GpuRequest") -> None:
         """Put a crash-rescued request back at the front of the line."""
         self._queue.appendleft(request)
+        if self.metrics is not None:
+            # counted as a (re-)arrival so enqueued/granted stay paired for
+            # stream consumers (the SLO queue-starvation rule FIFO-matches
+            # them)
+            self.metrics.counter("scheduler.enqueued", discipline=self.name).inc()
+            self._publish_backlog()
 
     def remove(self, request: "GpuRequest") -> bool:
         """Drop a cancelled request; True if it was queued here."""
@@ -131,7 +138,15 @@ class DispatchScheduler:
             self._queue.remove(request)
         except ValueError:
             return False
+        if self.metrics is not None:
+            self.metrics.counter("scheduler.cancelled", discipline=self.name).inc()
+            self._publish_backlog()
         return True
+
+    def _publish_backlog(self) -> None:
+        self.metrics.gauge("scheduler.backlog", discipline=self.name).set(
+            len(self._queue), t=self.monitor.env.now
+        )
 
     # -- dispatch -----------------------------------------------------------
     def dispatch(self) -> None:
@@ -148,6 +163,7 @@ class DispatchScheduler:
             self.metrics.histogram(
                 "scheduler.queue_wait_s", discipline=self.name, size_class=cls
             ).observe(wait)
+            self._publish_backlog()
         self.monitor._grant(request, device_id)
 
 

@@ -23,6 +23,7 @@ from repro.experiments import (
     fig7,
     fig8,
     sched_ablation,
+    critpath_ablation,
 )
 from repro.experiments.reporting import render_table, render_series
 
@@ -41,6 +42,7 @@ __all__ = [
     "fig7",
     "fig8",
     "sched_ablation",
+    "critpath_ablation",
     "render_table",
     "render_series",
 ]

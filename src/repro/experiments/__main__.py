@@ -16,12 +16,12 @@ import time
 
 from repro.experiments import (
     table2, table3, table4, table5, fig3, fig4, fig5, fig6, fig7, fig8,
-    sched_ablation, render_table, render_series,
+    sched_ablation, critpath_ablation, render_table, render_series,
 )
 
 EXPERIMENTS = [
     "table2", "fig3", "fig4", "table3", "fig5", "table4", "fig6",
-    "fig7", "fig8", "table5", "sched",
+    "fig7", "fig8", "table5", "sched", "critpath",
 ]
 
 
@@ -73,6 +73,11 @@ def run_one(name: str, seed: int, copies: int, trace_dir: str = None) -> None:
         _print_rows(
             "Scheduler ablation — queue wait by size class (s)",
             sched_ablation.run(seed=seed, copies=copies),
+        )
+    elif name == "critpath":
+        _print_rows(
+            "Critical-path ablation — dominant resource by setting",
+            critpath_ablation.run(seed=seed, copies=min(copies, 3)),
         )
     else:
         raise SystemExit(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")

@@ -188,6 +188,8 @@ class ChaosScenarioResult:
     requests_requeued: int
     #: API servers successfully brought back up
     servers_restarted: int
+    #: SLO alert transitions (firing/resolved) logged during the run
+    alerts: list = None
 
     @property
     def clean(self) -> bool:
@@ -244,6 +246,9 @@ def run_chaos_scenario(
     # would never return; bound the run by the driver or the horizon.
     env.run(until=env.any_of([done, env.timeout(horizon_s)]))
     env.run(until=env.now + settle_s)
+    # final SLO sweep at the end-of-run clock so alerts that should have
+    # cleared during the settle window resolve before we snapshot the log
+    dep.slo.evaluate(env.now)
 
     outcomes = summarize_outcomes(records)
     audit = audit_deployment(dep, end_state=True, check_schedulable=True)
@@ -256,4 +261,5 @@ def run_chaos_scenario(
         crashes_detected=sum(g.monitor.crashes_detected for g in dep.gpu_servers),
         requests_requeued=sum(g.monitor.requests_requeued for g in dep.gpu_servers),
         servers_restarted=sum(g.servers_restarted for g in dep.gpu_servers),
+        alerts=list(dep.slo.alerts),
     )

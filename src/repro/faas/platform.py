@@ -212,6 +212,9 @@ class ServerlessPlatform:
         #: optional repro.obs.MetricsRegistry — when set, terminal
         #: invocation outcomes and latencies are published to it
         self.metrics = None
+        #: invocations submitted but not yet finished (mirrors the
+        #: ``invocation.active`` gauge when a registry is attached)
+        self.active_invocations = 0
 
     # -- registry ---------------------------------------------------------------
     def register(self, spec: FunctionSpec) -> None:
@@ -242,6 +245,11 @@ class ServerlessPlatform:
             t_submit=self.env.now,
         )
         self.invocations.append(invocation)
+        self.active_invocations += 1
+        if self.metrics is not None:
+            self.metrics.gauge("invocation.active").set(
+                self.active_invocations, t=self.env.now
+            )
         if self.tracer is not None:
             invocation.bind_span(self.tracer.begin(
                 f"invocation:{name}",
@@ -327,7 +335,11 @@ class ServerlessPlatform:
                 invocation._span.end(
                     t_end=invocation.t_end, status=invocation.status
                 )
+            self.active_invocations -= 1
             if self.metrics is not None:
+                self.metrics.gauge("invocation.active").set(
+                    self.active_invocations, t=self.env.now
+                )
                 self.metrics.counter(
                     "invocation.status",
                     workload=invocation.function_name,

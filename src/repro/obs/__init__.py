@@ -10,14 +10,32 @@
   views over.
 * :mod:`repro.obs.report` — per-invocation latency breakdowns (phase
   attribution + coverage) and p50/p95/p99 aggregation.
+* :mod:`repro.obs.critpath` — critical-path extraction over span trees:
+  per-resource attribution (queue / wire / serialization / gpu_compute /
+  object_store / cpu), top-bottleneck tables, and folded flamegraph
+  export.
+* :mod:`repro.obs.slo` — a streaming SLO engine over the registry's
+  observation stream: multi-window burn-rate availability alerts, GPU
+  imbalance and queue-starvation detectors, structured
+  :class:`~repro.obs.slo.AlertEvent` logs.
 
 Everything here is pure bookkeeping: recording a span or bumping a
 counter reads ``env.now`` and appends to Python lists, but never creates
 events, timeouts, or RNG draws — so an instrumented run is
 timeline-identical to an uninstrumented one, and the determinism goldens
-hold bit-for-bit with tracing on or off.
+hold bit-for-bit with tracing, SLO evaluation and critical-path
+collection on or off.
 """
 
+from repro.obs.critpath import (
+    aggregate_critpaths,
+    bottleneck_table,
+    critical_path,
+    critpath_report,
+    dump_folded,
+    folded_stacks,
+    invocation_critpaths,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import (
     aggregate_breakdowns,
@@ -25,18 +43,29 @@ from repro.obs.report import (
     invocation_breakdowns,
     percentile,
 )
+from repro.obs.slo import AlertEvent, SloEngine, default_rules
 from repro.obs.trace import Span, SpanRecord, Tracer
 
 __all__ = [
+    "AlertEvent",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SloEngine",
     "Span",
     "SpanRecord",
     "Tracer",
     "aggregate_breakdowns",
+    "aggregate_critpaths",
+    "bottleneck_table",
     "breakdown_table_rows",
+    "critical_path",
+    "critpath_report",
+    "default_rules",
+    "dump_folded",
+    "folded_stacks",
     "invocation_breakdowns",
+    "invocation_critpaths",
     "percentile",
 ]

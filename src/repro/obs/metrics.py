@@ -20,11 +20,18 @@ get-or-creates on access so call sites never need existence checks:
 Naming convention: dotted ``<layer>.<metric>`` names
 (``guest.rpc_retries``, ``artifact_cache.hits``, ``invocation.status``);
 dimensions go in labels, never in the name.
+
+The registry is also a *stream*: subscribers (see :mod:`repro.obs.slo`)
+receive every recorded observation as ``(metric, value, t)`` the moment
+it happens, stamped with sim time from the registry's bound clock (or
+the explicit ``t`` a gauge sample carries).  Notification is plain
+synchronous bookkeeping — no events, no buffering — so attaching a
+subscriber cannot perturb the simulated timeline.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
@@ -47,17 +54,20 @@ def _percentile(values: list[float], q: float) -> float:
 class Counter:
     """A monotonically increasing counter."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_registry")
 
     def __init__(self, name: str, labels: dict):
         self.name = name
         self.labels = labels
         self.value = 0
+        self._registry: Optional["MetricsRegistry"] = None
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease")
         self.value += amount
+        if self._registry is not None:
+            self._registry._notify(self, amount)
 
     def __repr__(self):
         return f"Counter({self.name}{self.labels or ''}={self.value})"
@@ -66,17 +76,20 @@ class Counter:
 class Gauge:
     """A last-value gauge that also keeps its full (time, value) series."""
 
-    __slots__ = ("name", "labels", "times", "values")
+    __slots__ = ("name", "labels", "times", "values", "_registry")
 
     def __init__(self, name: str, labels: dict):
         self.name = name
         self.labels = labels
         self.times: list[float] = []
         self.values: list[float] = []
+        self._registry: Optional["MetricsRegistry"] = None
 
     def set(self, value: float, t: float) -> None:
         self.times.append(t)
         self.values.append(value)
+        if self._registry is not None:
+            self._registry._notify(self, value, t=t)
 
     @property
     def value(self) -> Optional[float]:
@@ -92,15 +105,18 @@ class Gauge:
 class Histogram:
     """A bag of observations with mean/percentile queries."""
 
-    __slots__ = ("name", "labels", "observations")
+    __slots__ = ("name", "labels", "observations", "_registry")
 
     def __init__(self, name: str, labels: dict):
         self.name = name
         self.labels = labels
         self.observations: list[float] = []
+        self._registry: Optional["MetricsRegistry"] = None
 
     def observe(self, value: float) -> None:
         self.observations.append(value)
+        if self._registry is not None:
+            self._registry._notify(self, value)
 
     @property
     def count(self) -> int:
@@ -139,16 +155,44 @@ _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
 
 class MetricsRegistry:
-    """Get-or-create store of labeled instruments."""
+    """Get-or-create store of labeled instruments.
 
-    def __init__(self):
+    ``clock`` (optional) is a zero-argument callable returning the current
+    sim time; the deployment binds it to ``env.now`` so counter/histogram
+    notifications carry timestamps without every call site threading one
+    through.  Gauges already carry their own ``t``.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
         self._metrics: dict[tuple[str, tuple], object] = {}
+        self.clock = clock
+        self._subscribers: list[Callable] = []
+
+    # -- streaming ---------------------------------------------------------------
+    def subscribe(self, callback: Callable) -> None:
+        """Receive ``(metric, value, t)`` for every recorded observation.
+
+        ``t`` comes from the gauge sample itself or the bound clock (0.0
+        with no clock).  Callbacks must be pure bookkeeping: they run
+        synchronously inside the recording call and must never touch the
+        event queue or draw randomness.
+        """
+        self._subscribers.append(callback)
+
+    def _notify(self, metric, value, t: Optional[float] = None) -> None:
+        if not self._subscribers:
+            return
+        if t is None:
+            t = self.clock() if self.clock is not None else 0.0
+        for callback in self._subscribers:
+            callback(metric, value, t)
 
     def _get(self, kind: str, name: str, labels: dict):
         key = (name, tuple(sorted(labels.items())))
         metric = self._metrics.get(key)
         if metric is None:
             metric = _KINDS[kind](name, labels)
+            metric._registry = self
             self._metrics[key] = metric
             return metric
         expected = _KINDS[kind]

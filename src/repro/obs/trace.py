@@ -84,6 +84,7 @@ class Span:
         if self._ended:
             return
         self._ended = True
+        self.tracer._open.pop(self.span_id, None)
         if args:
             self.args.update(args)
         self.tracer._record(SpanRecord(
@@ -140,6 +141,10 @@ class Tracer:
         #: records discarded because the tracer was full — never silent:
         #: surfaced in summary() and the exported JSON
         self.dropped = 0
+        #: span_id -> Span handles begun but not yet ended.  Export closes
+        #: them synthetically at ``env.now`` with an ``"open": true`` flag
+        #: instead of dropping them from the JSON.
+        self._open: dict[int, Span] = {}
 
     @property
     def now(self) -> float:
@@ -154,7 +159,7 @@ class Tracer:
               parent: Optional[Span] = None, t_start: Optional[float] = None,
               **args) -> Span:
         """Open a span starting now (or at ``t_start``)."""
-        return Span(
+        span = Span(
             self, name, cat, pid, tid,
             trace_id=trace_id if trace_id is not None else
             (parent.trace_id if parent is not None else None),
@@ -162,6 +167,8 @@ class Tracer:
             t_start=self.now if t_start is None else t_start,
             args=args,
         )
+        self._open[span.span_id] = span
+        return span
 
     def complete(self, name: str, t_start: float, t_end: float,
                  cat: str = "span", pid: str = "sim", tid: str = "main",
@@ -222,22 +229,58 @@ class Tracer:
                 out.setdefault(r.trace_id, []).append(r)
         return out
 
+    @property
+    def open_spans(self) -> int:
+        """Spans begun but not yet ended (live invocations, in-flight RPC)."""
+        return len(self._open)
+
+    def _open_records(self) -> list[SpanRecord]:
+        """Synthetic closed records for still-open spans, ending now.
+
+        Export-only views — nothing is stored, the spans stay open and
+        their eventual real :meth:`Span.end` records normally.
+        """
+        now = self.now
+        records = []
+        for span in sorted(self._open.values(), key=lambda s: s.span_id):
+            args = dict(span.args)
+            args["open"] = True
+            records.append(SpanRecord(
+                span_id=span.span_id,
+                parent_id=span.parent_id,
+                trace_id=span.trace_id,
+                name=span.name,
+                cat=span.cat,
+                t_start=span.t_start,
+                t_end=max(now, span.t_start),
+                pid=span.pid,
+                tid=span.tid,
+                args=args,
+            ))
+        return records
+
     def summary(self) -> dict:
         return {
             "spans": sum(1 for r in self.records if r.ph == "X"),
             "instants": sum(1 for r in self.records if r.ph == "i"),
             "traces": len(self.by_trace()),
             "dropped": self.dropped,
+            "open_spans": self.open_spans,
             "max_spans": self.max_spans,
         }
 
     # -- export -----------------------------------------------------------------
     def to_chrome(self) -> dict:
-        """Chrome trace-event JSON (object format) for Perfetto."""
+        """Chrome trace-event JSON (object format) for Perfetto.
+
+        Spans still open at export time are emitted with a synthetic end
+        at ``env.now`` and an ``"open": true`` flag — a mid-run export
+        never silently omits in-flight work.
+        """
         pids: dict[str, int] = {}
         tids: dict[tuple[str, str], int] = {}
         events: list[dict] = []
-        for r in self.records:
+        for r in self.records + self._open_records():
             if r.pid not in pids:
                 pids[r.pid] = len(pids) + 1
                 events.append({
@@ -278,6 +321,7 @@ class Tracer:
                 "source": "repro.obs",
                 "clock": "sim-seconds",
                 "dropped": self.dropped,
+                "open_spans": self.open_spans,
             },
         }
 

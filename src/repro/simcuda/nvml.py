@@ -46,13 +46,19 @@ class NvmlSampler:
         self._stopped = False
         #: device_id -> repro.obs Gauge mirroring the sample stream
         self._gauges: dict[int, object] = {}
+        #: device_id -> gauge of resident device-memory bytes
+        self._mem_gauges: dict[int, object] = {}
 
     def bind_metrics(self, registry, **labels) -> None:
         """Publish each device's utilization as a ``gpu.utilization`` gauge
-        series in ``registry`` (labels identify the GPU server)."""
+        series (plus ``gpu.mem_used_bytes``) in ``registry`` (labels
+        identify the GPU server)."""
         for device in self.devices:
             self._gauges[device.device_id] = registry.gauge(
                 "gpu.utilization", device=device.device_id, **labels
+            )
+            self._mem_gauges[device.device_id] = registry.gauge(
+                "gpu.mem_used_bytes", device=device.device_id, **labels
             )
 
     def start(self):
@@ -77,6 +83,9 @@ class NvmlSampler:
                 gauge = self._gauges.get(device.device_id)
                 if gauge is not None:
                     gauge.set(util, now)
+                mem_gauge = self._mem_gauges.get(device.device_id)
+                if mem_gauge is not None:
+                    mem_gauge.set(device.mem_used, now)
 
     def series(self, device_id: int) -> tuple[np.ndarray, np.ndarray]:
         """(times, utilization%) for one GPU."""

@@ -49,6 +49,10 @@ class Connection:
         self.tracer = None
         #: track label for trace export (set by whoever owns the connection)
         self.label = ""
+        #: optional ``(trace_id, parent_span_id)``: when set, "net" spans
+        #: join the owning invocation's trace so per-invocation span trees
+        #: (and the critical-path report) see wire time
+        self.trace_ctx: Optional[tuple] = None
 
     @property
     def endpoints(self) -> tuple["Endpoint", "Endpoint"]:
@@ -109,10 +113,12 @@ class Endpoint:
         lost = faults is not None and faults.drops(self.env.now)
         tracer = self.connection.tracer
         if tracer is not None:
+            trace_id, parent_id = self.connection.trace_ctx or (None, None)
             tracer.complete(
                 f"xfer:{type(payload).__name__}", self.env.now, deliver_at,
                 cat="net", pid="net",
                 tid=self.connection.label or f"{self.local.name}->{self.remote.name}",
+                trace_id=trace_id, parent_id=parent_id,
                 bytes=size, src=self.local.name, dst=self.remote.name,
                 **({"dropped": True} if lost else {}),
             )

@@ -1,0 +1,143 @@
+"""Tests for the perf-regression gate (scripts/bench_compare.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare",
+    Path(__file__).resolve().parent.parent / "scripts" / "bench_compare.py",
+)
+bench_compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_compare)
+
+
+def sched_doc(**overrides):
+    doc = {
+        "experiment": "sched_ablation",
+        "seed": 3,
+        "copies": 4,
+        "python": "3.12.0",
+        "wall_seconds": 10.0,
+        "rows": [
+            {"discipline": "fcfs", "size_class": "small", "n": 8,
+             "mean_queue_s": 10.0, "p99_queue_s": 40.0},
+            {"discipline": "fcfs", "size_class": "large", "n": 4,
+             "mean_queue_s": 30.0, "p99_queue_s": 90.0},
+        ],
+    }
+    doc.update(overrides)
+    return doc
+
+
+def write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def run(tmp_path, baseline, fresh, *extra):
+    return bench_compare.main(
+        [write(tmp_path, "base.json", baseline),
+         write(tmp_path, "fresh.json", fresh), *extra]
+    )
+
+
+def test_identical_runs_pass(tmp_path, capsys):
+    assert run(tmp_path, sched_doc(), sched_doc()) == 0
+    assert "OK: 2 row(s)" in capsys.readouterr().out
+
+
+def test_within_band_passes(tmp_path):
+    fresh = sched_doc()
+    # band for 10.0 at defaults: 0.05 + 0.02 * 10 = 0.25
+    fresh["rows"][0]["mean_queue_s"] = 10.2
+    assert run(tmp_path, sched_doc(), fresh) == 0
+
+
+@pytest.mark.parametrize("direction", [1.15, 0.85])
+def test_out_of_band_either_direction_fails(tmp_path, capsys, direction):
+    fresh = sched_doc()
+    fresh["rows"][0]["mean_queue_s"] = 10.0 * direction
+    assert run(tmp_path, sched_doc(), fresh) == 1
+    err = capsys.readouterr().err
+    assert "REGRESSION" in err and "mean_queue_s" in err
+
+
+def test_count_field_must_match_exactly(tmp_path, capsys):
+    fresh = sched_doc()
+    fresh["rows"][0]["n"] = 9  # within any band, but counts are exact
+    assert run(tmp_path, sched_doc(), fresh) == 1
+    assert "count changed" in capsys.readouterr().err
+
+
+def test_compat_mismatch_is_not_comparable(tmp_path, capsys):
+    assert run(tmp_path, sched_doc(), sched_doc(seed=4)) == 2
+    assert "NOT COMPARABLE" in capsys.readouterr().err
+
+
+def test_unknown_experiment_is_not_comparable(tmp_path):
+    assert run(tmp_path, sched_doc(experiment="mystery"),
+               sched_doc(experiment="mystery")) == 2
+
+
+def test_environment_keys_are_ignored(tmp_path):
+    fresh = sched_doc(python="3.11.9", wall_seconds=99.0)
+    assert run(tmp_path, sched_doc(), fresh) == 0
+
+
+def test_subset_fresh_run_passes_by_default(tmp_path, capsys):
+    fresh = sched_doc()
+    fresh["rows"] = fresh["rows"][:1]  # CI covers fewer rows than baseline
+    assert run(tmp_path, sched_doc(), fresh) == 0
+    assert "OK: 1 row(s)" in capsys.readouterr().out
+
+
+def test_require_full_rejects_subset(tmp_path, capsys):
+    fresh = sched_doc()
+    fresh["rows"] = fresh["rows"][:1]
+    assert run(tmp_path, sched_doc(), fresh, "--require-full") == 1
+    assert "missing from fresh run" in capsys.readouterr().err
+
+
+def test_fresh_only_row_fails(tmp_path, capsys):
+    fresh = sched_doc()
+    fresh["rows"].append({"discipline": "sff", "size_class": "small", "n": 8,
+                          "mean_queue_s": 5.0})
+    assert run(tmp_path, sched_doc(), fresh) == 1
+    assert "missing from baseline" in capsys.readouterr().err
+
+
+def test_empty_fresh_run_is_not_comparable(tmp_path):
+    assert run(tmp_path, sched_doc(), sched_doc(rows=[])) == 2
+
+
+def test_wider_tolerance_accepts_drift(tmp_path):
+    fresh = sched_doc()
+    fresh["rows"][0]["mean_queue_s"] = 11.0
+    assert run(tmp_path, sched_doc(), fresh) == 1
+    assert run(tmp_path, sched_doc(), fresh, "--rel-tol", "0.15") == 0
+
+
+def test_ablation_sections_both_compared(tmp_path, capsys):
+    doc = {
+        "experiment": "fig4_ablation_plus_async_cache",
+        "seed": 0,
+        "ablation": [{"workload": "kmeans", "native": 5.0, "no_opt": 20.0}],
+        "warm_cache": [{"workload": "kmeans", "cold_e2e": 11.0, "warm_e2e": 9.0}],
+    }
+    assert run(tmp_path, doc, json.loads(json.dumps(doc))) == 0
+    assert "OK: 2 row(s)" in capsys.readouterr().out
+    bad = json.loads(json.dumps(doc))
+    bad["warm_cache"][0]["warm_e2e"] = 12.0
+    assert run(tmp_path, doc, bad) == 1
+
+
+def test_real_committed_baselines_self_compare(tmp_path):
+    """The committed baselines must be valid inputs to their own gate."""
+    root = Path(__file__).resolve().parent.parent
+    for name in ("BENCH_sched.json", "BENCH_ablation.json"):
+        path = root / name
+        assert bench_compare.main([str(path), str(path)]) == 0

@@ -89,3 +89,30 @@ def test_repeat_run_reproduces_itself():
     b = run_single_invocation("kmeans", "dgsf", DgsfConfig(num_gpus=1, seed=3))
     assert a.e2e_s == b.e2e_s
     assert dict(a.phases) == dict(b.phases)
+
+
+def test_mixed_scenario_with_full_observability_is_bit_identical():
+    """Tracing + the always-attached SLO engine + critical-path analysis
+    are pure bookkeeping: with every observability layer active the mixed
+    timeline must still match the goldens bit for bit."""
+    from repro.obs import invocation_critpaths
+
+    plan = exponential_gap_arrivals(
+        ["face_identification", "kmeans"] * 3,
+        mean_gap_s=2.0,
+        rng=RngRegistry(seed=7).stream("arrivals"),
+    )
+    res = run_mixed_scenario(
+        DgsfConfig(num_gpus=2, seed=7, tracing_enabled=True), plan
+    )
+    assert res.stats.provider_e2e_s == MIXED_PROVIDER_E2E
+    assert res.stats.function_e2e_sum_s == MIXED_FUNCTION_E2E_SUM
+    # the SLO engine streamed the whole run without injecting sim events
+    dep = res.deployment
+    assert dep.slo is not None
+    assert dep.metrics.total("invocation.status") == len(res.invocations)
+    # offline critical-path extraction meets the attribution bar on the
+    # exact timeline the goldens pin
+    rows = invocation_critpaths(dep.tracer, res.invocations)
+    assert len(rows) == len(res.invocations)
+    assert all(row["coverage"] >= 0.95 for row in rows)

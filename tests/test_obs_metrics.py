@@ -99,3 +99,38 @@ def test_registry_as_dict_snapshot():
     assert snap["a.b{x=1}"] == 2
     assert snap["g"]["last"] == 0.25
     assert snap["h"]["count"] == 1
+
+
+# --- percentile edge cases ---------------------------------------------------
+
+def test_percentile_empty_series_raises():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    h = Histogram("h", {})
+    with pytest.raises(ValueError):
+        h.percentile(95)
+    with pytest.raises(ValueError):
+        h.mean
+
+
+def test_percentile_single_sample_is_that_sample():
+    for q in (0, 50, 95, 100):
+        assert percentile([7.5], q) == 7.5
+
+
+def test_percentile_q0_and_q100_are_min_and_max():
+    values = [9.0, 1.0, 5.0, 3.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 9.0
+
+
+def test_percentile_sorts_its_input():
+    shuffled = [30.0, 10.0, 20.0]
+    assert percentile(shuffled, 50) == 20.0
+    # and does not mutate the caller's list
+    assert shuffled == [30.0, 10.0, 20.0]
+
+
+def test_percentile_interpolates_between_ranks():
+    # pos = 0.75 * (2 - 1) = 0.75 between 10 and 20
+    assert percentile([10.0, 20.0], 75) == pytest.approx(17.5)

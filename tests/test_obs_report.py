@@ -173,3 +173,17 @@ def test_profile_report_cli_smoke(tmp_path):
         assert (out_dir / name).exists()
     breakdown = json.loads((out_dir / "breakdown.json").read_text())
     assert breakdown["aggregate"]["coverage_min"] >= 0.95
+
+
+def test_breakdowns_skip_invocations_without_traces(traced_face_id):
+    """A workload with zero completed (traced) invocations yields no rows
+    and an empty aggregate — never a partial row or a crash."""
+    inv, dep = traced_face_id
+
+    class Untraced:
+        trace_id = None
+
+    rows = invocation_breakdowns(dep.tracer, [Untraced()])
+    assert rows == []
+    assert aggregate_breakdowns(rows) == {"count": 0, "workloads": {}}
+    assert breakdown_table_rows(aggregate_breakdowns(rows)) == []

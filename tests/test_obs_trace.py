@@ -145,3 +145,43 @@ def test_chrome_export_format(tmp_path):
     path = tmp_path / "trace.json"
     tracer.dump_chrome(path)
     assert json.loads(path.read_text())["otherData"]["clock"] == "sim-seconds"
+
+
+# --- open spans at export time -----------------------------------------------
+
+def test_open_spans_counted_and_closed_synthetically():
+    tracer = make_tracer()
+    trace_id = tracer.new_trace_id()
+    root = tracer.begin("invocation:live", cat="invocation", trace_id=trace_id)
+    rpc = tracer.begin("rpc:launch", cat="rpc", parent=root)
+    tracer.env.run(until=3.0)
+    assert tracer.open_spans == 2
+    assert tracer.summary()["open_spans"] == 2
+    out = tracer.to_chrome()
+    assert out["otherData"]["open_spans"] == 2
+    # both in-flight spans are exported, flagged, and end at env.now
+    synthetic = [e for e in out["traceEvents"]
+                 if e["ph"] == "X" and e["args"].get("open") is True]
+    assert {e["name"] for e in synthetic} == {"invocation:live", "rpc:launch"}
+    for e in synthetic:
+        assert e["ts"] + e["dur"] == pytest.approx(3.0e6)
+    # export is a view: nothing was stored and the spans stay open
+    assert tracer.records == []
+    assert tracer.open_spans == 2
+    # a real end later records normally, without the flag
+    rpc.end()
+    root.end()
+    assert tracer.open_spans == 0
+    assert all("open" not in r.args for r in tracer.records)
+    assert not any(e["args"].get("open")
+                   for e in tracer.to_chrome()["traceEvents"]
+                   if e["ph"] == "X")
+
+
+def test_open_span_started_in_future_never_ends_before_start():
+    tracer = make_tracer()
+    tracer.begin("late", t_start=5.0)
+    assert tracer.env.now == 0.0
+    (rec,) = [e for e in tracer.to_chrome()["traceEvents"] if e["ph"] == "X"]
+    # synthetic end clamps to t_start: duration is never negative
+    assert rec["dur"] == 0.0
