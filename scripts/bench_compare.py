@@ -2,9 +2,10 @@
 """Perf-regression gate: diff a fresh bench JSON against a committed baseline.
 
 The simulator is deterministic, so a same-seed rerun of
-``scripts/bench_baseline.py`` / ``scripts/bench_sched.py`` must land
-within a tight tolerance band of the committed ``BENCH_ablation.json`` /
-``BENCH_sched.json``.  This script compares the two row-by-row:
+``scripts/bench_baseline.py`` / ``scripts/bench_sched.py`` /
+``scripts/bench_kernel.py`` must land within a tight tolerance band of
+the committed ``BENCH_ablation.json`` / ``BENCH_sched.json`` /
+``BENCH_kernel.json``.  This script compares the two row-by-row:
 
 * **compat keys** (``experiment``, ``seed``, ``copies``) must match —
   comparing runs with different parameters is a configuration error
@@ -19,7 +20,13 @@ within a tight tolerance band of the committed ``BENCH_ablation.json`` /
   is just as much a behaviour change as "slower",
 * count fields (``n``) must match exactly.
 
-Environment-dependent keys (``python``, ``wall_seconds``) are ignored.
+Environment-dependent keys (``python``, ``wall_seconds``) are ignored,
+as are machine-dependent per-row throughput fields (``events_per_sec``,
+``wall_s``, ``speedup``) — the kernel bench gates its speedup with its
+own ``--min-speedup`` floor instead.  Deterministic kernel-bench fields
+(event counts, the ``order_crc`` pop-order digest) are compared exactly:
+an order-digest change means the event wheel stopped popping in heap
+order, which is a correctness regression however fast it runs.
 
 Exit status: 0 = within tolerance, 1 = regression (prints every
 violation), 2 = files not comparable.
@@ -46,13 +53,24 @@ SECTIONS = {
     "sched_ablation": [
         ("rows", ("discipline", "size_class")),
     ],
+    "kernel_bench": [
+        ("scenarios", ("scenario", "impl")),
+        ("speedups", ("scenario",)),
+        ("order", ("scenario",)),
+    ],
 }
 
 #: top-level keys that must match for two runs to be comparable
-COMPAT_KEYS = ("experiment", "seed", "copies")
+COMPAT_KEYS = ("experiment", "seed", "copies", "events")
 
-#: per-row fields compared exactly (counts, not timings)
-EXACT_FIELDS = {"n"}
+#: per-row fields compared exactly (counts and order digests, not timings)
+EXACT_FIELDS = {"n", "n_events", "order_n", "order_crc"}
+
+#: per-row fields never compared: machine-dependent throughput/wall numbers
+#: (the kernel bench keeps its speedup honest via its own --min-speedup
+#: floor, not via cross-machine banding)
+IGNORED_FIELDS = {"events_per_sec", "sched_events_per_sec", "wall_s",
+                  "sched_wall_s", "speedup"}
 
 
 def load(path: Path) -> dict:
@@ -97,7 +115,8 @@ def compare_section(section: str, identity: tuple, base_rows: list,
             problems.append(f"{label}: row missing from baseline")
             continue
         for field, base_val in base_row.items():
-            if field in identity or not isinstance(base_val, (int, float)):
+            if (field in identity or field in IGNORED_FIELDS
+                    or not isinstance(base_val, (int, float))):
                 continue
             fresh_val = fresh_row.get(field)
             if not isinstance(fresh_val, (int, float)):

@@ -29,3 +29,15 @@ PYTHONPATH=src python scripts/bench_sched.py --copies 4 --out "$SCHED_OUT"
 
 echo "== perf-regression gate (bench_compare) =="
 python scripts/bench_compare.py BENCH_sched.json "$SCHED_OUT"
+
+echo "== kernel event-throughput bench (bench_kernel) =="
+# events must match the committed BENCH_kernel.json baseline (1M) or
+# bench_compare refuses the comparison; --min-speedup is set well below
+# the committed ~4x so only a real structural regression trips it on a
+# noisy runner
+KERNEL_OUT="${KERNEL_BENCH_OUT:-/tmp/dgsf-bench-kernel.json}"
+PYTHONPATH=src python scripts/bench_kernel.py --out "$KERNEL_OUT" \
+    --min-speedup 1.5
+
+echo "== kernel-bench regression gate (bench_compare) =="
+python scripts/bench_compare.py BENCH_kernel.json "$KERNEL_OUT"

@@ -21,6 +21,7 @@ from repro.faas.workload_gen import (
     burst_arrivals,
     exponential_gap_arrivals,
     interleave_workloads,
+    schedule_arrivals,
 )
 from repro.sim.rng import RngRegistry
 from repro.workloads import register_workloads, ALL_WORKLOAD_NAMES
@@ -233,9 +234,10 @@ def run_chaos_scenario(
 
     def driver():
         joiners = []
-        for t, name in plan:
-            if t > env.now:
-                yield env.timeout(t - env.now)
+        arrivals = schedule_arrivals(env, plan)
+        for (t, name), arrival in zip(plan, arrivals):
+            if arrival is not None:
+                yield arrival
             inv, proc = dep.platform.invoke(name)
             records.append(inv)
             joiners.append(absorb(proc))

@@ -22,6 +22,7 @@ from repro.sim.core import Environment, Event, Interrupt
 from repro.simnet.net import Host
 from repro.faas.container import ContainerPool
 from repro.faas.storage import ObjectStore
+from repro.faas.workload_gen import schedule_arrivals
 
 __all__ = [
     "FunctionSpec",
@@ -268,13 +269,18 @@ class ServerlessPlatform:
     def run_plan(self, plan, **params) -> Generator:
         """Launch every entry of an :class:`ArrivalPlan`; wait for all.
 
-        Returns the invocation records in launch order.
+        Returns the invocation records in launch order.  The arrival
+        timeouts are pre-created in one kernel batch
+        (:func:`repro.faas.workload_gen.schedule_arrivals`) instead of one
+        ``timeout()`` call per entry; an already-fired arrival (same-time
+        burst entries) is yielded and resumes immediately.
         """
         records = []
         procs = []
-        for t, name in plan:
-            if t > self.env.now:
-                yield self.env.timeout(t - self.env.now)
+        arrivals = schedule_arrivals(self.env, plan)
+        for (t, name), arrival in zip(plan, arrivals):
+            if arrival is not None:
+                yield arrival
             inv, proc = self.invoke(name, **params)
             records.append(inv)
             procs.append(proc)

@@ -27,7 +27,29 @@ __all__ = [
     "burst_arrivals",
     "uniform_arrivals",
     "interleave_workloads",
+    "schedule_arrivals",
 ]
+
+
+def schedule_arrivals(env, plan) -> list:
+    """Pre-create the arrival timeouts for ``plan`` in one kernel batch.
+
+    Returns a list aligned with the plan's entries: a ``Timeout`` firing
+    at the entry's launch time for every entry strictly in the future,
+    and ``None`` for entries due now or in the past (the driver proceeds
+    without waiting, exactly like the old per-entry
+    ``if t > env.now: yield env.timeout(...)`` pattern).
+
+    Batching goes through :meth:`Environment.timeout_batch`, so a
+    million-entry plan costs one Python call instead of a million — see
+    ``scripts/bench_kernel.py``.  Timeouts are created in plan order, so
+    eid assignment (and therefore same-time tie-breaking) is
+    deterministic for a given plan.
+    """
+    now = env.now
+    delays = [t - now for t, _ in plan if t > now]
+    batch = iter(env.timeout_batch(delays))
+    return [next(batch) if t > now else None for t, _ in plan]
 
 
 @dataclass(frozen=True)

@@ -36,12 +36,10 @@ from typing import Callable, Iterator, Optional
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 
-def _percentile(values: list[float], q: float) -> float:
-    """Linear-interpolation percentile (numpy's default method), local so
-    the metrics layer stays import-light."""
-    if not values:
+def _percentile_sorted(xs: list[float], q: float) -> float:
+    """Linear-interpolation percentile over an *already sorted* list."""
+    if not xs:
         raise ValueError("percentile of empty series")
-    xs = sorted(values)
     if len(xs) == 1:
         return xs[0]
     pos = (q / 100.0) * (len(xs) - 1)
@@ -49,6 +47,14 @@ def _percentile(values: list[float], q: float) -> float:
     hi = min(lo + 1, len(xs) - 1)
     frac = pos - lo
     return xs[lo] * (1.0 - frac) + xs[hi] * frac
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Linear-interpolation percentile (numpy's default method), local so
+    the metrics layer stays import-light."""
+    if not values:
+        raise ValueError("percentile of empty series")
+    return _percentile_sorted(sorted(values), q)
 
 
 class Counter:
@@ -102,38 +108,89 @@ class Gauge:
         return f"Gauge({self.name}{self.labels or ''}={self.value})"
 
 
-class Histogram:
-    """A bag of observations with mean/percentile queries."""
+#: retained-sample bound per histogram; beyond it the sample is decimated
+#: (see Histogram.observe) so memory stays O(cap) no matter how long the
+#: scenario runs
+_HISTOGRAM_CAP = 65536
 
-    __slots__ = ("name", "labels", "observations", "_registry")
+
+class Histogram:
+    """A bag of observations with mean/percentile queries.
+
+    ``count``/``sum``/``mean`` are exact over *every* observation (scalar
+    accumulators).  Percentiles are computed from :attr:`observations`,
+    the retained sample: complete until :data:`_HISTOGRAM_CAP` values
+    have been kept, after which the sample is halved (every other
+    retained value dropped) and only every ``stride``-th new observation
+    is kept — a deterministic systematic sample, so same-seed runs stay
+    bit-identical.  :attr:`truncated`/:attr:`dropped` report when and how
+    much was dropped instead of letting the list grow without bound.
+
+    The sorted snapshot used by percentile queries is cached and
+    invalidated when the sample changes, so ``p50``/``p95``/``p99`` after
+    a batch of observes sort once, not three times.
+    """
+
+    __slots__ = ("name", "labels", "observations", "_registry",
+                 "_count", "_total", "_sorted", "_stride", "_phase")
 
     def __init__(self, name: str, labels: dict):
         self.name = name
         self.labels = labels
         self.observations: list[float] = []
         self._registry: Optional["MetricsRegistry"] = None
+        self._count = 0
+        self._total = 0.0
+        self._sorted: Optional[list[float]] = None  # cached sorted sample
+        self._stride = 1  # keep every _stride-th observation
+        self._phase = 0
 
     def observe(self, value: float) -> None:
-        self.observations.append(value)
+        self._count += 1
+        self._total += value
+        self._phase += 1
+        if self._phase >= self._stride:
+            self._phase = 0
+            obs = self.observations
+            obs.append(value)
+            self._sorted = None
+            if len(obs) >= _HISTOGRAM_CAP:
+                # Halve the sample (drop every other retained value) and
+                # halve the keep rate for future observations.
+                del obs[::2]
+                self._stride *= 2
         if self._registry is not None:
             self._registry._notify(self, value)
 
     @property
     def count(self) -> int:
-        return len(self.observations)
+        return self._count
 
     @property
     def total(self) -> float:
-        return sum(self.observations)
+        return self._total
 
     @property
     def mean(self) -> float:
-        if not self.observations:
+        if not self._count:
             raise ValueError(f"histogram {self.name} is empty")
-        return self.total / len(self.observations)
+        return self._total / self._count
+
+    @property
+    def truncated(self) -> bool:
+        """True once observations have been dropped from the sample."""
+        return self._stride > 1
+
+    @property
+    def dropped(self) -> int:
+        """Observations not present in the retained sample."""
+        return self._count - len(self.observations)
 
     def percentile(self, q: float) -> float:
-        return _percentile(self.observations, q)
+        xs = self._sorted
+        if xs is None:
+            xs = self._sorted = sorted(self.observations)
+        return _percentile_sorted(xs, q)
 
     @property
     def p50(self) -> float:
@@ -246,6 +303,10 @@ class MetricsRegistry:
                         p95=metric.p95,
                         p99=metric.p99,
                     )
+                if metric.truncated:
+                    # Percentiles above are estimates over the retained
+                    # sample; surface how much the cap dropped.
+                    entry["sample_dropped"] = metric.dropped
                 out[key] = entry
         return out
 

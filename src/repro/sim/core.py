@@ -9,11 +9,38 @@ yielded fires.
 Only simulated time exists here — nothing sleeps on the wall clock, so a
 simulated multi-minute serverless trace executes in milliseconds, and runs
 are fully deterministic given seeded RNG streams (:mod:`repro.sim.rng`).
+
+Event storage is a calendar queue (bucketed event wheel) rather than a
+single binary heap:
+
+* near-future events land in one of ``wheel_buckets`` fixed-width time
+  buckets (plain list append, O(1)); a bucket is sorted once, when the
+  cursor reaches it,
+* events beyond the wheel's horizon go to a small overflow heap and are
+  migrated into buckets as the horizon advances,
+* events scheduled at (or before) the bucket currently being drained are
+  merge-inserted into the remaining, already-sorted run (``bisect.insort``
+  with a low bound at the drain position).
+
+The pop order is *exactly* ascending ``(time, priority, eid)`` — identical
+to the single-heap kernel this replaced — so determinism goldens are
+preserved bit for bit.  Cancellation is tombstone-based: :meth:`Event.cancel`
+marks the scheduled entry dead and :meth:`Environment.step` drops it on pop
+without advancing time (removal from the middle of the structure would be
+O(n)).  Processed :class:`Timeout` objects that nobody else references are
+recycled through a free list, and :meth:`Environment.timeout_batch` creates
+many timeouts in one call for arrival processes.
+
+The pre-wheel single-heap kernel survives as
+:class:`repro.sim.legacy.LegacyHeapEnvironment` — the order-parity oracle
+and the baseline for ``scripts/bench_kernel.py``.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import insort
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -22,6 +49,8 @@ from repro.errors import SimulationError
 # repeated ``heapq.`` attribute lookup is measurable on large scenarios.
 _heappush = heapq.heappush
 _heappop = heapq.heappop
+
+_INF = float("inf")
 
 __all__ = [
     "Environment",
@@ -111,14 +140,20 @@ class Event:
         self._defused = True
 
     def cancel(self) -> None:
-        """Discard a scheduled event before its callbacks run.
+        """Discard a *scheduled* event before its callbacks run.
 
-        The heap entry stays (removal would be O(n)); :meth:`Environment.step`
-        skips cancelled events without advancing time or invoking callbacks.
-        Only use this on events nobody else subscribes to (e.g. a private
-        deadline :class:`Timeout`) — subscribers would never be resumed.
+        The queue entry stays (removal would be O(n)); it becomes a
+        tombstone that :meth:`Environment.step` drops without advancing
+        time or invoking callbacks.  Only use this on events nobody else
+        subscribes to (e.g. a private deadline :class:`Timeout`) —
+        subscribers would never be resumed.
+
+        Cancelling an event that has not been triggered yet is a no-op:
+        such an event has no queue entry to tombstone, and poisoning it
+        would make a later ``succeed()``/``fail()`` schedule an event that
+        the kernel silently drops, hanging its subscribers forever.
         """
-        if not self.processed:
+        if self._value is not _PENDING and self.callbacks is not None:
             self._cancelled = True
 
     # -- triggering ---------------------------------------------------------
@@ -163,7 +198,13 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` units of simulated time in the future."""
+    """An event that fires ``delay`` units of simulated time in the future.
+
+    Timeouts are the kernel's bulk commodity (arrival gaps, deadlines,
+    cost-model delays), so processed instances that nobody else references
+    are recycled through :attr:`Environment._timeout_pool` instead of being
+    re-allocated — see :meth:`Environment.timeout`.
+    """
 
     __slots__ = ("delay",)
 
@@ -353,16 +394,39 @@ class AnyOf(Condition):
         super().__init__(env, lambda events, count: count >= 1, events)
 
 
+#: wheel geometry defaults: 1024 buckets of 50 simulated milliseconds cover
+#: a ~51 s horizon — wider than one scheduling quantum of every workload in
+#: the repo, so the overflow heap only sees long deadlines and far arrivals
+_WHEEL_BUCKETS = 1024
+_BUCKET_WIDTH = 0.05
+#: recycled-Timeout free-list cap (beyond this, garbage is cheaper than RAM)
+_POOL_CAP = 4096
+#: drained-entry prefix length that triggers compaction of the current run
+_COMPACT_AT = 1024
+
+
 class Environment:
-    """The simulation driver: clock plus event queue.
+    """The simulation driver: clock plus calendar event queue.
 
     All simulated components hold a reference to one environment and
     create events/processes through it.
+
+    ``bucket_width``/``wheel_buckets`` tune the calendar queue geometry;
+    they affect performance only — the pop order is always exactly
+    ascending ``(time, priority, eid)`` regardless of geometry.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        bucket_width: float = _BUCKET_WIDTH,
+        wheel_buckets: int = _WHEEL_BUCKETS,
+    ):
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be positive, got {bucket_width}")
+        if wheel_buckets <= 0:
+            raise ValueError(f"wheel_buckets must be positive, got {wheel_buckets}")
         self._now = float(initial_time)
-        self._queue: list = []  # heap of (time, priority, eid, event)
         self._eid = 0
         self._active_process: Optional[Process] = None
         #: events processed so far ("no optimization without measuring" —
@@ -370,6 +434,40 @@ class Environment:
         self.events_processed = 0
         #: processes ever created
         self.processes_created = 0
+        #: Timeout objects served from the free list instead of allocated
+        self.timeouts_recycled = 0
+        # -- calendar queue state -------------------------------------------
+        self._width = float(bucket_width)
+        #: multiply-by-inverse replaces division on the per-event path; the
+        #: bucket-index formula only has to be monotone and used everywhere,
+        #: so the last-ulp difference vs. true division is irrelevant
+        self._scale = 1.0 / self._width
+        self._nb = int(wheel_buckets)
+        #: fixed-width future buckets; slot = absolute_index % wheel_buckets.
+        #: Invariant: every stored entry has absolute index in
+        #: [cursor, cursor + wheel_buckets), so a slot never mixes two
+        #: wheel revolutions.
+        self._buckets: list[list] = [[] for _ in range(self._nb)]
+        #: heap of absolute indices of non-empty future buckets (each index
+        #: appears at most once: pushed on the empty->non-empty transition,
+        #: popped when the cursor reaches it)
+        self._bucket_heap: list[int] = []
+        self._wheel_count = 0  # entries currently held in _buckets
+        #: absolute index of the bucket currently being drained
+        self._cursor = int(self._now * self._scale)
+        #: the current bucket's entries, sorted ascending; drained via
+        #: _cur_pos instead of pop(0); popped slots are None-ed out
+        self._cur: list = []
+        self._cur_pos = 0
+        #: heap of entries beyond the wheel horizon, migrated into buckets
+        #: as the cursor advances
+        self._overflow: list = []
+        #: free list of processed Timeout objects (see Environment.timeout)
+        self._timeout_pool: list = []
+        #: when set to a list, step() appends (time, priority, eid) for every
+        #: processed event — the order-digest hook used by bench_kernel and
+        #: the wheel/heap parity tests
+        self._pop_trace: Optional[list] = None
 
     @property
     def now(self) -> float:
@@ -380,13 +478,17 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         return self._active_process
 
+    def _pending_count(self) -> int:
+        return (len(self._cur) - self._cur_pos) + self._wheel_count + len(self._overflow)
+
     def stats(self) -> dict:
         """Simulation-kernel counters for profiling scenario cost."""
         return {
             "now": self._now,
             "events_processed": self.events_processed,
             "processes_created": self.processes_created,
-            "events_pending": len(self._queue),
+            "events_pending": self._pending_count(),
+            "timeouts_recycled": self.timeouts_recycled,
         }
 
     # -- event construction ------------------------------------------------
@@ -394,7 +496,106 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        # Timeouts are the kernel's bulk commodity: recycle a processed
+        # instance from the pool when one is available, and build the queue
+        # entry inline instead of going through Timeout.__init__ ->
+        # Event.__init__ -> _schedule — the per-call frame overhead is
+        # measurable at 1M+ events (see scripts/bench_kernel.py).
+        pool = self._timeout_pool
+        if pool:
+            t = pool.pop()
+            self.timeouts_recycled += 1
+        else:
+            t = Timeout.__new__(Timeout)
+            t.env = self
+        t.callbacks = []
+        t._value = value
+        t._ok = True
+        t._defused = False
+        t._cancelled = False
+        t.delay = delay
+        self._eid += 1
+        when = self._now + delay
+        entry = (when, NORMAL, self._eid, t)
+        idx = int(when * self._scale)
+        cursor = self._cursor
+        if idx <= cursor:
+            insort(self._cur, entry, self._cur_pos)
+        elif idx - cursor < self._nb:
+            bucket = self._buckets[idx % self._nb]
+            if not bucket:
+                _heappush(self._bucket_heap, idx)
+            bucket.append(entry)
+            self._wheel_count += 1
+        else:
+            _heappush(self._overflow, entry)
+        return t
+
+    def timeout_batch(self, delays: Iterable[float], value: Any = None) -> list:
+        """Create one :class:`Timeout` per delay in a single call.
+
+        Arrival processes materialize whole invocation schedules up front
+        (:func:`repro.faas.workload_gen.schedule_arrivals`).  This is the
+        bulk-load path for those schedules: the whole batch runs in one
+        Python frame with the wheel state held in locals, so per-timeout
+        cost is a tuple build plus a bucket append.  Scheduling semantics
+        are identical to calling :meth:`timeout` once per delay, in order —
+        eids are assigned sequentially, so determinism is unaffected.
+        """
+        out: list = []
+        append_out = out.append
+        pool = self._timeout_pool
+        new = Timeout.__new__
+        eid = self._eid
+        now = self._now
+        scale = self._scale
+        nb = self._nb
+        buckets = self._buckets
+        bheap = self._bucket_heap
+        overflow = self._overflow
+        # No callbacks run during the batch, so the cursor and the drain
+        # position are fixed for its whole duration.
+        cursor = self._cursor
+        cur = self._cur
+        cur_lo = self._cur_pos
+        wheel_added = 0
+        recycled = 0
+        for delay in delays:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            if pool:
+                t = pool.pop()
+                recycled += 1
+            else:
+                t = new(Timeout)
+                t.env = self
+            t.callbacks = []
+            t._value = value
+            t._ok = True
+            t._defused = False
+            t._cancelled = False
+            t.delay = delay
+            eid += 1
+            when = now + delay
+            entry = (when, NORMAL, eid, t)
+            idx = int(when * scale)
+            if idx <= cursor:
+                insort(cur, entry, cur_lo)
+            elif idx - cursor < nb:
+                bucket = buckets[idx % nb]
+                if not bucket:
+                    _heappush(bheap, idx)
+                bucket.append(entry)
+                wheel_added += 1
+            else:
+                _heappush(overflow, entry)
+            append_out(t)
+        self._eid = eid
+        self._wheel_count += wheel_added
+        self.timeouts_recycled += recycled
+        return out
 
     def process(self, generator: Generator, name: str = "") -> Process:
         self.processes_created += 1
@@ -409,26 +610,113 @@ class Environment:
     # -- scheduling / running ------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
         self._eid += 1
-        _heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        t = self._now + delay
+        entry = (t, priority, self._eid, event)
+        idx = int(t * self._scale)
+        cursor = self._cursor
+        if idx <= cursor:
+            # Lands in (or before) the bucket being drained: merge-insert
+            # into the remaining sorted run.  The low bound excludes only
+            # already-popped entries, all of which order before this one
+            # (their time is <= now <= t), so full (time, priority, eid)
+            # order is preserved even for intra-bucket insertions.
+            insort(self._cur, entry, self._cur_pos)
+        elif idx - cursor < self._nb:
+            bucket = self._buckets[idx % self._nb]
+            if not bucket:
+                _heappush(self._bucket_heap, idx)
+            bucket.append(entry)
+            self._wheel_count += 1
+        else:
+            _heappush(self._overflow, entry)
+
+    def _advance(self) -> float:
+        """Move the cursor to the next non-empty bucket.
+
+        Called only when the current run is exhausted.  Returns the new
+        head entry's time, or ``inf`` when nothing is scheduled.  Also
+        migrates overflow entries that the advancing horizon now covers —
+        the overflow heap therefore only ever holds entries strictly
+        beyond every bucketed entry, which is what makes draining the
+        wheel first always correct.
+        """
+        overflow = self._overflow
+        bheap = self._bucket_heap
+        buckets = self._buckets
+        nb = self._nb
+        scale = self._scale
+        while True:
+            horizon = self._cursor + nb
+            while overflow and int(overflow[0][0] * scale) < horizon:
+                entry = _heappop(overflow)
+                idx = int(entry[0] * scale)
+                bucket = buckets[idx % nb]
+                if not bucket:
+                    _heappush(bheap, idx)
+                bucket.append(entry)
+                self._wheel_count += 1
+            if bheap:
+                idx = _heappop(bheap)
+                slot = idx % nb
+                run = buckets[slot]
+                buckets[slot] = []
+                self._wheel_count -= len(run)
+                run.sort()
+                self._cur = run
+                self._cur_pos = 0
+                self._cursor = idx
+                return run[0][0]
+            if not overflow:
+                self._cur = []
+                self._cur_pos = 0
+                return _INF
+            # Wheel empty but far-future events exist: rebase the cursor to
+            # the overflow head's bucket; the migration pass above will then
+            # pull everything inside the new horizon into the wheel.
+            self._cursor = int(overflow[0][0] * scale)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        cur = self._cur
+        pos = self._cur_pos
+        if pos < len(cur):
+            return cur[pos][0]
+        return self._advance()
 
     def step(self) -> None:
         """Process the next event; raises :class:`SimulationError` if empty."""
-        queue = self._queue
-        if not queue:
-            raise SimulationError("no scheduled events")
-        when, _, _, event = _heappop(queue)
+        cur = self._cur
+        pos = self._cur_pos
+        if pos >= len(cur):
+            if self._advance() == _INF:
+                raise SimulationError("no scheduled events")
+            cur = self._cur
+            pos = self._cur_pos
+        when, priority, eid, event = cur[pos]
+        # Drop the entry reference immediately: lingering (tuple -> event)
+        # references would defeat the refcount-gated Timeout recycling below.
+        cur[pos] = None
+        pos += 1
+        if pos >= _COMPACT_AT:
+            del cur[:pos]
+            pos = 0
+        self._cur_pos = pos
         if event._cancelled:
-            # Cancelled before processing: drop silently, do not advance time.
+            # Tombstone: drop silently, do not advance time.
             event.callbacks = None
+            if type(event) is Timeout and getrefcount(event) == 2:
+                pool = self._timeout_pool
+                if len(pool) < _POOL_CAP:
+                    event._value = None
+                    pool.append(event)
             return
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = when
         self.events_processed += 1
+        trace = self._pop_trace
+        if trace is not None:
+            trace.append((when, priority, eid))
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -436,6 +724,160 @@ class Environment:
             # Unhandled failure: abort the run loudly.
             exc = event._value
             raise exc
+        # Recycle the Timeout if nobody else holds a reference (waiters
+        # drop theirs on resumption; conditions and user code that kept the
+        # object keep it alive and the refcount gate skips it).
+        if type(event) is Timeout and getrefcount(event) == 2:
+            pool = self._timeout_pool
+            if len(pool) < _POOL_CAP:
+                event._value = None
+                pool.append(event)
+
+    def _run_core(self, deadline: float) -> None:
+        """Hot loop: process events while the head is within ``deadline``.
+
+        This is :meth:`step` inlined and specialized: the current sorted
+        run is drained in a tight inner loop with everything in locals, and
+        mutable kernel state (``_cur_pos``, ``events_processed``) is synced
+        out only around user callbacks — the only code that can observe or
+        mutate it mid-run.  Events with no subscribers (cancelled
+        tombstones, fire-and-forget timeouts) never leave the inner loop.
+        Semantics must stay identical to calling :meth:`step` in a loop —
+        the wheel/heap parity tests exercise both paths.
+        """
+        if self._pop_trace is not None:
+            self._run_core_traced(deadline)
+            return
+        advance = self._advance
+        pool = self._timeout_pool
+        processed = 0
+        now = self._now
+        # Pool headroom mirrored in a local: it only shrinks via appends in
+        # this loop and only grows through user code, so it is recomputed at
+        # the callback sync points and decremented on each append — no
+        # len() call per event.
+        room = _POOL_CAP - len(pool)
+        try:
+            while True:
+                cur = self._cur
+                pos = self._cur_pos
+                n = len(cur)
+                if pos >= n:
+                    t = advance()
+                    if t == _INF or t > deadline:  # inf > inf is False — check both
+                        return
+                    cur = self._cur
+                    pos = 0
+                    n = len(cur)
+                while pos < n:
+                    # Unpacking (rather than binding the entry tuple to a
+                    # local) matters: together with the None-out below it
+                    # leaves `event` as the only remaining reference, which
+                    # is what the refcount-gated recycling tests for.
+                    when, priority, eid, event = cur[pos]
+                    if when > deadline:
+                        self._cur_pos = pos
+                        return
+                    cur[pos] = None
+                    pos += 1
+                    if event._cancelled:
+                        # Tombstone: drop silently, do not advance time.
+                        event.callbacks = None
+                        if (
+                            room > 0
+                            and type(event) is Timeout
+                            and getrefcount(event) == 2
+                        ):
+                            event._value = None
+                            pool.append(event)
+                            room -= 1
+                        continue
+                    if when < now:
+                        raise SimulationError("event scheduled in the past")
+                    now = when
+                    processed += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if callbacks:
+                        # Sync state out before user code runs: _schedule
+                        # uses _cur_pos as the insort low bound, callbacks
+                        # read env.now, and a callback may call
+                        # peek()/stats()/step().
+                        if pos >= _COMPACT_AT:
+                            del cur[:pos]
+                            pos = 0
+                        self._cur_pos = pos
+                        self._now = when
+                        try:
+                            for callback in callbacks:
+                                callback(event)
+                        finally:
+                            # A callback may have advanced time via a nested
+                            # step(); keep the local mirror honest even when
+                            # the callback raises (the outer finally would
+                            # otherwise roll _now back).
+                            now = self._now
+                        if not event._ok and not event._defused:
+                            # Unhandled failure: abort the run loudly.
+                            raise event._value
+                        if (
+                            type(event) is Timeout
+                            and getrefcount(event) == 2
+                            and len(pool) < _POOL_CAP
+                        ):
+                            event._value = None
+                            pool.append(event)
+                        # Callbacks may have inserted into the current run
+                        # (shifting entries at >= _cur_pos), swapped _cur
+                        # entirely via peek() on an exhausted run, or taken
+                        # from / added to the pool via timeout().
+                        cur = self._cur
+                        pos = self._cur_pos
+                        n = len(cur)
+                        room = _POOL_CAP - len(pool)
+                    else:
+                        if not event._ok and not event._defused:
+                            # Unhandled failure with no subscribers (e.g. a
+                            # crashed process nobody joined): still aborts.
+                            self._now = when
+                            raise event._value
+                        if (
+                            room > 0
+                            and type(event) is Timeout
+                            and getrefcount(event) == 2
+                        ):
+                            # Fire-and-forget timeout with no subscribers:
+                            # recycle without leaving the inner loop.
+                            event._value = None
+                            pool.append(event)
+                            room -= 1
+                self._cur_pos = pos
+        finally:
+            # `now` shadows self._now between callback sync points; flush it
+            # on every exit (deadline return, drain, or exception).
+            self._now = now
+            self.events_processed += processed
+
+    def _run_core_traced(self, deadline: float) -> None:
+        """The :meth:`_run_core` loop with the ``_pop_trace`` hook live.
+
+        One :meth:`step` per event — slower, but the order digest needs
+        every ``(time, priority, eid)`` pop recorded, and benchmarks that
+        trace ordering are measuring fidelity, not speed.
+        """
+        advance = self._advance
+        step = self.step
+        while True:
+            cur = self._cur
+            pos = self._cur_pos
+            if pos < len(cur):
+                if cur[pos][0] > deadline:
+                    return
+            else:
+                t = advance()
+                if t == _INF or t > deadline:  # inf > inf is False — check both
+                    return
+            step()
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the queue drains, ``until`` time passes, or an event fires.
@@ -457,22 +899,16 @@ class Environment:
                 raise StopSimulation()
 
             stop_event.callbacks.append(_stop)
-            deadline = float("inf")
+            deadline = _INF
         elif until is None:
-            deadline = float("inf")
+            deadline = _INF
         else:
             deadline = float(until)
             if deadline < self._now:
                 raise ValueError(f"until={deadline} is in the past (now={self._now})")
 
-        # Hot loop: bind the queue and step locally and index the heap head
-        # directly instead of going through peek() — on event-heavy scenarios
-        # the attribute/property overhead dominates otherwise.
-        queue = self._queue
-        step = self.step
         try:
-            while queue and queue[0][0] <= deadline:
-                step()
+            self._run_core(deadline)
         except StopSimulation:
             assert stop_event is not None
             if stop_event._ok:
@@ -484,6 +920,6 @@ class Environment:
             raise SimulationError(
                 "run() ended before the awaited event triggered (deadlock?)"
             )
-        if deadline != float("inf"):
+        if deadline != _INF:
             self._now = deadline
         return None

@@ -32,19 +32,20 @@ class Request(Event):
             ... hold the resource ...
     """
 
-    __slots__ = ("resource", "priority", "_seq")
+    __slots__ = ("resource", "priority", "_seq", "_withdrawn")
 
     def __init__(self, resource: "Resource", priority: int = 0):
         super().__init__(resource.env)
         self.resource = resource
         self.priority = priority
+        self._withdrawn = False
         resource._seq += 1
         self._seq = resource._seq
         resource._do_request(self)
 
     def cancel(self) -> None:
         """Withdraw a not-yet-granted request."""
-        if not self.triggered:
+        if not self.triggered and not self._withdrawn:
             self.resource._cancel(self)
 
     def __enter__(self) -> "Request":
@@ -58,7 +59,16 @@ class Request(Event):
 
 
 class Resource:
-    """A resource with integer capacity and a FIFO wait queue."""
+    """A resource with integer capacity and a FIFO wait queue.
+
+    Cancellation uses the same tombstone scheme as the event wheel: a
+    withdrawn request stays in the wait-queue heap (marked
+    ``_withdrawn``) and is skipped when it surfaces, instead of being
+    removed eagerly — the old rebuild-and-heapify was O(n) per cancel and
+    quadratic under timeout-heavy load.  Grant order is unaffected:
+    tombstones are invisible to admission, and live entries keep their
+    ``(priority, seq)`` heap order.
+    """
 
     def __init__(self, env: Environment, capacity: int = 1):
         if capacity <= 0:
@@ -68,25 +78,40 @@ class Resource:
         self.users: list[Request] = []
         self.queue: list = []  # heap of (priority, seq, request)
         self._seq = 0
+        self._withdrawn_count = 0  # tombstones currently in self.queue
 
     @property
     def count(self) -> int:
         """Number of users currently holding the resource."""
         return len(self.users)
 
+    @property
+    def queued(self) -> int:
+        """Number of *live* (not withdrawn) waiters."""
+        return len(self.queue) - self._withdrawn_count
+
     def request(self) -> Request:
         return Request(self)
 
     def _do_request(self, req: Request) -> None:
-        if len(self.users) < self.capacity and not self.queue:
+        if len(self.users) < self.capacity and len(self.queue) == self._withdrawn_count:
             self.users.append(req)
             req.succeed()
         else:
             heapq.heappush(self.queue, (req.priority, req._seq, req))
 
     def _cancel(self, req: Request) -> None:
-        self.queue = [entry for entry in self.queue if entry[2] is not req]
-        heapq.heapify(self.queue)
+        # Lazy deletion: mark and count; the entry is dropped when it
+        # reaches the top of the heap in release(), or by the sweep below.
+        req._withdrawn = True
+        self._withdrawn_count += 1
+        # Bound memory when cancellations dominate: if the queue is mostly
+        # tombstones (and big enough to matter), compact it in one pass —
+        # amortized O(1) per cancel instead of O(n) every time.
+        if self._withdrawn_count > 64 and self._withdrawn_count * 2 > len(self.queue):
+            self.queue = [e for e in self.queue if not e[2]._withdrawn]
+            heapq.heapify(self.queue)
+            self._withdrawn_count = 0
 
     def release(self, req: Request) -> None:
         """Release a previously granted request and admit the next waiter."""
@@ -96,6 +121,9 @@ class Resource:
             raise SimulationError("releasing a request that does not hold the resource")
         while self.queue and len(self.users) < self.capacity:
             _, _, nxt = heapq.heappop(self.queue)
+            if nxt._withdrawn:
+                self._withdrawn_count -= 1
+                continue
             self.users.append(nxt)
             nxt.succeed()
 

@@ -135,9 +135,60 @@ def test_ablation_sections_both_compared(tmp_path, capsys):
     assert run(tmp_path, doc, bad) == 1
 
 
+def kernel_doc(**overrides):
+    doc = {
+        "experiment": "kernel_bench",
+        "seed": 7,
+        "events": 1000,
+        "python": "3.11.7",
+        "wall_seconds": 5.0,
+        "scenarios": [
+            {"scenario": "timer_flood", "impl": "wheel", "n_events": 1000,
+             "final_now": 39.9, "timeouts_recycled": 0,
+             "sched_wall_s": 0.1, "wall_s": 0.5, "events_per_sec": 2000.0},
+            {"scenario": "timer_flood", "impl": "legacy", "n_events": 1000,
+             "final_now": 39.9, "timeouts_recycled": 0,
+             "sched_wall_s": 0.1, "wall_s": 1.5, "events_per_sec": 700.0},
+        ],
+        "speedups": [{"scenario": "timer_flood", "speedup": 2.9}],
+        "order": [{"scenario": "timer_flood", "n_events": 500,
+                   "order_n": 500, "order_crc": 123456789}],
+    }
+    doc.update(overrides)
+    return doc
+
+
+def test_kernel_bench_machine_dependent_fields_ignored(tmp_path):
+    fresh = kernel_doc()
+    # A different machine: throughput and speedup swing wildly — fine.
+    fresh["scenarios"][0]["events_per_sec"] = 9999.0
+    fresh["scenarios"][0]["wall_s"] = 0.01
+    fresh["speedups"][0]["speedup"] = 1.1
+    assert run(tmp_path, kernel_doc(), fresh) == 0
+
+
+def test_kernel_bench_order_crc_is_exact(tmp_path, capsys):
+    fresh = kernel_doc()
+    fresh["order"][0]["order_crc"] = 987654321  # pop order changed
+    assert run(tmp_path, kernel_doc(), fresh) == 1
+    assert "order_crc" in capsys.readouterr().err
+
+
+def test_kernel_bench_event_count_is_exact(tmp_path, capsys):
+    fresh = kernel_doc()
+    fresh["scenarios"][1]["n_events"] = 999
+    assert run(tmp_path, kernel_doc(), fresh) == 1
+    assert "n_events" in capsys.readouterr().err
+
+
+def test_kernel_bench_different_event_scale_not_comparable(tmp_path):
+    assert run(tmp_path, kernel_doc(), kernel_doc(events=500)) == 2
+
+
 def test_real_committed_baselines_self_compare(tmp_path):
     """The committed baselines must be valid inputs to their own gate."""
     root = Path(__file__).resolve().parent.parent
-    for name in ("BENCH_sched.json", "BENCH_ablation.json"):
+    for name in ("BENCH_sched.json", "BENCH_ablation.json",
+                 "BENCH_kernel.json"):
         path = root / name
         assert bench_compare.main([str(path), str(path)]) == 0
