@@ -58,19 +58,27 @@ SECTIONS = {
         ("speedups", ("scenario",)),
         ("order", ("scenario",)),
     ],
+    "shard_bench": [
+        ("scaleout", ("scenario", "shards")),
+        ("smoke", ("scenario", "shards")),
+    ],
 }
 
 #: top-level keys that must match for two runs to be comparable
 COMPAT_KEYS = ("experiment", "seed", "copies", "events")
 
-#: per-row fields compared exactly (counts and order digests, not timings)
-EXACT_FIELDS = {"n", "n_events", "order_n", "order_crc"}
+#: per-row fields compared exactly (counts and order digests, not timings);
+#: the shard bench's merged_crc/pop_crc are outcome digests — a mismatch
+#: means the sharded run's merged result changed, a correctness regression
+EXACT_FIELDS = {"n", "n_events", "order_n", "order_crc",
+                "merged_crc", "pop_crc", "n_epochs", "n_envelopes",
+                "invocations", "groups"}
 
 #: per-row fields never compared: machine-dependent throughput/wall numbers
 #: (the kernel bench keeps its speedup honest via its own --min-speedup
-#: floor, not via cross-machine banding)
+#: floor, the shard bench via --min-scaleout, not via cross-machine banding)
 IGNORED_FIELDS = {"events_per_sec", "sched_events_per_sec", "wall_s",
-                  "sched_wall_s", "speedup"}
+                  "sched_wall_s", "speedup", "scaleout"}
 
 
 def load(path: Path) -> dict:
@@ -80,9 +88,12 @@ def load(path: Path) -> dict:
         raise SystemExit(f"cannot read bench JSON {path}: {exc}")
 
 
-def check_compat(baseline: dict, fresh: dict) -> list[str]:
+def check_compat(baseline: dict, fresh: dict,
+                 skip: frozenset = frozenset()) -> list[str]:
     problems = []
     for key in COMPAT_KEYS:
+        if key in skip:
+            continue
         b, f = baseline.get(key), fresh.get(key)
         if b is not None and f is not None and b != f:
             problems.append(f"compat key {key!r} differs: baseline={b} fresh={f}")
@@ -159,21 +170,41 @@ def main(argv=None) -> int:
     parser.add_argument("--require-full", action="store_true",
                         help="fail if the fresh run covers fewer rows than "
                              "the baseline (default: subsets allowed)")
+    parser.add_argument("--sections", default=None,
+                        help="comma-separated section names to compare "
+                             "(default: every section of the experiment); "
+                             "used when a quick fresh run only reproduces "
+                             "the profile-independent sections")
+    parser.add_argument("--skip-compat", action="append", default=[],
+                        metavar="KEY",
+                        help="compat key to exempt from the match check "
+                             "(e.g. 'events' when gating a --quick kernel "
+                             "run on its size-independent order section)")
     args = parser.parse_args(argv)
 
     baseline = load(args.baseline)
     fresh = load(args.fresh)
 
-    compat = check_compat(baseline, fresh)
+    compat = check_compat(baseline, fresh, frozenset(args.skip_compat))
     if compat:
         print(f"NOT COMPARABLE: {args.baseline} vs {args.fresh}", file=sys.stderr)
         for p in compat:
             print(f"  - {p}", file=sys.stderr)
         return 2
 
+    sections = SECTIONS[baseline["experiment"]]
+    if args.sections is not None:
+        wanted = {name.strip() for name in args.sections.split(",") if name.strip()}
+        unknown = wanted - {name for name, _ in sections}
+        if unknown:
+            print(f"NOT COMPARABLE: unknown section(s) {sorted(unknown)} for "
+                  f"experiment {baseline['experiment']!r}", file=sys.stderr)
+            return 2
+        sections = [(name, ident) for name, ident in sections if name in wanted]
+
     problems = []
     compared = 0
-    for section, identity in SECTIONS[baseline["experiment"]]:
+    for section, identity in sections:
         base_rows = baseline.get(section, [])
         fresh_rows = fresh.get(section, [])
         compared += len(index_rows(fresh_rows, identity))

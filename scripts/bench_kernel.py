@@ -45,7 +45,16 @@ Scenarios
 Usage::
 
     python scripts/bench_kernel.py --out BENCH_kernel.json
-    python scripts/bench_kernel.py --events 200000 --repeat 1   # quick look
+    python scripts/bench_kernel.py --quick --out /tmp/fresh.json  # CI smoke
+
+``--quick`` runs the 100k-event profile (single repetition) used by
+verify.sh/CI: the full 1M profile takes ~90 s wall, the quick one a few
+seconds.  Quick output is gated against the committed 1M baseline on the
+``order`` section only (the order digests always run at the fixed
+``ORDER_EVENTS`` size, so they are comparable across profiles) via
+``bench_compare.py --sections order --skip-compat events``.  The
+committed ``BENCH_kernel.json`` stays a full-profile run, refreshed
+manually.
 """
 
 from __future__ import annotations
@@ -240,7 +249,13 @@ def main(argv=None) -> int:
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail unless the %r scenario's wheel/legacy "
                              "events/sec ratio reaches this floor" % HEADLINE)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke profile: 100k events, one repetition "
+                             "(order digests still run at ORDER_EVENTS)")
     args = parser.parse_args(argv)
+    if args.quick:
+        args.events = 100_000
+        args.repeat = 1
 
     t_start = time.perf_counter()
     scenario_rows = []
@@ -275,6 +290,7 @@ def main(argv=None) -> int:
         "experiment": "kernel_bench",
         "seed": args.seed,
         "events": args.events,
+        "quick": args.quick,
         "python": platform.python_version(),
         "wall_seconds": round(time.perf_counter() - t_start, 2),
         "scenarios": scenario_rows,

@@ -469,11 +469,15 @@ class DgsfDeployment:
         network_profile: Optional[NetworkProfile] = None,
         storage_profile: StorageProfile = S3_DEFAULT,
         env: Optional[Environment] = None,
+        rngs: Optional[RngRegistry] = None,
     ):
         self.config = config
         self.costs = costs
         self.env = env or Environment()
-        self.rngs = RngRegistry(seed=config.seed)
+        # Sharded runs pass a forked per-group registry so this world's
+        # streams are independent of every co-resident deployment; solo
+        # runs keep the historical root-registry derivation bit-identical.
+        self.rngs = rngs if rngs is not None else RngRegistry(seed=config.seed)
         self.kernels = kernel_registry or builtin_registry()
         # Observability: one registry + SLO engine + (optional) tracer
         # shared by every layer.  All three only read ``env.now`` and
@@ -544,20 +548,35 @@ class DgsfDeployment:
             **kwargs,
         )
 
-    def setup(self) -> None:
-        """Run GPU-server bring-up to completion (pre-experiment time)."""
+    def start_servers(self) -> list:
+        """Begin GPU-server bring-up; returns the servers' ready events.
+
+        Split out of :meth:`setup` so sharded topologies can bring several
+        co-resident deployments up *concurrently* from t=0 — sequential
+        ``setup()`` calls would shift the later groups' timelines by the
+        earlier groups' bring-up time, making outcomes depend on how
+        groups were packed onto shards.
+        """
         if self._ready:
             raise ConfigurationError("deployment already set up")
         for server in self.gpu_servers:
             server.start()
-        ready_events = [s.ready for s in self.gpu_servers]
-        from repro.sim.core import AllOf
+        return [s.ready for s in self.gpu_servers]
 
-        self.env.run(until=AllOf(self.env, ready_events))
+    def finish_setup(self) -> None:
+        """Register brought-up servers; pair with :meth:`start_servers`."""
         # "it announces it is ready" — register with the backend
         for server in self.gpu_servers:
             self.backend.register(server)
         self._ready = True
+
+    def setup(self) -> None:
+        """Run GPU-server bring-up to completion (pre-experiment time)."""
+        ready_events = self.start_servers()
+        from repro.sim.core import AllOf
+
+        self.env.run(until=AllOf(self.env, ready_events))
+        self.finish_setup()
 
     @property
     def ready(self) -> bool:

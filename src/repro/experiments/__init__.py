@@ -24,6 +24,7 @@ from repro.experiments import (
     fig8,
     sched_ablation,
     critpath_ablation,
+    shard_ablation,
 )
 from repro.experiments.reporting import render_table, render_series
 
@@ -43,6 +44,7 @@ __all__ = [
     "fig8",
     "sched_ablation",
     "critpath_ablation",
+    "shard_ablation",
     "render_table",
     "render_series",
 ]

@@ -16,12 +16,13 @@ import time
 
 from repro.experiments import (
     table2, table3, table4, table5, fig3, fig4, fig5, fig6, fig7, fig8,
-    sched_ablation, critpath_ablation, render_table, render_series,
+    sched_ablation, critpath_ablation, shard_ablation,
+    render_table, render_series,
 )
 
 EXPERIMENTS = [
     "table2", "fig3", "fig4", "table3", "fig5", "table4", "fig6",
-    "fig7", "fig8", "table5", "sched", "critpath",
+    "fig7", "fig8", "table5", "sched", "critpath", "shard",
 ]
 
 
@@ -78,6 +79,14 @@ def run_one(name: str, seed: int, copies: int, trace_dir: str = None) -> None:
         _print_rows(
             "Critical-path ablation — dominant resource by setting",
             critpath_ablation.run(seed=seed, copies=min(copies, 3)),
+        )
+    elif name == "shard":
+        # copies scales the per-run invocation budget (default 10 -> 1M);
+        # the full million-invocation ladder is the point of the ablation,
+        # but --copies 1 gives a 100k-invocation quick look.
+        _print_rows(
+            "Shard ablation — events/sec vs shard count",
+            shard_ablation.run(seed=seed, invocations=copies * 100_000),
         )
     else:
         raise SystemExit(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")

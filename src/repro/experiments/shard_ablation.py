@@ -1,0 +1,69 @@
+"""Shard-count scale-out ablation (extension beyond the paper).
+
+Runs the independent-GPU-pool workload under the sharded runtime
+(:mod:`repro.sim.shard`) at shard counts 1/2/4/8 and reports aggregate
+event throughput, wall time, and the merged-outcome digest per row —
+the experiment backing ROADMAP item 4's "sharded sub-simulations with
+conservative time sync".
+
+Interpretation: events/sec should scale with shard count *up to the
+machine's core count* — every row records the digest so the run doubles
+as a shard-count-invariance check (all rows of a scenario must agree),
+and with fewer cores than shards the speedup honestly degrades to ≈1×
+(the workers timeslice).  ``python -m repro.experiments shard`` prints
+the table; ``scripts/bench_shard.py`` is the committed-baseline variant.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import SimulationError
+from repro.faas.topology import pool_collect, pool_scenario
+from repro.sim.shard import run_sharded
+
+__all__ = ["run"]
+
+#: default scale-out ladder (ISSUE 7: events/sec vs shard count 1/2/4/8)
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def run(seed: int = 0, invocations: int = 1_000_000, groups: int = 8,
+        shard_counts: tuple = SHARD_COUNTS, num_gpus: int = 4,
+        mean_gap_s: float = 0.05, service_mean_s: float = 0.18,
+        mode: str = "process") -> list[dict]:
+    """Rows: one per shard count — throughput, wall, merged digest."""
+    per_group = max(1, invocations // groups)
+    scenario_args = (per_group, num_gpus, mean_gap_s, service_mean_s, None, 0)
+    rows = []
+    base_eps = None
+    for shards in shard_counts:
+        if shards > groups:
+            continue
+        result = run_sharded(
+            pool_scenario, num_shards=shards, total_groups=groups,
+            seed=seed, scenario_args=scenario_args, collect=pool_collect,
+            mode=mode,
+        )
+        eps = result.events_processed / result.wall_s
+        if base_eps is None:
+            base_eps = eps
+        rows.append({
+            "shards": shards,
+            "groups": groups,
+            "invocations": per_group * groups,
+            "n_events": result.events_processed,
+            "wall_s": round(result.wall_s, 2),
+            "events_per_sec": round(eps, 1),
+            "scaleout": round(eps / base_eps, 2),
+            "merged_crc": result.merged_digest,
+        })
+    digests = {row["merged_crc"] for row in rows}
+    if len(digests) != 1:
+        raise SimulationError(
+            f"merged outcome differs across shard counts: "
+            f"{ {row['shards']: hex(row['merged_crc']) for row in rows} }"
+        )
+    for row in rows:
+        row["cores"] = os.cpu_count() or 1
+    return rows

@@ -26,6 +26,13 @@ from repro.faas.workload_gen import (
     interleave_workloads,
     ArrivalPlan,
 )
+from repro.faas.topology import (
+    dgsf_collect,
+    dgsf_scenario,
+    pool_collect,
+    pool_metrics_collect,
+    pool_scenario,
+)
 
 __all__ = [
     "ObjectStore",
@@ -43,4 +50,9 @@ __all__ = [
     "uniform_arrivals",
     "interleave_workloads",
     "ArrivalPlan",
+    "dgsf_collect",
+    "dgsf_scenario",
+    "pool_collect",
+    "pool_metrics_collect",
+    "pool_scenario",
 ]

@@ -283,6 +283,59 @@ class MetricsRegistry:
         """Sum of every matching counter's value (0 if none exist)."""
         return sum(m.value for m in self.find(name, **match))
 
+    # -- cross-process merging -------------------------------------------------
+    def snapshot(self) -> list:
+        """A picklable dump of every instrument, for shipping a shard's
+        metrics back to the coordinator (see :mod:`repro.sim.shard`).
+
+        Kept intentionally plain (nested tuples/lists of primitives) so it
+        survives ``multiprocessing`` pipes without custom reducers.
+        """
+        out = []
+        for (name, label_items), metric in sorted(self._metrics.items()):
+            labels = list(label_items)
+            if isinstance(metric, Counter):
+                out.append(("counter", name, labels, metric.value))
+            elif isinstance(metric, Gauge):
+                out.append(("gauge", name, labels,
+                            list(metric.times), list(metric.values)))
+            else:
+                out.append(("histogram", name, labels, metric._count,
+                            metric._total, list(metric.observations)))
+        return out
+
+    def merge_snapshot(self, snapshot: list) -> None:
+        """Fold a :meth:`snapshot` into this registry (additive merge).
+
+        Counters add; gauge series concatenate then re-sort by sample
+        time; histograms combine exact count/total accumulators and pool
+        the retained samples (re-capped if the pooled sample exceeds the
+        retention bound).  Merging shard snapshots in shard order is
+        deterministic, so merged digests are reproducible.
+        """
+        for entry in snapshot:
+            kind, name, labels = entry[0], entry[1], dict(entry[2])
+            if kind == "counter":
+                self.counter(name, **labels).value += entry[3]
+            elif kind == "gauge":
+                gauge = self.gauge(name, **labels)
+                gauge.times.extend(entry[3])
+                gauge.values.extend(entry[4])
+                series = sorted(zip(gauge.times, gauge.values))
+                gauge.times = [t for t, _ in series]
+                gauge.values = [v for _, v in series]
+            elif kind == "histogram":
+                hist = self.histogram(name, **labels)
+                hist._count += entry[3]
+                hist._total += entry[4]
+                hist.observations.extend(entry[5])
+                hist._sorted = None
+                while len(hist.observations) >= _HISTOGRAM_CAP:
+                    del hist.observations[::2]
+                    hist._stride *= 2
+            else:
+                raise ValueError(f"unknown snapshot entry kind {kind!r}")
+
     def as_dict(self) -> dict:
         """A plain serializable snapshot, for reports and debugging."""
         out = {}

@@ -36,6 +36,14 @@ from repro.sim.core import (
 from repro.sim.resources import Resource, PriorityResource, Container, Store
 from repro.sim.sharing import FairShareEngine, ShareTask
 from repro.sim.rng import RngRegistry
+from repro.sim.shard import (
+    ShardContext,
+    ShardRunResult,
+    ShardSim,
+    ShardSpec,
+    assign_groups,
+    run_sharded,
+)
 
 __all__ = [
     "Environment",
@@ -53,4 +61,10 @@ __all__ = [
     "FairShareEngine",
     "ShareTask",
     "RngRegistry",
+    "ShardContext",
+    "ShardRunResult",
+    "ShardSim",
+    "ShardSpec",
+    "assign_groups",
+    "run_sharded",
 ]

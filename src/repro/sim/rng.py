@@ -6,6 +6,14 @@ from a single experiment seed.  This keeps runs reproducible and — more
 importantly for A/B comparisons like sharing vs no-sharing — keeps the
 *workload identical across configurations*, because consuming extra
 randomness in one component cannot perturb another.
+
+For sharded runs (:mod:`repro.sim.shard`) a registry can be *forked* into
+independent child registries (:meth:`RngRegistry.fork` /
+:meth:`RngRegistry.spawn`).  A fork's streams are derived from the
+``(seed, namespace, name)`` triple only — never from creation order or
+from how many values any other stream has drawn — so the substreams of
+shard A are bit-identical no matter what shard B does, and no matter how
+many shards the same group set is packed onto.
 """
 
 from __future__ import annotations
@@ -13,6 +21,10 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["RngRegistry"]
+
+#: namespace separator for forked registries; chosen to be visually
+#: obvious and unlikely to collide with stream names chosen by callers
+_SEP = "/"
 
 
 class RngRegistry:
@@ -23,17 +35,43 @@ class RngRegistry:
     yields the same stream regardless of creation order.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, namespace: str = ""):
         self.seed = int(seed)
+        #: prefix applied to every stream name before seed derivation; the
+        #: root registry's namespace is "" so its entropy is exactly the
+        #: historical ``[seed, *ord(name)]`` (determinism goldens depend
+        #: on root streams not moving)
+        self.namespace = namespace
         self._streams: dict[str, np.random.Generator] = {}
 
     def stream(self, name: str) -> np.random.Generator:
         """Return (creating on first use) the stream for ``name``."""
         if name not in self._streams:
-            # Hash the name into entropy deterministically.
-            entropy = [self.seed] + [ord(c) for c in name]
+            # Hash the (namespaced) name into entropy deterministically.
+            entropy = [self.seed] + [ord(c) for c in self.namespace + name]
             self._streams[name] = np.random.default_rng(np.random.SeedSequence(entropy))
         return self._streams[name]
+
+    def fork(self, name: str) -> "RngRegistry":
+        """Derive an independent child registry named ``name``.
+
+        The child's streams are keyed by ``namespace + name + "/"`` plus
+        the stream name, so ``fork("a").stream("x")`` is stable across
+        runs, independent of every sibling fork, and decoupled from how
+        much randomness any other registry has consumed.  Forking is
+        cheap (no streams are created until first use) and spawn-safe:
+        a worker process can re-derive the identical registry from the
+        ``(seed, namespace)`` pair alone.
+        """
+        if not name:
+            raise ValueError("fork name must be non-empty")
+        return RngRegistry(self.seed, namespace=f"{self.namespace}{name}{_SEP}")
+
+    def spawn(self, index: int) -> "RngRegistry":
+        """Indexed :meth:`fork` — substream ``index`` of this registry."""
+        if index < 0:
+            raise ValueError(f"spawn index must be >= 0, got {index}")
+        return RngRegistry(self.seed, namespace=f"{self.namespace}[{int(index)}]{_SEP}")
 
     def __contains__(self, name: str) -> bool:
         return name in self._streams

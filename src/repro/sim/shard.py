@@ -1,0 +1,532 @@
+"""Sharded parallel simulation with conservative time synchronization.
+
+Million-invocation scenarios are event-kernel bound: one Python process
+can only drain one calendar queue.  This module scales the simulator out
+across cores by partitioning a deployment into *groups* (each an
+independent API-server group + GPU pool + monitor slice), packing groups
+onto *shards*, and running every shard's :class:`~repro.sim.core.Environment`
+in its own worker process (``multiprocessing`` spawn context, so workers
+are import-clean and fork-unsafe state cannot leak).
+
+Synchronization is classic conservative (CMB-style) lookahead windowing:
+
+* the minimum cross-group link delay ``L`` (declared by the topology) is
+  the provable lookahead bound — an envelope sent at time ``t`` cannot be
+  due before ``t + L`` (:mod:`repro.simnet.envelope` enforces this at
+  send time);
+* shards advance in epochs.  If every shard has processed everything up
+  to time ``T`` and the globally earliest pending event is at
+  ``candidate >= T``, then **every** shard may safely run to
+  ``candidate + L``: no event exists anywhere before ``candidate``, so no
+  message can be *sent* before ``candidate``, so none can be *due* before
+  ``candidate + L``.  Choosing ``candidate`` as the global minimum next
+  event time makes empty stretches fast-forward for free — idle epochs
+  are skipped rather than stepped;
+* at each barrier the coordinator drains every shard's outbox, routes
+  envelopes to the owning shard, and injects them in the canonical
+  ``(deliver_time, src, seq)`` order so same-timestamp deliveries
+  tie-break identically regardless of how groups were packed.
+
+With no cross-group channels the lookahead is infinite (the minimum over
+an empty link set), the run degenerates to one barrier, and shards are
+embarrassingly parallel — the independent-GPU-pool case.
+
+**Correctness bar** (enforced by tests and ``scripts/bench_shard.py``):
+with ``shards=1`` the epoch loop processes the exact event sequence of a
+plain single-process ``env.run()`` (the CRC pop-order digest is
+bit-identical — ``run(until=T)`` only sets deadlines, it never schedules
+events), and for ``shards>1`` the merged per-group outcomes are
+seed-stable and shard-count-invariant.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.core import Environment
+from repro.sim.rng import RngRegistry
+from repro.simnet.envelope import Envelope, GroupPort, decode_envelope
+
+__all__ = [
+    "ShardSpec",
+    "ShardContext",
+    "ShardSim",
+    "ShardRunResult",
+    "assign_groups",
+    "run_sharded",
+    "pop_order_crc",
+]
+
+_INF = float("inf")
+
+
+def assign_groups(total_groups: int, num_shards: int) -> list[tuple[int, ...]]:
+    """Round-robin group→shard assignment: group ``g`` lives on shard
+    ``g % num_shards``.  Deterministic and independent of group weights;
+    the merged outcome must not depend on this choice (only wall time
+    may)."""
+    if total_groups <= 0:
+        raise ConfigurationError(f"total_groups must be positive, got {total_groups}")
+    if num_shards <= 0:
+        raise ConfigurationError(f"num_shards must be positive, got {num_shards}")
+    if num_shards > total_groups:
+        raise ConfigurationError(
+            f"num_shards={num_shards} exceeds total_groups={total_groups}: "
+            f"a shard with no groups has nothing to simulate"
+        )
+    shards: list[list[int]] = [[] for _ in range(num_shards)]
+    for g in range(total_groups):
+        shards[g % num_shards].append(g)
+    return [tuple(groups) for groups in shards]
+
+
+def pop_order_crc(trace: list) -> int:
+    """CRC32 of a ``(time, priority, eid)`` pop trace (bench_kernel format)."""
+    crc = 0
+    pack = struct.pack
+    for when, priority, eid in trace:
+        crc = zlib.crc32(pack("<dqq", when, priority, eid), crc)
+    return crc
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker process needs to build its shard (picklable).
+
+    ``scenario`` / ``collect`` / ``metrics_collect`` must be module-level
+    callables (spawn pickles them by reference).  ``scenario(ctx)`` builds
+    the shard's world and starts its processes; ``collect(ctx)`` returns a
+    JSON-shaped ``{group_id: row}`` mapping after the run drains;
+    ``metrics_collect(ctx)`` (optional) returns a metrics snapshot list
+    (see :meth:`repro.obs.MetricsRegistry.snapshot`).
+    """
+
+    shard_id: int
+    num_shards: int
+    groups: tuple[int, ...]
+    total_groups: int
+    seed: int
+    #: conservative lookahead; ``inf`` = no cross-group links declared
+    lookahead_s: float
+    scenario: Callable
+    scenario_args: tuple = ()
+    collect: Optional[Callable] = None
+    metrics_collect: Optional[Callable] = None
+    record_pop_trace: bool = False
+
+
+class ShardContext:
+    """What a scenario builder sees inside one shard."""
+
+    def __init__(self, spec: ShardSpec, env: Environment):
+        self.spec = spec
+        self.env = env
+        self.shard_id = spec.shard_id
+        self.num_shards = spec.num_shards
+        self.groups = spec.groups
+        self.total_groups = spec.total_groups
+        self.seed = spec.seed
+        self.lookahead_s = spec.lookahead_s
+        #: free-form slot for the scenario to stash per-group worlds/stats
+        self.state: dict = {}
+        self._root_rngs = RngRegistry(seed=spec.seed)
+        self._ports: dict[int, GroupPort] = {
+            g: GroupPort(env, g, spec.lookahead_s) for g in spec.groups
+        }
+
+    def group_rngs(self, group_id: int) -> RngRegistry:
+        """The RNG substream registry of group ``group_id``.
+
+        Derived from ``(seed, group)`` only — independent of the shard
+        count, the shard this group landed on, and every other group's
+        draw count.  This is what makes merged outcomes shard-count
+        invariant.
+        """
+        return self._root_rngs.fork(f"group[{group_id}]")
+
+    def shard_rngs(self) -> RngRegistry:
+        """Shard-local streams (diagnostics only — anything that affects
+        outcomes must use :meth:`group_rngs` or invariance breaks)."""
+        return self._root_rngs.fork(f"shard[{self.shard_id}]")
+
+    def port(self, group_id: int) -> GroupPort:
+        """The cross-shard port of a group owned by this shard."""
+        try:
+            return self._ports[group_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"group {group_id} is not owned by shard {self.shard_id} "
+                f"(owns {self.groups})"
+            ) from None
+
+
+class ShardSim:
+    """One shard's environment plus the epoch-stepping machinery.
+
+    Used identically by the inline driver (all shards in this process)
+    and by worker processes — the synchronization algorithm lives in
+    :func:`run_sharded`; this class only knows how to run *one* epoch.
+    """
+
+    def __init__(self, spec: ShardSpec):
+        self.spec = spec
+        self.env = Environment()
+        if spec.record_pop_trace:
+            self.env._pop_trace = []
+        self.ctx = ShardContext(spec, self.env)
+        spec.scenario(self.ctx, *spec.scenario_args)
+        self.run_wall_s = 0.0
+        self.epochs_run = 0
+
+    def run_epoch(self, t_end: Optional[float],
+                  deliveries: list[tuple]) -> tuple[float, list[tuple]]:
+        """Inject ``deliveries``, advance to ``t_end`` (None = drain).
+
+        Returns ``(next_local_event_time, outbox)`` where the outbox holds
+        the encoded envelopes sent during this epoch.
+        """
+        env = self.env
+        ports = self.ctx._ports
+        if deliveries:
+            decoded = [decode_envelope(wire) for wire in deliveries]
+            decoded.sort(key=Envelope.sort_key)
+            for envelope in decoded:
+                port = ports.get(envelope.dst)
+                if port is None:
+                    raise SimulationError(
+                        f"shard {self.spec.shard_id} received envelope for "
+                        f"group {envelope.dst} it does not own"
+                    )
+                port.deliver(envelope)
+        t0 = time.perf_counter()
+        if t_end is None:
+            env.run()
+        else:
+            env.run(until=t_end)
+        self.run_wall_s += time.perf_counter() - t0
+        self.epochs_run += 1
+        outbox: list[tuple] = []
+        for g in self.spec.groups:  # group order: deterministic drain
+            outbox.extend(ports[g].drain_outbox())
+        return env.peek(), outbox
+
+    def finish(self, horizon: Optional[float] = None) -> dict:
+        """Post-run harvest: outcome rows, counters, optional digests.
+
+        ``horizon`` is the run's ``until`` bound, if any: a horizon-bounded
+        run legitimately leaves events pending *beyond* the horizon
+        (monitor health loops tick forever), but everything up to it must
+        have been processed.
+        """
+        spec = self.spec
+        next_event = self.env.peek()
+        if horizon is None:
+            if next_event != _INF:
+                raise SimulationError(
+                    f"shard {spec.shard_id} finished with pending events"
+                )
+        elif next_event <= horizon:
+            raise SimulationError(
+                f"shard {spec.shard_id} finished with an unprocessed event "
+                f"at {next_event} <= horizon {horizon}"
+            )
+        out: dict[str, Any] = {
+            "shard_id": spec.shard_id,
+            "groups": list(spec.groups),
+            "events_processed": self.env.events_processed,
+            "processes_created": self.env.processes_created,
+            "envelopes_sent": sum(p.sent for p in self.ctx._ports.values()),
+            "envelopes_received": sum(p.received for p in self.ctx._ports.values()),
+            "epochs_run": self.epochs_run,
+            "run_wall_s": self.run_wall_s,
+            "final_now": self.env.now,
+            "rows": {},
+        }
+        if spec.collect is not None:
+            rows = spec.collect(self.ctx)
+            if not isinstance(rows, dict):
+                raise ConfigurationError(
+                    f"collect must return a dict of group rows, got {type(rows)}"
+                )
+            out["rows"] = {int(g): row for g, row in rows.items()}
+        if spec.metrics_collect is not None:
+            out["metrics"] = spec.metrics_collect(self.ctx)
+        if spec.record_pop_trace:
+            trace = self.env._pop_trace
+            out["pop_crc"] = pop_order_crc(trace)
+            out["pop_n"] = len(trace)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# worker process entry point (spawn)
+# ---------------------------------------------------------------------------
+
+def _shard_worker(spec: ShardSpec, conn) -> None:
+    """Worker main: build the shard, serve epoch commands until 'exit'."""
+    try:
+        sim = ShardSim(spec)
+        conn.send(("ready", sim.env.peek()))
+    except BaseException as exc:  # noqa: BLE001 — ship the failure home
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        return
+    while True:
+        command = conn.recv()
+        try:
+            if command[0] == "epoch":
+                _, t_end, deliveries = command
+                next_time, outbox = sim.run_epoch(t_end, deliveries)
+                conn.send(("ok", next_time, outbox))
+            elif command[0] == "finish":
+                conn.send(("ok", sim.finish(command[1])))
+            elif command[0] == "exit":
+                return
+            else:
+                conn.send(("error", f"unknown command {command[0]!r}"))
+        except BaseException as exc:  # noqa: BLE001
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            return
+
+
+class _InlineShard:
+    """Driver adapter: a ShardSim in this process."""
+
+    def __init__(self, spec: ShardSpec):
+        self.sim = ShardSim(spec)
+        self.next_time = self.sim.env.peek()
+
+    def run_epoch(self, t_end, deliveries):
+        self.next_time, outbox = self.sim.run_epoch(t_end, deliveries)
+        return outbox
+
+    def finish(self, horizon) -> dict:
+        return self.sim.finish(horizon)
+
+    def close(self) -> None:
+        pass
+
+
+class _ProcessShard:
+    """Driver adapter: a ShardSim in a spawned worker process."""
+
+    def __init__(self, spec: ShardSpec, ctx_mp):
+        self.conn, child = ctx_mp.Pipe()
+        self.proc = ctx_mp.Process(
+            target=_shard_worker, args=(spec, child),
+            name=f"shard-{spec.shard_id}", daemon=True,
+        )
+        self.proc.start()
+        child.close()
+        self.next_time = self._expect("ready")
+
+    def _expect(self, tag: str):
+        reply = self.conn.recv()
+        if reply[0] == "error":
+            raise SimulationError(f"shard worker failed: {reply[1]}")
+        if reply[0] != tag:
+            raise SimulationError(f"protocol error: expected {tag}, got {reply[0]}")
+        return reply[1] if len(reply) == 2 else reply[1:]
+
+    def begin_epoch(self, t_end, deliveries) -> None:
+        self.conn.send(("epoch", t_end, deliveries))
+
+    def end_epoch(self) -> list[tuple]:
+        self.next_time, outbox = self._expect("ok")
+        return outbox
+
+    def run_epoch(self, t_end, deliveries):
+        self.begin_epoch(t_end, deliveries)
+        return self.end_epoch()
+
+    def finish(self, horizon) -> dict:
+        self.conn.send(("finish", horizon))
+        return self._expect("ok")
+
+    def close(self) -> None:
+        try:
+            self.conn.send(("exit",))
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(timeout=30)
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=10)
+        self.conn.close()
+
+
+@dataclass
+class ShardRunResult:
+    """Merged outcome of a sharded run."""
+
+    num_shards: int
+    total_groups: int
+    lookahead_s: float
+    mode: str
+    #: group id -> the row collect() produced for it (merged across shards)
+    merged: dict[int, Any] = field(default_factory=dict)
+    #: CRC32 of the canonical JSON of ``merged`` — the shard-count
+    #: invariance digest (identical for every shard count, same seed)
+    merged_digest: int = 0
+    #: per-shard harvest dicts (events, envelopes, optional pop digests)
+    shards: list[dict] = field(default_factory=list)
+    n_epochs: int = 0
+    n_envelopes: int = 0
+    events_processed: int = 0
+    wall_s: float = 0.0
+    #: merged MetricsRegistry when the spec collected metrics, else None
+    metrics: Any = None
+
+    @property
+    def pop_crc(self) -> int:
+        """Single-shard pop-order digest (only meaningful for 1 shard)."""
+        if len(self.shards) != 1 or "pop_crc" not in self.shards[0]:
+            raise ConfigurationError(
+                "pop_crc requires a 1-shard run with record_pop_trace=True"
+            )
+        return self.shards[0]["pop_crc"]
+
+
+def _merged_digest(merged: dict) -> int:
+    import json
+
+    canonical = json.dumps(
+        {str(g): merged[g] for g in sorted(merged)},
+        sort_keys=True, separators=(",", ":"),
+    )
+    return zlib.crc32(canonical.encode())
+
+
+def run_sharded(
+    scenario: Callable,
+    *,
+    num_shards: int,
+    total_groups: int,
+    seed: int = 0,
+    lookahead_s: Optional[float] = None,
+    scenario_args: tuple = (),
+    collect: Optional[Callable] = None,
+    metrics_collect: Optional[Callable] = None,
+    mode: str = "auto",
+    until: Optional[float] = None,
+    record_pop_trace: bool = False,
+) -> ShardRunResult:
+    """Run ``scenario`` partitioned into ``num_shards`` shards.
+
+    ``lookahead_s`` is the minimum cross-group link delay (``None`` means
+    the topology declares no cross-group links — infinite lookahead, one
+    barrier).  ``mode``: ``"inline"`` runs every shard in this process
+    (deterministic debugging, zero spawn cost), ``"process"`` runs one
+    spawned worker per shard, ``"auto"`` picks inline for one shard and
+    processes otherwise.
+    """
+    lookahead = _INF if lookahead_s is None else float(lookahead_s)
+    if lookahead <= 0:
+        raise ConfigurationError(f"lookahead_s must be positive, got {lookahead_s}")
+    if mode not in ("auto", "inline", "process"):
+        raise ConfigurationError(f"unknown mode {mode!r}")
+    resolved_mode = mode
+    if mode == "auto":
+        resolved_mode = "inline" if num_shards == 1 else "process"
+
+    assignment = assign_groups(total_groups, num_shards)
+    owner_of = {g: s for s, groups in enumerate(assignment) for g in groups}
+    specs = [
+        ShardSpec(
+            shard_id=s, num_shards=num_shards, groups=groups,
+            total_groups=total_groups, seed=seed, lookahead_s=lookahead,
+            scenario=scenario, scenario_args=tuple(scenario_args),
+            collect=collect, metrics_collect=metrics_collect,
+            record_pop_trace=record_pop_trace,
+        )
+        for s, groups in enumerate(assignment)
+    ]
+
+    t_wall = time.perf_counter()
+    if resolved_mode == "inline":
+        drivers: list = [_InlineShard(spec) for spec in specs]
+    else:
+        import multiprocessing
+
+        ctx_mp = multiprocessing.get_context("spawn")
+        drivers = [_ProcessShard(spec, ctx_mp) for spec in specs]
+
+    result = ShardRunResult(
+        num_shards=num_shards, total_groups=total_groups,
+        lookahead_s=lookahead, mode=resolved_mode,
+    )
+    try:
+        #: envelopes routed but not yet injected, per destination shard
+        pending: list[list[tuple]] = [[] for _ in range(num_shards)]
+        pending_min = _INF  # earliest deliver_time among pending envelopes
+        while True:
+            candidate = min(min(d.next_time for d in drivers), pending_min)
+            if candidate == _INF:
+                break
+            if until is not None and candidate > until:
+                break
+            t_end = None if lookahead == _INF else candidate + lookahead
+            if until is not None:
+                t_end = until if t_end is None else min(t_end, until)
+            deliveries, pending = pending, [[] for _ in range(num_shards)]
+            pending_min = _INF
+            # Start every shard's epoch before reaping any (process mode
+            # overlaps them; inline mode degenerates to a sequential loop).
+            if resolved_mode == "process":
+                for s, driver in enumerate(drivers):
+                    driver.begin_epoch(t_end, deliveries[s])
+                outboxes = [driver.end_epoch() for driver in drivers]
+            else:
+                outboxes = [
+                    driver.run_epoch(t_end, deliveries[s])
+                    for s, driver in enumerate(drivers)
+                ]
+            result.n_epochs += 1
+            for outbox in outboxes:
+                for wire in outbox:
+                    dst = wire[2]
+                    shard = owner_of.get(dst)
+                    if shard is None:
+                        raise ConfigurationError(
+                            f"envelope addressed to unknown group {dst}"
+                        )
+                    pending[shard].append(wire)
+                    deliver_time = wire[5]
+                    if deliver_time < pending_min:
+                        pending_min = deliver_time
+                    result.n_envelopes += 1
+        if pending_min != _INF and (until is None or pending_min <= until):
+            raise SimulationError(
+                f"run terminated with an undelivered envelope due at {pending_min}"
+            )
+        harvests = [driver.finish(until) for driver in drivers]
+    finally:
+        for driver in drivers:
+            driver.close()
+    result.wall_s = time.perf_counter() - t_wall
+
+    merged: dict[int, Any] = {}
+    snapshots = []
+    for harvest in harvests:
+        result.shards.append(harvest)
+        result.events_processed += harvest["events_processed"]
+        for g, row in harvest["rows"].items():
+            if g in merged:
+                raise SimulationError(f"group {g} reported by two shards")
+            merged[g] = row
+        if "metrics" in harvest:
+            snapshots.append(harvest["metrics"])
+    result.merged = dict(sorted(merged.items()))
+    result.merged_digest = _merged_digest(result.merged)
+    if snapshots:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        for snapshot in snapshots:
+            registry.merge_snapshot(snapshot)
+        result.metrics = registry
+    return result

@@ -20,6 +20,13 @@ from repro.simnet.serialization import payload_size, MESSAGE_HEADER_BYTES
 from repro.simnet.link import NIC, NetworkProfile
 from repro.simnet.net import Network, Host, Connection, Endpoint
 from repro.simnet.faults import LinkFaultInjector
+from repro.simnet.envelope import (
+    Envelope,
+    GroupPort,
+    decode_envelope,
+    encode_envelope,
+    normalize_payload,
+)
 from repro.simnet.rpc import (
     RpcClient,
     RpcServer,
@@ -39,6 +46,11 @@ __all__ = [
     "Connection",
     "Endpoint",
     "LinkFaultInjector",
+    "Envelope",
+    "GroupPort",
+    "decode_envelope",
+    "encode_envelope",
+    "normalize_payload",
     "RpcClient",
     "RpcServer",
     "RpcRequest",

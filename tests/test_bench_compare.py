@@ -185,10 +185,91 @@ def test_kernel_bench_different_event_scale_not_comparable(tmp_path):
     assert run(tmp_path, kernel_doc(), kernel_doc(events=500)) == 2
 
 
+def test_quick_kernel_run_gates_order_section_only(tmp_path):
+    """verify.sh gates a --quick (100k) run against the 1M baseline on the
+    size-independent order section: --skip-compat events + --sections."""
+    fresh = kernel_doc(events=100_000, quick=True)
+    fresh["scenarios"] = [dict(s, n_events=100_000) for s in fresh["scenarios"]]
+    # full comparison: not comparable (different event scale)
+    assert run(tmp_path, kernel_doc(), fresh) == 2
+    # the verify.sh invocation: order rows only, events exempted
+    assert run(tmp_path, kernel_doc(), fresh,
+               "--sections", "order", "--skip-compat", "events") == 0
+    bad = json.loads(json.dumps(fresh))
+    bad["order"][0]["order_crc"] = 1
+    assert run(tmp_path, kernel_doc(), bad,
+               "--sections", "order", "--skip-compat", "events") == 1
+
+
+def test_unknown_section_name_is_not_comparable(tmp_path, capsys):
+    assert run(tmp_path, kernel_doc(), kernel_doc(),
+               "--sections", "nonsense") == 2
+    assert "unknown section" in capsys.readouterr().err
+
+
+def shard_doc(**overrides):
+    doc = {
+        "experiment": "shard_bench",
+        "seed": 7,
+        "profile": "full",
+        "cpu_count": 4,
+        "scaleout": [
+            {"scenario": "pool", "shards": 1, "groups": 8,
+             "invocations": 1_000_000, "n_events": 5_000_016,
+             "n_epochs": 1, "n_envelopes": 0, "merged_crc": 111,
+             "wall_s": 40.0, "events_per_sec": 125_000.0, "scaleout": 1.0},
+            {"scenario": "pool", "shards": 4, "groups": 8,
+             "invocations": 1_000_000, "n_events": 5_000_016,
+             "n_epochs": 1, "n_envelopes": 0, "merged_crc": 111,
+             "wall_s": 15.0, "events_per_sec": 333_000.0, "scaleout": 2.7},
+        ],
+        "smoke": [
+            {"scenario": "pool", "shards": 1, "groups": 8,
+             "invocations": 50_000, "n_events": 250_016, "n_epochs": 1,
+             "n_envelopes": 0, "merged_crc": 222, "pop_crc": 333,
+             "wall_s": 2.0, "events_per_sec": 125_000.0, "scaleout": 1.0},
+            {"scenario": "sync", "shards": 2, "groups": 8,
+             "invocations": 50_000, "n_events": 250_400, "n_epochs": 64,
+             "n_envelopes": 210, "merged_crc": 444,
+             "wall_s": 2.5, "events_per_sec": 100_000.0, "scaleout": 0.9},
+        ],
+    }
+    doc.update(overrides)
+    return doc
+
+
+def test_shard_bench_throughput_ignored_digest_exact(tmp_path, capsys):
+    fresh = shard_doc()
+    # another machine: wall/throughput/scaleout swing freely
+    fresh["scaleout"][1].update(wall_s=60.0, events_per_sec=83_000.0,
+                                scaleout=0.66)
+    fresh["cpu_count"] = 1
+    assert run(tmp_path, shard_doc(), fresh) == 0
+    # ...but a merged-outcome digest change is a correctness regression
+    bad = shard_doc()
+    bad["smoke"][1]["merged_crc"] = 999
+    assert run(tmp_path, shard_doc(), bad) == 1
+    assert "merged_crc" in capsys.readouterr().err
+
+
+def test_shard_bench_epoch_and_envelope_counts_exact(tmp_path, capsys):
+    bad = shard_doc()
+    bad["smoke"][1]["n_envelopes"] = 211
+    assert run(tmp_path, shard_doc(), bad) == 1
+    assert "n_envelopes" in capsys.readouterr().err
+
+
+def test_shard_bench_smoke_only_fresh_run(tmp_path):
+    """The verify.sh shape: fresh smoke rows gated against the committed
+    full-profile baseline with --sections smoke."""
+    fresh = shard_doc(profile="smoke", scaleout=[])
+    assert run(tmp_path, shard_doc(), fresh, "--sections", "smoke") == 0
+
+
 def test_real_committed_baselines_self_compare(tmp_path):
     """The committed baselines must be valid inputs to their own gate."""
     root = Path(__file__).resolve().parent.parent
     for name in ("BENCH_sched.json", "BENCH_ablation.json",
-                 "BENCH_kernel.json"):
+                 "BENCH_kernel.json", "BENCH_shard.json"):
         path = root / name
         assert bench_compare.main([str(path), str(path)]) == 0

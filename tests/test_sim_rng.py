@@ -45,3 +45,77 @@ def test_reset_restarts_streams():
     reg.reset()
     again = reg.stream("s").random(4)
     assert np.array_equal(first, again)
+
+
+# --- forked substreams (sharded runs) ---------------------------------------
+
+def test_fork_is_stable_and_independent_of_parent_draws():
+    baseline = RngRegistry(seed=9).fork("group[2]").stream("arrivals").random(8)
+    parent = RngRegistry(seed=9)
+    parent.stream("arrivals").random(1000)  # parent consumption is irrelevant
+    assert np.array_equal(
+        baseline, parent.fork("group[2]").stream("arrivals").random(8))
+
+
+def test_fork_draws_do_not_shift_with_sibling_draw_count():
+    """The shard-invariance property: group A's stream is bit-identical no
+    matter how much randomness group B consumes."""
+    solo = RngRegistry(seed=5).fork("group[0]").stream("x").random(16)
+
+    reg = RngRegistry(seed=5)
+    reg.fork("group[1]").stream("x").random(3)       # light sibling use
+    light = reg.fork("group[0]").stream("x").random(16)
+
+    reg2 = RngRegistry(seed=5)
+    sibling = reg2.fork("group[1]")
+    for name in ("x", "y", "z"):
+        sibling.stream(name).random(5000)            # heavy sibling use
+    heavy = reg2.fork("group[0]").stream("x").random(16)
+
+    assert np.array_equal(solo, light)
+    assert np.array_equal(solo, heavy)
+
+
+def test_forks_differ_from_each_other_and_from_root():
+    reg = RngRegistry(seed=4)
+    root = reg.stream("s").random(8)
+    a = reg.fork("a").stream("s").random(8)
+    b = reg.fork("b").stream("s").random(8)
+    assert not np.array_equal(root, a)
+    assert not np.array_equal(a, b)
+
+
+def test_nested_forks_are_namespaced_not_flattened():
+    reg = RngRegistry(seed=4)
+    nested = reg.fork("a").fork("b").stream("s").random(8)
+    flat = reg.fork("ab").stream("s").random(8)
+    assert not np.array_equal(nested, flat)
+
+
+def test_spawn_matches_indexed_namespace():
+    reg = RngRegistry(seed=11)
+    assert np.array_equal(
+        reg.spawn(3).stream("s").random(8),
+        RngRegistry(seed=11, namespace="[3]/").stream("s").random(8))
+    assert not np.array_equal(
+        reg.spawn(3).stream("s").random(8),
+        reg.spawn(4).stream("s").random(8))
+
+
+def test_fork_rejects_empty_name_and_negative_spawn():
+    import pytest
+
+    reg = RngRegistry(seed=0)
+    with pytest.raises(ValueError):
+        reg.fork("")
+    with pytest.raises(ValueError):
+        reg.spawn(-1)
+
+
+def test_root_namespace_entropy_unchanged():
+    """The root registry's derivation must stay the historical
+    [seed, *ord(name)] — determinism goldens depend on it."""
+    legacy = np.random.default_rng(
+        np.random.SeedSequence([42] + [ord(c) for c in "arrivals"]))
+    assert np.array_equal(
+        legacy.random(8), RngRegistry(seed=42).stream("arrivals").random(8))
