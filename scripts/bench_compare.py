@@ -61,6 +61,7 @@ SECTIONS = {
     "shard_bench": [
         ("scaleout", ("scenario", "shards")),
         ("smoke", ("scenario", "shards")),
+        ("tracing", ("scenario", "shards")),
     ],
 }
 
@@ -69,16 +70,19 @@ COMPAT_KEYS = ("experiment", "seed", "copies", "events")
 
 #: per-row fields compared exactly (counts and order digests, not timings);
 #: the shard bench's merged_crc/pop_crc are outcome digests — a mismatch
-#: means the sharded run's merged result changed, a correctness regression
+#: means the sharded run's merged result changed, a correctness regression —
+#: and its trace_digest/n_spans pin the merged span timeline the same way
 EXACT_FIELDS = {"n", "n_events", "order_n", "order_crc",
                 "merged_crc", "pop_crc", "n_epochs", "n_envelopes",
-                "invocations", "groups"}
+                "invocations", "groups", "trace_digest", "n_spans"}
 
 #: per-row fields never compared: machine-dependent throughput/wall numbers
 #: (the kernel bench keeps its speedup honest via its own --min-speedup
-#: floor, the shard bench via --min-scaleout, not via cross-machine banding)
+#: floor, the shard bench via --min-scaleout and --max-trace-overhead,
+#: not via cross-machine banding)
 IGNORED_FIELDS = {"events_per_sec", "sched_events_per_sec", "wall_s",
-                  "sched_wall_s", "speedup", "scaleout"}
+                  "sched_wall_s", "speedup", "scaleout",
+                  "events_per_sec_ratio"}
 
 
 def load(path: Path) -> dict:

@@ -21,11 +21,20 @@ critical path must attribute at least ``--min-coverage`` of that time.
 A violation exits non-zero, which makes this script double as the
 observability smoke test in ``scripts/verify.sh``.
 
+With ``--sharded DIR`` it switches roles: instead of running anything it
+inspects a flight-recorder bundle written by ``scripts/shard_report.py``
+(or ``repro.obs.flight.write_flight_bundle``), prints the manifest
+summary, and validates the bundle end to end — a directory missing the
+per-shard payloads (no manifest, missing ``records.json``/``trace.json``,
+digest mismatch) exits non-zero with a readable problem list, never a
+traceback.
+
 Usage::
 
     python scripts/profile_report.py --workload kmeans --out-dir /tmp/prof
     python scripts/profile_report.py --mixed --copies 3 --min-coverage 0.95
     python scripts/profile_report.py --mixed --flame /tmp/prof/flame.folded
+    python scripts/profile_report.py --sharded /tmp/flight
 """
 
 from __future__ import annotations
@@ -70,6 +79,47 @@ def _validate(rows: list[dict], min_coverage: float) -> list[str]:
     return problems
 
 
+def _sharded_report(bundle_dir: Path, min_coverage: float) -> int:
+    """Summarize + validate a flight-recorder bundle; 0 = valid."""
+    from repro.obs import validate_flight_bundle
+
+    manifest_path = bundle_dir / "manifest.json"
+    if not bundle_dir.is_dir() or not manifest_path.is_file():
+        print(f"not a flight-recorder bundle: {bundle_dir} has no "
+              f"manifest.json — expected a directory written by "
+              f"scripts/shard_report.py (run_sharded with tracing=True)",
+              file=sys.stderr)
+        return 1
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"unreadable manifest.json in {bundle_dir}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    print(f"bundle:  {bundle_dir}")
+    print(f"run:     {manifest.get('num_shards')} shard(s) x "
+          f"{manifest.get('total_groups')} group(s), "
+          f"mode={manifest.get('mode')}, "
+          f"lookahead_s={manifest.get('lookahead_s')}")
+    print(f"volume:  {manifest.get('events_processed'):,} events, "
+          f"{manifest.get('n_epochs'):,} epochs, "
+          f"{manifest.get('n_envelopes')} envelope(s), "
+          f"{manifest.get('n_span_records'):,} spans, "
+          f"{manifest.get('n_alerts')} alert(s)")
+
+    problems = validate_flight_bundle(bundle_dir, min_coverage=min_coverage)
+    if problems:
+        print(f"\nsharded bundle validation FAILED "
+              f"({len(problems)} problem(s)):", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+    print(f"\nsharded bundle validation OK: trace digest "
+          f"{manifest['trace_digest']:#x}, coverage >= {min_coverage}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workload", default="kmeans",
@@ -93,7 +143,13 @@ def main(argv=None) -> int:
                              "<out-dir>/flame.folded); pass --no-flame to skip")
     parser.add_argument("--no-flame", action="store_true",
                         help="skip the folded flamegraph export")
+    parser.add_argument("--sharded", metavar="DIR", default=None,
+                        help="summarize + validate a flight-recorder bundle "
+                             "from a sharded run instead of tracing anything")
     args = parser.parse_args(argv)
+
+    if args.sharded is not None:
+        return _sharded_report(Path(args.sharded), args.min_coverage)
 
     out_dir = Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)

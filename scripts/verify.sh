@@ -64,5 +64,17 @@ PYTHONPATH=src python scripts/bench_shard.py --profile smoke \
     --out "$SHARD_OUT" --min-scaleout 1.2
 
 echo "== shard-bench regression gate (bench_compare) =="
+# smoke gates the merged-outcome digests; tracing gates the merged
+# trace_digest/n_spans exactly (the events_per_sec_ratio overhead field
+# is recorded in the JSON but never banded — it is machine-dependent)
 python scripts/bench_compare.py BENCH_shard.json "$SHARD_OUT" \
-    --sections smoke
+    --sections smoke,tracing
+
+echo "== sharded flight-recorder smoke (shard_report) =="
+# 4-shard process-mode traced run -> one merged flight bundle; the script
+# itself re-validates the bundle (per-shard tracks, records digest,
+# critpath coverage), then profile_report --sharded re-opens it the way a
+# CI-artifact consumer would.
+FLIGHT_OUT="${FLIGHT_OUT_DIR:-/tmp/dgsf-flight}"
+PYTHONPATH=src python scripts/shard_report.py --out-dir "$FLIGHT_OUT"
+PYTHONPATH=src python scripts/profile_report.py --sharded "$FLIGHT_OUT"

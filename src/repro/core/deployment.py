@@ -470,6 +470,7 @@ class DgsfDeployment:
         storage_profile: StorageProfile = S3_DEFAULT,
         env: Optional[Environment] = None,
         rngs: Optional[RngRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.config = config
         self.costs = costs
@@ -482,14 +483,20 @@ class DgsfDeployment:
         # Observability: one registry + SLO engine + (optional) tracer
         # shared by every layer.  All three only read ``env.now`` and
         # append to Python lists, so enabling them cannot perturb the
-        # event timeline.
+        # event timeline.  An injected ``tracer`` (a shard's namespaced
+        # tracer, typically) takes precedence over building one from the
+        # config — in a worker process only the shard tracer's spans make
+        # it home to the coordinator.
         self.metrics = MetricsRegistry(clock=lambda: self.env.now)
         self.slo = SloEngine().attach(self.metrics)
-        self.tracer: Optional[Tracer] = (
-            Tracer(self.env, max_spans=config.trace_max_spans)
-            if config.tracing_enabled
-            else None
-        )
+        if tracer is not None:
+            self.tracer: Optional[Tracer] = tracer
+        else:
+            self.tracer = (
+                Tracer(self.env, max_spans=config.trace_max_spans)
+                if config.tracing_enabled
+                else None
+            )
         profile = network_profile or NetworkProfile(latency_s=1.2e-3)
         self.network = Network(
             self.env, default_profile=profile, rng=self.rngs.stream("network")

@@ -63,21 +63,36 @@ DGSF_PLAN_START_S = 60.0
 # independent-pool queueing scenario (bench + determinism tests)
 # ---------------------------------------------------------------------------
 
-def _pool_invocation(env, gpu, service_s, index, stats):
+def _pool_invocation(env, gpu, service_s, index, stats, tracer=None, group=0):
     t0 = env.now
     request = gpu.request()
     yield request
+    t_acquired = env.now
     yield env.timeout(service_s)
     gpu.release(request)
-    stats["lat"][index] = env.now - t0
+    t_end = env.now
+    stats["lat"][index] = t_end - t0
     stats["completed"] += 1
+    if tracer is not None:
+        # one root span + queue/service children per invocation: enough
+        # structure for critpath attribution and the bench tracing section
+        root = tracer.begin(
+            "invocation", cat="invocation", pid=f"group{group}",
+            tid=f"inv-{index}", trace_id=tracer.new_trace_id(),
+            t_start=t0, invocation_id=index, group=group,
+        )
+        root.child_complete("gpu_queue", t0, t_acquired, cat="phase")
+        root.child_complete("service", t_acquired, t_end, cat="server")
+        root.end(t_end)
 
 
-def _pool_driver(env, gpu, arrival_times, service_times, stats):
+def _pool_driver(env, gpu, arrival_times, service_times, stats,
+                 tracer=None, group=0):
     arrivals = env.timeout_batch([t - env.now for t in arrival_times])
     for i, arrival in enumerate(arrivals):
         yield arrival
-        env.process(_pool_invocation(env, gpu, service_times[i], i, stats))
+        env.process(_pool_invocation(env, gpu, service_times[i], i, stats,
+                                     tracer=tracer, group=group))
 
 
 def _heartbeat_sender(ctx, group_id, period_s, count):
@@ -128,7 +143,8 @@ def pool_scenario(ctx, invocations_per_group=1000, num_gpus=4,
         ctx.state[g] = stats
         gpu = Resource(env, capacity=num_gpus)
         env.process(
-            _pool_driver(env, gpu, arrival_times, service.tolist(), stats),
+            _pool_driver(env, gpu, arrival_times, service.tolist(), stats,
+                         tracer=ctx.tracer, group=g),
             name=f"pool-{g}",
         )
         if heartbeat_period_s is not None and g != 0:
@@ -198,10 +214,28 @@ def _dgsf_group_driver(ctx, group_id, deployment, ready_events, plan):
     yield env.timeout(DGSF_PLAN_START_S - env.now)
     records = yield from deployment.platform.run_plan(plan)
     ctx.state[group_id]["records"] = records
+    if group_id != 0 and ctx.lookahead_s != float("inf"):
+        # completion report to group 0 (the manager's home), carrying the
+        # last invocation's trace context — a control-plane hop that
+        # stitches a cross-shard leg onto the invocation's trace tree.
+        # Gated on a finite lookahead: with no cross-group links declared
+        # there is no wire to send it over (and the timeline must stay
+        # identical to the historical link-free runs).
+        trace_ctx = None
+        if ctx.tracer is not None and records:
+            span = records[-1]._span
+            if span is not None:
+                trace_ctx = (span.trace_id, span.span_id)
+        ctx.port(group_id).send(
+            0, "report",
+            {"group": group_id, "n": len(records)},
+            trace_ctx=trace_ctx,
+        )
 
 
 def dgsf_scenario(ctx, copies=2, num_gpus=2, mean_gap_s=2.0,
-                  workload_names: Optional[list] = None):
+                  workload_names: Optional[list] = None,
+                  tracing_enabled: bool = False):
     """One full DGSF deployment per group, co-resident on the shard's env.
 
     Bring-up runs concurrently from t=0 (see
@@ -223,10 +257,18 @@ def dgsf_scenario(ctx, copies=2, num_gpus=2, mean_gap_s=2.0,
     for g in ctx.groups:
         group_rngs = ctx.group_rngs(g)
         deployment = DgsfDeployment(
-            DgsfConfig(num_gpus=num_gpus, seed=ctx.seed),
+            DgsfConfig(num_gpus=num_gpus, seed=ctx.seed,
+                       tracing_enabled=tracing_enabled),
             env=ctx.env,
             rngs=group_rngs.fork("deployment"),
+            # the shard tracer (when the run traces) so every deployment's
+            # spans ship home in the harvest; a deployment-private tracer
+            # would stay behind in the worker — note_tracer() makes that
+            # loss loud instead of silent
+            tracer=ctx.tracer,
         )
+        ctx.note_tracer(deployment.tracer)
+        ctx.register_slo(g, deployment.slo)
         ready_events = deployment.start_servers()
         sequence = interleave_workloads(
             names, copies, group_rngs.stream("interleave"))

@@ -17,7 +17,13 @@
 * :mod:`repro.obs.slo` — a streaming SLO engine over the registry's
   observation stream: multi-window burn-rate availability alerts, GPU
   imbalance and queue-starvation detectors, structured
-  :class:`~repro.obs.slo.AlertEvent` logs.
+  :class:`~repro.obs.slo.AlertEvent` logs — plus
+  :func:`~repro.obs.slo.evaluate_cluster_slo`, which replays a *merged*
+  registry's gauge series so cluster-scope conditions (cross-shard GPU
+  imbalance) are evaluated after a sharded run.
+* :mod:`repro.obs.flight` — flight-recorder bundles: one self-validating
+  artifact directory per sharded run (merged trace, metrics, alerts,
+  critpath, epoch telemetry, manifest).
 
 Everything here is pure bookkeeping: recording a span or bumping a
 counter reads ``env.now`` and appends to Python lists, but never creates
@@ -36,6 +42,12 @@ from repro.obs.critpath import (
     folded_stacks,
     invocation_critpaths,
 )
+from repro.obs.flight import (
+    load_bundle_records,
+    load_chrome_records,
+    validate_flight_bundle,
+    write_flight_bundle,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import (
     aggregate_breakdowns,
@@ -43,8 +55,8 @@ from repro.obs.report import (
     invocation_breakdowns,
     percentile,
 )
-from repro.obs.slo import AlertEvent, SloEngine, default_rules
-from repro.obs.trace import Span, SpanRecord, Tracer
+from repro.obs.slo import AlertEvent, SloEngine, default_rules, evaluate_cluster_slo
+from repro.obs.trace import Span, SpanRecord, Tracer, trace_digest
 
 __all__ = [
     "AlertEvent",
@@ -64,8 +76,14 @@ __all__ = [
     "critpath_report",
     "default_rules",
     "dump_folded",
+    "evaluate_cluster_slo",
     "folded_stacks",
     "invocation_breakdowns",
     "invocation_critpaths",
+    "load_bundle_records",
+    "load_chrome_records",
     "percentile",
+    "trace_digest",
+    "validate_flight_bundle",
+    "write_flight_bundle",
 ]

@@ -50,6 +50,7 @@ __all__ = [
     "QueueStarvationRule",
     "SloEngine",
     "default_rules",
+    "evaluate_cluster_slo",
 ]
 
 
@@ -388,3 +389,35 @@ class SloEngine:
     def alert_log(self) -> list[dict]:
         """Serializable transition log, for alerts.json artifacts."""
         return [event.as_dict() for event in self.alerts]
+
+
+def evaluate_cluster_slo(registry: MetricsRegistry,
+                         rules: Optional[list] = None) -> SloEngine:
+    """Evaluate SLO rules over a *merged* registry's gauge series.
+
+    Per-shard engines stream live inside their own worker and never see
+    the neighbours' metrics; some conditions only exist at cluster scope
+    (a GPU-utilization spread *across* shards, for one).  This replays
+    every timestamped gauge sample of ``registry`` — the merged registry
+    a sharded run assembles — through a fresh engine in global time
+    order, so windowed rules behave exactly as if they had streamed the
+    cluster live.  Counters and histograms carry no per-observation
+    timestamps across a snapshot merge, so only gauge-fed rules can be
+    re-evaluated here; rules whose metrics never appear simply stay
+    silent.  Returns the engine (inspect ``.alerts`` / ``.summary()``).
+    """
+    engine = SloEngine(rules if rules is not None else [GpuImbalanceRule()])
+    stream: list[tuple] = []
+    for (name, _), metric in sorted(registry._metrics.items()):
+        if name not in engine._routes or not hasattr(metric, "times"):
+            continue
+        for t, value in zip(metric.times, metric.values):
+            stream.append((t, name, metric, value))
+    stream.sort(key=lambda sample: (sample[0], sample[1]))
+    for t, _, metric, value in stream:
+        for rule in engine._routes[metric.name]:
+            rule.observe(metric, value, t)
+        engine.evaluate(t)
+    if stream:
+        engine.evaluate(stream[-1][0])
+    return engine

@@ -21,19 +21,43 @@ metadata), loadable in Perfetto or chrome://tracing.  Track names
 (``pid``/``tid``) are strings internally and mapped to integers with
 ``process_name``/``thread_name`` metadata events on export; timestamps
 are microseconds per the format spec.
+
+**Distributed collection** (sharded runs, :mod:`repro.sim.shard`): a
+tracer built with ``namespace=<shard_id>`` allocates span/trace ids from
+its *own* counters offset into a per-namespace id block, so ids are
+deterministic per shard (independent of what else traced in the
+process) and collision-free across shards.  :meth:`Tracer.snapshot`
+dumps the records as plain picklable tuples (mirroring
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot`) and
+:meth:`Tracer.merge_snapshot` folds shard snapshots into one merged
+tracer — optionally re-homing each shard's spans onto a prefixed
+Perfetto process track.  :func:`trace_digest` is the canonical
+content digest: records are stably sorted by timeline position and ids
+renumbered by that order, so the digest is invariant to absolute
+counter values — a 1-shard sharded run digests identically to a plain
+single-process run of the same world.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import zlib
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["Span", "SpanRecord", "Tracer"]
+__all__ = ["Span", "SpanRecord", "Tracer", "trace_digest"]
 
 _span_ids = itertools.count(1)
 _trace_ids = itertools.count(1)
+
+#: width of one namespace's id block: a namespaced tracer's ids live in
+#: ``[namespace * 2**40, (namespace + 1) * 2**40)`` — far beyond any
+#: realistic span count, so blocks never collide
+_NAMESPACE_STRIDE = 1 << 40
+
+#: snapshot wire-format version (bumped on layout changes)
+_SNAPSHOT_VERSION = 1
 
 
 @dataclass
@@ -68,7 +92,7 @@ class Span:
     def __init__(self, tracer, name, cat, pid, tid, trace_id, parent_id,
                  t_start, args):
         self.tracer = tracer
-        self.span_id = next(_span_ids)
+        self.span_id = tracer._next_span_id()
         self.parent_id = parent_id
         self.trace_id = trace_id
         self.name = name
@@ -130,13 +154,33 @@ class Span:
 
 
 class Tracer:
-    """Bounded collector of spans across the whole deployment."""
+    """Bounded collector of spans across the whole deployment.
 
-    def __init__(self, env, max_spans: int = 250_000):
+    ``namespace`` (optional) switches id allocation from the process-wide
+    counters to tracer-local counters offset by ``namespace * 2**40``:
+    shard workers use their shard id, so every shard's ids are
+    deterministic and globally unique in the merged trace.  ``env`` may
+    be ``None`` for a merge-target tracer that only aggregates snapshots
+    (its clock tracks the latest merged ``t_end``).
+    """
+
+    def __init__(self, env, max_spans: int = 250_000,
+                 namespace: Optional[int] = None):
         if max_spans <= 0:
             raise ValueError("max_spans must be positive")
+        if namespace is not None and namespace < 0:
+            raise ValueError("namespace must be non-negative")
         self.env = env
         self.max_spans = max_spans
+        self.namespace = namespace
+        self._merged_now = 0.0
+        if namespace is not None:
+            base = namespace * _NAMESPACE_STRIDE
+            self._span_counter = itertools.count(base + 1)
+            self._trace_counter = itertools.count(base + 1)
+        else:
+            self._span_counter = None
+            self._trace_counter = None
         self.records: list[SpanRecord] = []
         #: records discarded because the tracer was full — never silent:
         #: surfaced in summary() and the exported JSON
@@ -148,9 +192,18 @@ class Tracer:
 
     @property
     def now(self) -> float:
+        if self.env is None:
+            return self._merged_now
         return self.env.now
 
+    def _next_span_id(self) -> int:
+        if self._span_counter is not None:
+            return next(self._span_counter)
+        return next(_span_ids)
+
     def new_trace_id(self) -> int:
+        if self._trace_counter is not None:
+            return next(self._trace_counter)
         return next(_trace_ids)
 
     # -- recording --------------------------------------------------------------
@@ -182,7 +235,7 @@ class Tracer:
         server) pass the raw ``parent_id`` instead.
         """
         self._record(SpanRecord(
-            span_id=next(_span_ids),
+            span_id=self._next_span_id(),
             parent_id=parent.span_id if parent is not None else parent_id,
             trace_id=trace_id if trace_id is not None else
             (parent.trace_id if parent is not None else None),
@@ -197,7 +250,7 @@ class Tracer:
         """Record a point-in-time event (retry, crash, flush, ...)."""
         now = self.now
         self._record(SpanRecord(
-            span_id=next(_span_ids),
+            span_id=self._next_span_id(),
             parent_id=parent.span_id if parent is not None else parent_id,
             trace_id=trace_id if trace_id is not None else
             (parent.trace_id if parent is not None else None),
@@ -328,3 +381,107 @@ class Tracer:
     def dump_chrome(self, path) -> None:
         with open(path, "w") as fh:
             json.dump(self.to_chrome(), fh)
+
+    def digest(self) -> int:
+        """Canonical content digest (see :func:`trace_digest`), including
+        synthetic closes for still-open spans — exactly what a shard
+        snapshot ships, so plain-run and merged digests are comparable."""
+        return trace_digest(self.records + self._open_records())
+
+    # -- cross-process collection ------------------------------------------------
+    def snapshot(self) -> dict:
+        """A picklable dump of every record, for shipping a shard's spans
+        back to the coordinator (see :mod:`repro.sim.shard`).
+
+        Kept intentionally plain (nested tuples/lists of primitives) so it
+        survives ``multiprocessing`` pipes without custom reducers.  Spans
+        still open at snapshot time are included with a synthetic end at
+        ``now`` and an ``"open": true`` arg — a shard harvest never
+        silently omits in-flight work.
+        """
+        records = []
+        for r in self.records + self._open_records():
+            records.append((
+                r.span_id, r.parent_id, r.trace_id, r.name, r.cat,
+                r.t_start, r.t_end, r.pid, r.tid, r.ph, dict(r.args),
+            ))
+        return {
+            "version": _SNAPSHOT_VERSION,
+            "namespace": self.namespace,
+            "max_spans": self.max_spans,
+            "dropped": self.dropped,
+            "open_spans": self.open_spans,
+            "records": records,
+        }
+
+    def merge_snapshot(self, snapshot: dict,
+                       track_prefix: Optional[str] = None) -> int:
+        """Fold a :meth:`snapshot` into this tracer; returns records added.
+
+        ``track_prefix`` (e.g. ``"shard2/"``) re-homes the snapshot's
+        spans onto prefixed Perfetto process tracks, so a merged export
+        shows one process group per shard.  Records are appended in
+        snapshot order; merging shard snapshots in shard order keeps the
+        merged record sequence — and therefore :func:`trace_digest` —
+        deterministic.  Dropped counts accumulate; records past this
+        tracer's ``max_spans`` are counted dropped, never lost silently.
+        """
+        if not isinstance(snapshot, dict) or "records" not in snapshot:
+            raise ValueError(f"bad tracer snapshot: {type(snapshot).__name__}")
+        version = snapshot.get("version")
+        if version != _SNAPSHOT_VERSION:
+            raise ValueError(
+                f"tracer snapshot version {version!r} is not supported "
+                f"(expected {_SNAPSHOT_VERSION})"
+            )
+        added = 0
+        self.dropped += snapshot.get("dropped", 0)
+        for entry in snapshot["records"]:
+            (span_id, parent_id, trace_id, name, cat,
+             t_start, t_end, pid, tid, ph, args) = entry
+            if track_prefix:
+                pid = f"{track_prefix}{pid}"
+            record = SpanRecord(
+                span_id=span_id, parent_id=parent_id, trace_id=trace_id,
+                name=name, cat=cat, t_start=t_start, t_end=t_end,
+                pid=pid, tid=tid, ph=ph, args=dict(args),
+            )
+            self._record(record)
+            added += 1
+            if t_end > self._merged_now:
+                self._merged_now = t_end
+        return added
+
+
+def trace_digest(records) -> int:
+    """CRC32 content digest of a record list, invariant to absolute ids.
+
+    Records are stably sorted by timeline position (start, end, track,
+    category, name, phase, canonical args) and span/trace ids renumbered
+    by first appearance in that order, so two runs recording the *same
+    spans* digest identically even when their id counters differ — the
+    bar that makes a 1-shard sharded run comparable to a plain run.  A
+    parent id pointing outside the record set canonicalizes to ``-1``.
+    """
+    def sort_key(r: SpanRecord):
+        return (r.t_start, r.t_end, r.pid, r.tid, r.cat, r.name, r.ph,
+                json.dumps(r.args, sort_keys=True, default=str))
+
+    ordered = sorted(records, key=sort_key)
+    span_index = {r.span_id: i for i, r in enumerate(ordered)}
+    trace_index: dict[int, int] = {}
+    crc = 0
+    for i, r in enumerate(ordered):
+        if r.trace_id is None:
+            trace = None
+        else:
+            trace = trace_index.setdefault(r.trace_id, len(trace_index))
+        parent = (None if r.parent_id is None
+                  else span_index.get(r.parent_id, -1))
+        row = json.dumps(
+            [i, parent, trace, r.name, r.cat, r.t_start, r.t_end,
+             r.pid, r.tid, r.ph, r.args],
+            sort_keys=True, separators=(",", ":"), default=str,
+        )
+        crc = zlib.crc32(row.encode(), crc)
+    return crc

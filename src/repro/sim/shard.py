@@ -41,8 +41,10 @@ seed-stable and shard-count-invariant.
 
 from __future__ import annotations
 
+import json
 import struct
 import time
+import warnings
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
@@ -63,6 +65,11 @@ __all__ = [
 ]
 
 _INF = float("inf")
+
+#: per-epoch rows retained in ``ShardRunResult.sync["epoch_log"]``; beyond
+#: this the log stops storing rows and counts what it dropped (aggregates
+#: stay exact) — a million-epoch run must not ship a million-row log
+_EPOCH_LOG_CAP = 4096
 
 
 def assign_groups(total_groups: int, num_shards: int) -> list[tuple[int, ...]]:
@@ -118,6 +125,11 @@ class ShardSpec:
     collect: Optional[Callable] = None
     metrics_collect: Optional[Callable] = None
     record_pop_trace: bool = False
+    #: collect per-shard span traces + SLO alert logs and ship them home
+    #: in the harvest (see :class:`ShardContext.tracer`)
+    tracing: bool = False
+    #: per-shard tracer bound (only meaningful with ``tracing``)
+    trace_max_spans: int = 250_000
 
 
 class ShardContext:
@@ -134,10 +146,41 @@ class ShardContext:
         self.lookahead_s = spec.lookahead_s
         #: free-form slot for the scenario to stash per-group worlds/stats
         self.state: dict = {}
+        #: the shard's span tracer (``None`` unless the spec asked for
+        #: tracing).  Ids are namespaced by shard id, so the coordinator
+        #: can merge every shard's spans into one collision-free trace.
+        self.tracer = None
+        if spec.tracing:
+            from repro.obs import Tracer
+
+            self.tracer = Tracer(env, max_spans=spec.trace_max_spans,
+                                 namespace=spec.shard_id)
+        #: group id -> SLO engine, registered by the scenario via
+        #: :meth:`register_slo`; alert logs are harvested at finish
+        self.slo_engines: dict[int, Any] = {}
+        #: tracers the scenario built *outside* the shard runtime (see
+        #: :meth:`note_tracer`) — their spans cannot be merged, which is
+        #: surfaced as a diagnostic instead of silent loss
+        self._foreign_tracers: list = []
         self._root_rngs = RngRegistry(seed=spec.seed)
         self._ports: dict[int, GroupPort] = {
-            g: GroupPort(env, g, spec.lookahead_s) for g in spec.groups
+            g: GroupPort(env, g, spec.lookahead_s, tracer=self.tracer)
+            for g in spec.groups
         }
+
+    def register_slo(self, group_id: int, engine) -> None:
+        """Register a group's SLO engine for alert harvest at finish."""
+        self.slo_engines[int(group_id)] = engine
+
+    def note_tracer(self, tracer) -> None:
+        """Declare a tracer the scenario created on its own.
+
+        When it is not the shard tracer its spans stay behind in the
+        worker process; the harvest emits a diagnostic so a deployment
+        with ``tracing_enabled`` cannot lose its trace silently.
+        """
+        if tracer is not None and tracer is not self.tracer:
+            self._foreign_tracers.append(tracer)
 
     def group_rngs(self, group_id: int) -> RngRegistry:
         """The RNG substream registry of group ``group_id``.
@@ -182,13 +225,17 @@ class ShardSim:
         spec.scenario(self.ctx, *spec.scenario_args)
         self.run_wall_s = 0.0
         self.epochs_run = 0
+        #: wall time spent blocked at epoch barriers (worker: waiting for
+        #: the coordinator's next command; inline: 0 by construction)
+        self.barrier_stall_s = 0.0
 
     def run_epoch(self, t_end: Optional[float],
-                  deliveries: list[tuple]) -> tuple[float, list[tuple]]:
+                  deliveries: list[tuple]) -> tuple[float, list[tuple], dict]:
         """Inject ``deliveries``, advance to ``t_end`` (None = drain).
 
-        Returns ``(next_local_event_time, outbox)`` where the outbox holds
-        the encoded envelopes sent during this epoch.
+        Returns ``(next_local_event_time, outbox, epoch_stats)`` where the
+        outbox holds the encoded envelopes sent during this epoch and
+        ``epoch_stats`` reports events popped and wall time spent.
         """
         env = self.env
         ports = self.ctx._ports
@@ -203,17 +250,23 @@ class ShardSim:
                         f"group {envelope.dst} it does not own"
                     )
                 port.deliver(envelope)
+        events_before = env.events_processed
         t0 = time.perf_counter()
         if t_end is None:
             env.run()
         else:
             env.run(until=t_end)
-        self.run_wall_s += time.perf_counter() - t0
+        epoch_wall = time.perf_counter() - t0
+        self.run_wall_s += epoch_wall
         self.epochs_run += 1
         outbox: list[tuple] = []
         for g in self.spec.groups:  # group order: deterministic drain
             outbox.extend(ports[g].drain_outbox())
-        return env.peek(), outbox
+        stats = {
+            "events": env.events_processed - events_before,
+            "wall_s": epoch_wall,
+        }
+        return env.peek(), outbox, stats
 
     def finish(self, horizon: Optional[float] = None) -> dict:
         """Post-run harvest: outcome rows, counters, optional digests.
@@ -244,6 +297,7 @@ class ShardSim:
             "envelopes_received": sum(p.received for p in self.ctx._ports.values()),
             "epochs_run": self.epochs_run,
             "run_wall_s": self.run_wall_s,
+            "barrier_stall_wall_s": self.barrier_stall_s,
             "final_now": self.env.now,
             "rows": {},
         }
@@ -260,6 +314,35 @@ class ShardSim:
             trace = self.env._pop_trace
             out["pop_crc"] = pop_order_crc(trace)
             out["pop_n"] = len(trace)
+        if spec.tracing:
+            out["trace"] = self.ctx.tracer.snapshot()
+        if self.ctx.slo_engines:
+            alerts = []
+            for g in sorted(self.ctx.slo_engines):
+                for alert in self.ctx.slo_engines[g].alert_log():
+                    row = dict(alert) if isinstance(alert, dict) else alert.as_dict()
+                    row["group"] = g
+                    alerts.append(row)
+            alerts.sort(key=lambda a: (a.get("t", 0.0), a["group"],
+                                       a.get("rule", ""), a.get("state", "")))
+            if spec.tracing:
+                out["alerts"] = alerts
+            elif alerts:
+                # alerts fired but nobody asked for the distributed harvest
+                out.setdefault("diagnostics", []).append(
+                    f"shard {spec.shard_id}: {len(alerts)} SLO alert(s) from "
+                    f"{len(self.ctx.slo_engines)} engine(s) were discarded — "
+                    f"run_sharded(tracing=True) ships them to the coordinator"
+                )
+        if self.ctx._foreign_tracers:
+            n_spans = sum(len(t.records) for t in self.ctx._foreign_tracers)
+            out.setdefault("diagnostics", []).append(
+                f"shard {spec.shard_id}: {len(self.ctx._foreign_tracers)} "
+                f"tracer(s) with {n_spans} span(s) stayed behind in the "
+                f"worker (deployment has tracing_enabled but the tracer is "
+                f"not the shard tracer); pass ctx.tracer into the deployment "
+                f"or the trace is lost"
+            )
         return out
 
 
@@ -276,12 +359,14 @@ def _shard_worker(spec: ShardSpec, conn) -> None:
         conn.send(("error", f"{type(exc).__name__}: {exc}"))
         return
     while True:
+        t_stall = time.perf_counter()
         command = conn.recv()
+        sim.barrier_stall_s += time.perf_counter() - t_stall
         try:
             if command[0] == "epoch":
                 _, t_end, deliveries = command
-                next_time, outbox = sim.run_epoch(t_end, deliveries)
-                conn.send(("ok", next_time, outbox))
+                next_time, outbox, stats = sim.run_epoch(t_end, deliveries)
+                conn.send(("ok", next_time, outbox, stats))
             elif command[0] == "finish":
                 conn.send(("ok", sim.finish(command[1])))
             elif command[0] == "exit":
@@ -299,9 +384,11 @@ class _InlineShard:
     def __init__(self, spec: ShardSpec):
         self.sim = ShardSim(spec)
         self.next_time = self.sim.env.peek()
+        self.epoch_stats: dict = {}
 
     def run_epoch(self, t_end, deliveries):
-        self.next_time, outbox = self.sim.run_epoch(t_end, deliveries)
+        self.next_time, outbox, self.epoch_stats = \
+            self.sim.run_epoch(t_end, deliveries)
         return outbox
 
     def finish(self, horizon) -> dict:
@@ -323,6 +410,7 @@ class _ProcessShard:
         self.proc.start()
         child.close()
         self.next_time = self._expect("ready")
+        self.epoch_stats: dict = {}
 
     def _expect(self, tag: str):
         reply = self.conn.recv()
@@ -336,7 +424,7 @@ class _ProcessShard:
         self.conn.send(("epoch", t_end, deliveries))
 
     def end_epoch(self) -> list[tuple]:
-        self.next_time, outbox = self._expect("ok")
+        self.next_time, outbox, self.epoch_stats = self._expect("ok")
         return outbox
 
     def run_epoch(self, t_end, deliveries):
@@ -378,8 +466,20 @@ class ShardRunResult:
     n_envelopes: int = 0
     events_processed: int = 0
     wall_s: float = 0.0
-    #: merged MetricsRegistry when the spec collected metrics, else None
+    #: merged MetricsRegistry; always present, always carrying the
+    #: ``shard.*`` sync-layer instruments (plus whatever the spec's
+    #: ``metrics_collect`` shipped from the shards)
     metrics: Any = None
+    #: merged cross-shard Tracer when ``tracing=True``, else None
+    tracer: Any = None
+    #: canonical digest of the merged trace (0 when not tracing) — the
+    #: shards=1-equals-plain-run invariance digest for observability
+    trace_digest: int = 0
+    #: merged SLO alert transitions (group-tagged, time-ordered)
+    alerts: list = field(default_factory=list)
+    #: conservative-sync telemetry: epoch log, fast-forwards, envelope
+    #: bytes, barrier stalls, load imbalance, harvest diagnostics
+    sync: dict = field(default_factory=dict)
 
     @property
     def pop_crc(self) -> int:
@@ -414,6 +514,8 @@ def run_sharded(
     mode: str = "auto",
     until: Optional[float] = None,
     record_pop_trace: bool = False,
+    tracing: bool = False,
+    trace_max_spans: int = 250_000,
 ) -> ShardRunResult:
     """Run ``scenario`` partitioned into ``num_shards`` shards.
 
@@ -423,6 +525,13 @@ def run_sharded(
     (deterministic debugging, zero spawn cost), ``"process"`` runs one
     spawned worker per shard, ``"auto"`` picks inline for one shard and
     processes otherwise.
+
+    ``tracing=True`` attaches a namespaced tracer to every shard, ships
+    span snapshots and SLO alert logs home in the harvest, and merges
+    them into ``result.tracer`` (one Perfetto-loadable timeline with a
+    per-shard track prefix when ``num_shards > 1``) plus ``result.alerts``
+    and ``result.trace_digest``.  Tracing is pure bookkeeping: the event
+    timeline — pop order included — is identical with it on or off.
     """
     lookahead = _INF if lookahead_s is None else float(lookahead_s)
     if lookahead <= 0:
@@ -442,6 +551,7 @@ def run_sharded(
             scenario=scenario, scenario_args=tuple(scenario_args),
             collect=collect, metrics_collect=metrics_collect,
             record_pop_trace=record_pop_trace,
+            tracing=tracing, trace_max_spans=trace_max_spans,
         )
         for s, groups in enumerate(assignment)
     ]
@@ -459,19 +569,31 @@ def run_sharded(
         num_shards=num_shards, total_groups=total_groups,
         lookahead_s=lookahead, mode=resolved_mode,
     )
+    epoch_log: list[dict] = []
+    epoch_log_dropped = 0
+    fast_forwards = 0
+    envelope_bytes = 0
+    barrier_wall_s = 0.0  # coordinator wall time reaping epoch replies
     try:
         #: envelopes routed but not yet injected, per destination shard
         pending: list[list[tuple]] = [[] for _ in range(num_shards)]
         pending_min = _INF  # earliest deliver_time among pending envelopes
+        prev_t_end: Optional[float] = None
         while True:
             candidate = min(min(d.next_time for d in drivers), pending_min)
             if candidate == _INF:
                 break
             if until is not None and candidate > until:
                 break
+            if prev_t_end is not None and candidate > prev_t_end:
+                # idle stretch: the next event is past the previous window,
+                # so the epoch clock jumps there instead of stepping
+                # lookahead-by-lookahead through empty time
+                fast_forwards += 1
             t_end = None if lookahead == _INF else candidate + lookahead
             if until is not None:
                 t_end = until if t_end is None else min(t_end, until)
+            prev_t_end = t_end
             deliveries, pending = pending, [[] for _ in range(num_shards)]
             pending_min = _INF
             # Start every shard's epoch before reaping any (process mode
@@ -479,13 +601,17 @@ def run_sharded(
             if resolved_mode == "process":
                 for s, driver in enumerate(drivers):
                     driver.begin_epoch(t_end, deliveries[s])
+                t_reap = time.perf_counter()
                 outboxes = [driver.end_epoch() for driver in drivers]
+                barrier_wall_s += time.perf_counter() - t_reap
             else:
                 outboxes = [
                     driver.run_epoch(t_end, deliveries[s])
                     for s, driver in enumerate(drivers)
                 ]
             result.n_epochs += 1
+            epoch_events = [d.epoch_stats.get("events", 0) for d in drivers]
+            epoch_envelopes = 0
             for outbox in outboxes:
                 for wire in outbox:
                     dst = wire[2]
@@ -499,6 +625,19 @@ def run_sharded(
                     if deliver_time < pending_min:
                         pending_min = deliver_time
                     result.n_envelopes += 1
+                    epoch_envelopes += 1
+                    envelope_bytes += len(json.dumps(wire, separators=(",", ":")))
+            if len(epoch_log) < _EPOCH_LOG_CAP:
+                epoch_log.append({
+                    "epoch": result.n_epochs - 1,
+                    "candidate": candidate,
+                    "t_end": t_end,
+                    "events": epoch_events,
+                    "wall_s": [d.epoch_stats.get("wall_s", 0.0) for d in drivers],
+                    "envelopes": epoch_envelopes,
+                })
+            else:
+                epoch_log_dropped += 1
         if pending_min != _INF and (until is None or pending_min <= until):
             raise SimulationError(
                 f"run terminated with an undelivered envelope due at {pending_min}"
@@ -511,6 +650,7 @@ def run_sharded(
 
     merged: dict[int, Any] = {}
     snapshots = []
+    diagnostics: list[str] = []
     for harvest in harvests:
         result.shards.append(harvest)
         result.events_processed += harvest["events_processed"]
@@ -520,13 +660,79 @@ def run_sharded(
             merged[g] = row
         if "metrics" in harvest:
             snapshots.append(harvest["metrics"])
+        diagnostics.extend(harvest.get("diagnostics", ()))
     result.merged = dict(sorted(merged.items()))
     result.merged_digest = _merged_digest(result.merged)
-    if snapshots:
-        from repro.obs import MetricsRegistry
+    for message in diagnostics:
+        # worker-side warnings cannot cross the process boundary; re-emit
+        # harvested diagnostics here so silent observability loss is loud
+        warnings.warn(message, RuntimeWarning, stacklevel=2)
 
-        registry = MetricsRegistry()
-        for snapshot in snapshots:
-            registry.merge_snapshot(snapshot)
-        result.metrics = registry
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        registry.merge_snapshot(snapshot)
+
+    # Sync-layer telemetry.  Only deterministic quantities go into the
+    # registry (bench_compare gates exact fields); wall times live in
+    # ``result.sync`` where they are understood to be machine-dependent.
+    events_per_shard = [h["events_processed"] for h in harvests]
+    mean_events = sum(events_per_shard) / len(events_per_shard)
+    imbalance = (max(events_per_shard) / mean_events) if mean_events else 1.0
+    final_now = max(h["final_now"] for h in harvests)
+    registry.counter("shard.epochs").inc(result.n_epochs)
+    registry.counter("shard.fast_forwards").inc(fast_forwards)
+    registry.counter("shard.envelopes_sent").inc(
+        sum(h["envelopes_sent"] for h in harvests))
+    registry.counter("shard.envelopes_received").inc(
+        sum(h["envelopes_received"] for h in harvests))
+    registry.counter("shard.envelope_bytes").inc(envelope_bytes)
+    for harvest in harvests:
+        registry.counter(
+            "shard.events", shard=harvest["shard_id"]
+        ).inc(harvest["events_processed"])
+    registry.gauge("shard.load_imbalance").set(imbalance, t=final_now)
+    result.metrics = registry
+
+    result.sync = {
+        "n_epochs": result.n_epochs,
+        "fast_forwards": fast_forwards,
+        "n_envelopes": result.n_envelopes,
+        "envelope_bytes": envelope_bytes,
+        "envelopes_sent": sum(h["envelopes_sent"] for h in harvests),
+        "envelopes_received": sum(h["envelopes_received"] for h in harvests),
+        "barrier_wall_s": barrier_wall_s,
+        "load_imbalance": imbalance,
+        "epoch_log": epoch_log,
+        "epoch_log_dropped": epoch_log_dropped,
+        "per_shard": [
+            {
+                "shard_id": h["shard_id"],
+                "groups": h["groups"],
+                "events": h["events_processed"],
+                "epochs_run": h["epochs_run"],
+                "run_wall_s": h["run_wall_s"],
+                "barrier_stall_wall_s": h["barrier_stall_wall_s"],
+            }
+            for h in harvests
+        ],
+        "diagnostics": diagnostics,
+    }
+
+    if tracing:
+        from repro.obs import Tracer
+
+        merged_tracer = Tracer(
+            None, max_spans=trace_max_spans * num_shards + 1024)
+        merged_alerts: list[dict] = []
+        for harvest in harvests:  # shard-id order: deterministic merge
+            prefix = f"shard{harvest['shard_id']}/" if num_shards > 1 else None
+            merged_tracer.merge_snapshot(harvest["trace"], track_prefix=prefix)
+            merged_alerts.extend(harvest.get("alerts", ()))
+        merged_alerts.sort(key=lambda a: (a.get("t", 0.0), a.get("group", -1),
+                                          a.get("rule", ""), a.get("state", "")))
+        result.tracer = merged_tracer
+        result.trace_digest = merged_tracer.digest()
+        result.alerts = merged_alerts
     return result

@@ -26,6 +26,17 @@ monitor heartbeats — travels as an :class:`Envelope` over a
 Within a destination environment, envelope deliveries are injected in the
 canonical ``(deliver_time, src, seq)`` order, so same-timestamp deliveries
 tie-break identically no matter how groups were packed onto shards.
+
+**Trace-context propagation** (wire v2): an envelope optionally carries a
+``(trace_id, parent_span_id)`` pair so an invocation whose control flow
+crosses shards stitches into a *single* trace tree in the merged trace
+(:mod:`repro.obs.trace`).  A port with a tracer attached records an
+``envelope:send`` span covering the flight (send → deliver) on the
+source group's track and an ``envelope:recv`` instant on the
+destination group's track, both joined to the propagated trace.  The v1
+(no-trace-context) wire form is still decoded — a coordinator can drain
+payloads produced before the bump — and the canonical injection order
+ignores the added field entirely.
 """
 
 from __future__ import annotations
@@ -46,8 +57,12 @@ __all__ = [
 ]
 
 #: wire-format version, first element of every encoded envelope; bumped on
-#: any incompatible layout change so a stale worker fails loudly
-WIRE_VERSION = 1
+#: any incompatible layout change so a stale worker fails loudly.  v1 had
+#: no trace-context slot; v2 appends it.  Decoding accepts both.
+WIRE_VERSION = 2
+
+#: wire versions :func:`decode_envelope` accepts, mapped to tuple length
+_DECODABLE_VERSIONS = {1: 8, 2: 9}
 
 
 def normalize_payload(payload: Any) -> Any:
@@ -88,25 +103,50 @@ class Envelope:
     deliver_time: float #: sim time it becomes visible at the destination
     seq: int            #: per-source monotonic sequence number
     payload: Any        #: normalized JSON-shaped payload
+    #: optional ``(trace_id, parent_span_id)`` — stitches the receiver's
+    #: spans into the sender's trace tree across the shard boundary
+    trace_ctx: Optional[tuple] = None
 
     def sort_key(self) -> tuple:
-        """Canonical injection order: same for every shard layout."""
+        """Canonical injection order: same for every shard layout (and
+        deliberately blind to the trace context — observability must not
+        influence delivery order)."""
         return (self.deliver_time, self.src, self.seq)
 
 
 def encode_envelope(env: Envelope) -> tuple:
     """Envelope -> plain tuple (the wire form shipped between processes)."""
     return (WIRE_VERSION, env.src, env.dst, env.channel,
-            env.send_time, env.deliver_time, env.seq, env.payload)
+            env.send_time, env.deliver_time, env.seq, env.payload,
+            env.trace_ctx)
 
 
 def decode_envelope(wire: tuple) -> Envelope:
-    """Plain tuple -> Envelope; rejects unknown wire versions."""
-    if not isinstance(wire, tuple) or len(wire) != 8 or wire[0] != WIRE_VERSION:
+    """Plain tuple -> Envelope; accepts v1 (no trace context) and v2.
+
+    An unknown *future* version fails with an explicit version message —
+    a stale coordinator meeting a newer worker must not misparse — and a
+    malformed tuple fails with the generic wire-form error.
+    """
+    if not isinstance(wire, tuple) or not wire or not isinstance(wire[0], int):
         raise ConfigurationError(f"bad envelope wire form: {wire!r}")
-    _, src, dst, channel, send_time, deliver_time, seq, payload = wire
+    version = wire[0]
+    expected_len = _DECODABLE_VERSIONS.get(version)
+    if expected_len is None:
+        raise ConfigurationError(
+            f"unknown envelope wire version {version} (decodable: "
+            f"{sorted(_DECODABLE_VERSIONS)}); coordinator and workers "
+            f"disagree on the codec"
+        )
+    if len(wire) != expected_len:
+        raise ConfigurationError(f"bad envelope wire form: {wire!r}")
+    _, src, dst, channel, send_time, deliver_time, seq, payload = wire[:8]
+    trace_ctx = wire[8] if version >= 2 else None
+    if trace_ctx is not None:
+        trace_ctx = tuple(trace_ctx)
     return Envelope(src=src, dst=dst, channel=channel, send_time=send_time,
-                    deliver_time=deliver_time, seq=seq, payload=payload)
+                    deliver_time=deliver_time, seq=seq, payload=payload,
+                    trace_ctx=trace_ctx)
 
 
 class GroupPort:
@@ -118,11 +158,17 @@ class GroupPort:
     fills as envelopes are injected.
     """
 
-    def __init__(self, env: Environment, group_id: int, lookahead_s: float):
+    def __init__(self, env: Environment, group_id: int, lookahead_s: float,
+                 tracer=None):
         self.env = env
         self.group_id = group_id
         #: the minimum cross-group link delay — the conservative lookahead
         self.lookahead_s = lookahead_s
+        #: optional :class:`repro.obs.trace.Tracer` — when set, every send
+        #: records an ``envelope:send`` flight span and every delivery an
+        #: ``envelope:recv`` instant (pure bookkeeping: the timeline is
+        #: identical with or without it)
+        self.tracer = tracer
         self._seq = 0
         self._outbox: list[tuple] = []
         self._channels: dict[str, Store] = {}
@@ -132,12 +178,15 @@ class GroupPort:
 
     # -- sending -------------------------------------------------------------
     def send(self, dst: int, channel: str, payload: Any,
-             delay_s: Optional[float] = None) -> Envelope:
+             delay_s: Optional[float] = None,
+             trace_ctx: Optional[tuple] = None) -> Envelope:
         """Queue a message to group ``dst``; delivered ``delay_s`` later.
 
         ``delay_s`` defaults to the lookahead (the minimum link delay) and
         may not be smaller — a faster link would invalidate the epoch
-        barrier's conservativeness proof.
+        barrier's conservativeness proof.  ``trace_ctx`` is an optional
+        ``(trace_id, parent_span_id)`` pair carried on the wire so the
+        receiver's spans can join the sender's trace tree.
         """
         delay = self.lookahead_s if delay_s is None else delay_s
         if delay < self.lookahead_s:
@@ -147,15 +196,26 @@ class GroupPort:
             )
         if delay != delay or delay == float("inf"):
             raise ConfigurationError(f"cross-shard delay must be finite, got {delay}")
+        if trace_ctx is not None:
+            trace_ctx = (int(trace_ctx[0]), int(trace_ctx[1]))
         self._seq += 1
         now = self.env.now
         envelope = Envelope(
             src=self.group_id, dst=int(dst), channel=str(channel),
             send_time=now, deliver_time=now + delay, seq=self._seq,
             payload=normalize_payload(payload),
+            trace_ctx=trace_ctx,
         )
         self._outbox.append(encode_envelope(envelope))
         self.sent += 1
+        if self.tracer is not None:
+            self.tracer.complete(
+                "envelope:send", now, envelope.deliver_time, cat="net",
+                pid=f"group{self.group_id}", tid=f"ch:{envelope.channel}",
+                trace_id=trace_ctx[0] if trace_ctx else None,
+                parent_id=trace_ctx[1] if trace_ctx else None,
+                dst=envelope.dst, channel=envelope.channel, seq=envelope.seq,
+            )
         return envelope
 
     def drain_outbox(self) -> list[tuple]:
@@ -194,6 +254,16 @@ class GroupPort:
 
         def _arrive(_ev, store=store, envelope=envelope):
             self.received += 1
+            if self.tracer is not None:
+                ctx = envelope.trace_ctx
+                self.tracer.instant(
+                    "envelope:recv", cat="net",
+                    pid=f"group{self.group_id}", tid=f"ch:{envelope.channel}",
+                    trace_id=ctx[0] if ctx else None,
+                    parent_id=ctx[1] if ctx else None,
+                    src=envelope.src, channel=envelope.channel,
+                    seq=envelope.seq,
+                )
             store.put(envelope)
 
         timeout.callbacks.append(_arrive)

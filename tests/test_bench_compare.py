@@ -233,6 +233,12 @@ def shard_doc(**overrides):
              "n_envelopes": 210, "merged_crc": 444,
              "wall_s": 2.5, "events_per_sec": 100_000.0, "scaleout": 0.9},
         ],
+        "tracing": [
+            {"scenario": "pool", "shards": 2, "groups": 8,
+             "invocations": 20_000, "n_events": 100_016,
+             "merged_crc": 555, "trace_digest": 666, "n_spans": 60_000,
+             "n_envelopes": 0, "events_per_sec_ratio": 0.55},
+        ],
     }
     doc.update(overrides)
     return doc
@@ -273,3 +279,33 @@ def test_real_committed_baselines_self_compare(tmp_path):
                  "BENCH_kernel.json", "BENCH_shard.json"):
         path = root / name
         assert bench_compare.main([str(path), str(path)]) == 0
+
+
+# --- shard_bench tracing section ---------------------------------------------
+
+def test_tracing_digest_and_span_count_are_exact_gated(tmp_path, capsys):
+    fresh = shard_doc()
+    fresh["tracing"][0]["trace_digest"] += 1
+    assert run(tmp_path, shard_doc(), fresh, "--sections", "tracing") == 1
+    assert "trace_digest" in capsys.readouterr().err
+
+    fresh = shard_doc()
+    fresh["tracing"][0]["n_spans"] -= 10
+    assert run(tmp_path, shard_doc(), fresh, "--sections", "tracing") == 1
+    assert "n_spans" in capsys.readouterr().err
+
+
+def test_tracing_overhead_ratio_is_never_banded(tmp_path):
+    fresh = shard_doc()
+    # 10x slower tracing is a machine property, not a regression
+    fresh["tracing"][0]["events_per_sec_ratio"] = 0.05
+    assert run(tmp_path, shard_doc(), fresh, "--sections", "tracing") == 0
+
+
+def test_smoke_and_tracing_sections_compare_together(tmp_path, capsys):
+    """The verify.sh shape: fresh smoke+tracing rows against the committed
+    full baseline, scaleout left to the manual refresh."""
+    fresh = shard_doc(profile="smoke", scaleout=[])
+    assert run(tmp_path, shard_doc(), fresh,
+               "--sections", "smoke,tracing") == 0
+    assert "OK: 3 row(s)" in capsys.readouterr().out

@@ -134,3 +134,102 @@ def test_percentile_sorts_its_input():
 def test_percentile_interpolates_between_ranks():
     # pos = 0.75 * (2 - 1) = 0.75 between 10 and 20
     assert percentile([10.0, 20.0], 75) == pytest.approx(17.5)
+
+
+# --- cross-shard snapshot merge ----------------------------------------------
+
+def _registry_with_hist(values, name="lat"):
+    registry = MetricsRegistry()
+    hist = registry.histogram(name)
+    for v in values:
+        hist.observe(float(v))
+    return registry
+
+
+def test_merge_snapshot_adds_counters_and_resorts_gauges():
+    a = MetricsRegistry()
+    a.counter("reqs", shard=0).inc(3)
+    a.gauge("load").set(1.0, t=2.0)
+    b = MetricsRegistry()
+    b.counter("reqs", shard=0).inc(4)
+    b.gauge("load").set(0.5, t=1.0)
+
+    merged = MetricsRegistry()
+    merged.merge_snapshot(a.snapshot())
+    merged.merge_snapshot(b.snapshot())
+    assert merged.total("reqs") == 7
+    (gauge,) = merged.find("load")
+    assert gauge.times == [1.0, 2.0]        # re-sorted by sample time
+    assert gauge.values == [0.5, 1.0]
+
+
+def test_merge_snapshot_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        MetricsRegistry().merge_snapshot([("thermometer", "t", (), 1)])
+
+
+def test_histogram_merge_below_cap_is_exact():
+    from repro.obs.metrics import _HISTOGRAM_CAP
+
+    merged = MetricsRegistry()
+    merged.merge_snapshot(_registry_with_hist(range(100)).snapshot())
+    merged.merge_snapshot(_registry_with_hist(range(100, 300)).snapshot())
+    (hist,) = merged.find("lat")
+    assert hist.count == 300
+    assert hist.total == sum(range(300))
+    assert len(hist.observations) == 300 < _HISTOGRAM_CAP
+    assert not hist.truncated and hist.dropped == 0
+
+
+def test_histogram_merge_recaps_pooled_sample_at_the_bound():
+    """Two shards each just under the 65536 retention cap: the pooled
+    sample crosses it and must be strided down, while count/total stay
+    exact accumulators."""
+    from repro.obs.metrics import _HISTOGRAM_CAP
+
+    n = _HISTOGRAM_CAP - 1          # largest untruncated single-shard sample
+    merged = MetricsRegistry()
+    merged.merge_snapshot(_registry_with_hist(range(n)).snapshot())
+    merged.merge_snapshot(_registry_with_hist(range(n, 2 * n)).snapshot())
+    (hist,) = merged.find("lat")
+    assert hist.count == 2 * n                       # exact, not sampled
+    assert hist.total == sum(range(2 * n))           # exact, not sampled
+    assert len(hist.observations) < _HISTOGRAM_CAP   # re-capped
+    assert hist.truncated and hist._stride == 2
+    assert hist.dropped == 2 * n - len(hist.observations)
+    # the retained sample still spans the value range usefully
+    assert hist.percentile(50) == pytest.approx(n, rel=0.05)
+
+
+def test_histogram_merge_exactly_at_cap_still_strides():
+    # len(observations) == cap must trigger the re-cap (>= bound), never
+    # leave a full-to-the-brim sample that the next observe would mangle
+    from repro.obs.metrics import _HISTOGRAM_CAP
+
+    half = _HISTOGRAM_CAP // 2
+    merged = MetricsRegistry()
+    merged.merge_snapshot(_registry_with_hist(range(half)).snapshot())
+    merged.merge_snapshot(
+        _registry_with_hist(range(half, _HISTOGRAM_CAP)).snapshot())
+    (hist,) = merged.find("lat")
+    assert hist.count == _HISTOGRAM_CAP
+    assert len(hist.observations) == _HISTOGRAM_CAP // 2
+    assert hist._stride == 2
+
+
+def test_histogram_merge_of_already_truncated_shards():
+    from repro.obs.metrics import _HISTOGRAM_CAP
+
+    n = _HISTOGRAM_CAP + 10          # each shard already strided
+    a = _registry_with_hist(range(n))
+    b = _registry_with_hist(range(n, 2 * n))
+    (ha,) = a.find("lat")
+    assert ha.truncated
+    merged = MetricsRegistry()
+    merged.merge_snapshot(a.snapshot())
+    merged.merge_snapshot(b.snapshot())
+    (hist,) = merged.find("lat")
+    assert hist.count == 2 * n
+    assert hist.total == sum(range(2 * n))
+    assert len(hist.observations) < _HISTOGRAM_CAP
+    assert hist.percentile(95) == pytest.approx(1.9 * n, rel=0.05)

@@ -221,3 +221,59 @@ def test_chaos_run_fires_and_clears_availability_burn():
         assert resolved.t > firing.t
     # the structured log round-trips for the alerts.json artifact
     assert result.deployment.slo.alert_log()[0]["rule"]
+
+
+# --- cluster-level re-evaluation over a merged registry ----------------------
+
+def test_evaluate_cluster_slo_sees_cross_shard_imbalance():
+    from repro.obs.slo import evaluate_cluster_slo
+
+    # each shard hosts ONE device: no per-shard engine can see a spread
+    shard_a = MetricsRegistry()
+    shard_b = MetricsRegistry()
+    for i in range(4):
+        t = float(i)
+        shard_a.gauge("gpu.utilization", gpu_server="g0", device=0).set(0.9, t=t)
+        shard_b.gauge("gpu.utilization", gpu_server="g1", device=0).set(0.1, t=t)
+
+    merged = MetricsRegistry()
+    merged.merge_snapshot(shard_a.snapshot())
+    merged.merge_snapshot(shard_b.snapshot())
+
+    cluster = evaluate_cluster_slo(merged)
+    assert "gpu-imbalance" in cluster.active
+    details = cluster.active["gpu-imbalance"].details
+    assert details["spread"] == pytest.approx(0.8)
+    assert details["busiest"]["gpu"] == "g0/gpu0"
+    assert details["idlest"]["gpu"] == "g1/gpu0"
+    # the replay produced a real transition log, in time order
+    log = cluster.alert_log()
+    assert log and log[0]["rule"] == "gpu-imbalance"
+    assert [e["t"] for e in log] == sorted(e["t"] for e in log)
+
+
+def test_evaluate_cluster_slo_balanced_cluster_stays_quiet():
+    from repro.obs.slo import evaluate_cluster_slo
+
+    merged = MetricsRegistry()
+    for shard, util in ((0, 0.5), (1, 0.52)):
+        reg = MetricsRegistry()
+        for i in range(4):
+            reg.gauge("gpu.utilization", gpu_server=f"g{shard}",
+                      device=0).set(util, t=float(i))
+        merged.merge_snapshot(reg.snapshot())
+    cluster = evaluate_cluster_slo(merged)
+    assert cluster.active == {}
+    assert cluster.alert_log() == []
+
+
+def test_evaluate_cluster_slo_empty_registry_and_custom_rules():
+    from repro.obs.slo import evaluate_cluster_slo
+
+    empty = evaluate_cluster_slo(MetricsRegistry())
+    assert empty.alert_log() == [] and empty.active == {}
+    # custom rule list replaces the default
+    custom = evaluate_cluster_slo(
+        MetricsRegistry(), rules=[GpuImbalanceRule(min_spread=0.1)])
+    assert [r.name for r in custom.rules] == ["gpu-imbalance"]
+    assert custom.rules[0].min_spread == 0.1

@@ -185,3 +185,109 @@ def test_open_span_started_in_future_never_ends_before_start():
     (rec,) = [e for e in tracer.to_chrome()["traceEvents"] if e["ph"] == "X"]
     # synthetic end clamps to t_start: duration is never negative
     assert rec["dur"] == 0.0
+
+
+# --- snapshot / merge / digest (the sharded-trace substrate) -----------------
+
+def _record_workload(tracer, n=3):
+    for i in range(n):
+        root = tracer.begin("invocation", cat="invocation", pid="group0",
+                            tid=f"inv-{i}", trace_id=tracer.new_trace_id(),
+                            index=i)
+        root.child_complete("phase", float(i), i + 0.5, cat="phase")
+        root.end(t_end=i + 1.0)
+
+
+def test_namespaced_counters_are_disjoint_blocks():
+    a = Tracer(Environment(), namespace=0)
+    b = Tracer(Environment(), namespace=3)
+    _record_workload(a, n=2)
+    _record_workload(b, n=2)
+    a_ids = {r.span_id for r in a.records} | {r.trace_id for r in a.records}
+    b_ids = {r.span_id for r in b.records} | {r.trace_id for r in b.records}
+    assert a_ids.isdisjoint(b_ids)
+    assert all(i >= 3 * (1 << 40) for i in b_ids)
+    # ids are deterministic: a rebuilt tracer allocates identically
+    b2 = Tracer(Environment(), namespace=3)
+    _record_workload(b2, n=2)
+    assert [r.span_id for r in b2.records] == [r.span_id for r in b.records]
+
+
+def test_digest_is_invariant_to_id_namespace():
+    a = Tracer(Environment(), namespace=0)
+    b = Tracer(Environment(), namespace=7)
+    _record_workload(a)
+    _record_workload(b)
+    assert [r.span_id for r in a.records] != [r.span_id for r in b.records]
+    assert a.digest() == b.digest() != 0
+
+
+def test_digest_canonicalizes_unknown_parents():
+    from repro.obs import trace_digest
+
+    a = Tracer(Environment())
+    a.complete("leaf", 0.0, 1.0, parent_id=10**9)      # dangling parent
+    b = Tracer(Environment())
+    b.complete("leaf", 0.0, 1.0, parent_id=10**9 + 5)  # different dangler
+    assert trace_digest(a.records) == trace_digest(b.records)
+    c = Tracer(Environment())
+    c.complete("leaf", 0.5, 1.0, parent_id=10**9)      # different content
+    assert trace_digest(c.records) != trace_digest(a.records)
+
+
+def test_snapshot_round_trips_through_merge_target():
+    source = Tracer(Environment(), namespace=2)
+    _record_workload(source)
+    still_open = source.begin("inflight", cat="rpc")
+    source.env.run(until=10.0)
+
+    target = Tracer(None, max_spans=100)
+    added = target.merge_snapshot(source.snapshot())
+    assert added == len(source.records) + 1   # open span shipped too
+    assert target.now == 10.0                 # merged clock follows t_end
+    assert target.digest() == source.digest()
+    (inflight,) = [r for r in target.records if r.name == "inflight"]
+    assert inflight.args.get("open") is True
+    still_open.end()
+
+
+def test_merge_track_prefix_rehomes_processes():
+    source = Tracer(Environment(), namespace=1)
+    _record_workload(source, n=1)
+    target = Tracer(None)
+    target.merge_snapshot(source.snapshot(), track_prefix="shard1/")
+    assert {r.pid for r in target.records} == {"shard1/group0"}
+    # prefixing changes the canonical content, by design
+    assert target.digest() != source.digest()
+
+
+def test_merge_in_shard_order_is_deterministic():
+    def build(namespace):
+        t = Tracer(Environment(), namespace=namespace)
+        _record_workload(t, n=2)
+        return t.snapshot()
+
+    merged_a = Tracer(None)
+    merged_b = Tracer(None)
+    for ns in (0, 1):
+        merged_a.merge_snapshot(build(ns), track_prefix=f"shard{ns}/")
+        merged_b.merge_snapshot(build(ns), track_prefix=f"shard{ns}/")
+    assert merged_a.digest() == merged_b.digest()
+
+
+def test_merge_rejects_foreign_snapshot_versions():
+    target = Tracer(None)
+    with pytest.raises(ValueError):
+        target.merge_snapshot({"version": 999, "records": []})
+    with pytest.raises(ValueError):
+        target.merge_snapshot(["not", "a", "snapshot"])
+
+
+def test_merge_accumulates_drops_instead_of_losing_spans():
+    source = Tracer(Environment(), max_spans=2)
+    _record_workload(source, n=3)   # 6 records against a cap of 2
+    assert source.dropped > 0
+    target = Tracer(None, max_spans=1)
+    target.merge_snapshot(source.snapshot())
+    assert len(target.records) == 1
+    assert target.dropped == source.dropped + 1

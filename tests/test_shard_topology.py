@@ -10,6 +10,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.faas.topology import (
+    DEFAULT_LOOKAHEAD_S,
     DGSF_PLAN_START_S,
     dgsf_collect,
     dgsf_scenario,
@@ -22,11 +23,12 @@ DGSF_ARGS = (2, 2, 2.0)        # copies, num_gpus, mean_gap_s
 HORIZON_S = 4000.0
 
 
-def run_dgsf(num_shards, seed=0, until=HORIZON_S):
+def run_dgsf(num_shards, seed=0, until=HORIZON_S, lookahead=None, **kw):
+    scenario_args = kw.pop("scenario_args", DGSF_ARGS)
     return run_sharded(
         dgsf_scenario, num_shards=num_shards, total_groups=2, seed=seed,
-        scenario_args=DGSF_ARGS, collect=dgsf_collect,
-        until=until, mode="inline",
+        scenario_args=scenario_args, collect=dgsf_collect,
+        until=until, lookahead_s=lookahead, mode="inline", **kw,
     )
 
 
@@ -64,6 +66,39 @@ def test_pool_collect_raises_on_incomplete_invocations():
             scenario_args=(500, 2, 0.05, 0.18, None, 0),
             collect=pool_collect, until=1.0, mode="inline",
         )
+
+
+def test_traced_dgsf_stitches_cross_shard_report():
+    """The acceptance bar: a control-plane envelope carrying trace context
+    joins spans from both shards into one trace tree in the merged trace."""
+    r = run_dgsf(2, scenario_args=(2, 2, 2.0, None, True),
+                 lookahead=DEFAULT_LOOKAHEAD_S, tracing=True)
+    assert r.tracer is not None and r.trace_digest != 0
+    assert r.n_envelopes >= 1
+    assert isinstance(r.alerts, list)
+    reports = [rec for rec in r.tracer.records
+               if rec.name == "envelope:send"
+               and rec.args.get("channel") == "report"]
+    assert len(reports) == 1
+    stitch_trace = reports[0].trace_id
+    trace_spans = [rec for rec in r.tracer.records
+                   if rec.trace_id == stitch_trace]
+    tracks = {rec.pid.split("/", 1)[0] for rec in trace_spans}
+    assert {"shard0", "shard1"} <= tracks  # the tree really crosses shards
+    cats = {rec.cat for rec in trace_spans}
+    assert "invocation" in cats           # rooted at a real invocation
+    names = {rec.name for rec in trace_spans}
+    assert "envelope:recv" in names       # delivered on the far shard
+
+
+def test_tracing_leaves_dgsf_outcome_unchanged():
+    plain = run_dgsf(2, lookahead=DEFAULT_LOOKAHEAD_S)
+    traced = run_dgsf(2, scenario_args=(2, 2, 2.0, None, True),
+                      lookahead=DEFAULT_LOOKAHEAD_S, tracing=True)
+    assert traced.merged == plain.merged
+    assert traced.merged_digest == plain.merged_digest
+    assert traced.n_epochs == plain.n_epochs
+    assert traced.n_envelopes == plain.n_envelopes
 
 
 def test_pool_latencies_are_aggregated_in_invocation_order():

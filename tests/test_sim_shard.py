@@ -74,6 +74,47 @@ def test_envelope_rejects_unknown_wire_version():
         decode_envelope(wire)
 
 
+def test_envelope_v1_wire_still_decodes():
+    # an 8-field v1 tuple (no trace-context slot) from a pre-bump worker
+    v1 = (1, 3, 0, "hb", 1.5, 1.502, 7, {"k": [1, 2]})
+    env = decode_envelope(v1)
+    assert env.src == 3 and env.seq == 7
+    assert env.payload == {"k": [1, 2]}
+    assert env.trace_ctx is None
+
+
+def test_envelope_trace_ctx_rides_the_v2_wire():
+    env = Envelope(src=1, dst=0, channel="report", send_time=1.5,
+                   deliver_time=1.502, seq=3, payload=None,
+                   trace_ctx=(42, 9000))
+    wire = encode_envelope(env)
+    assert wire[0] == WIRE_VERSION == 2
+    assert len(wire) == 9
+    decoded = decode_envelope(wire)
+    assert decoded.trace_ctx == (42, 9000)
+    assert decoded == env
+    # a pickled-then-json'd wire turns the tuple into a list; decode
+    # must canonicalize it back so frozen-dataclass equality holds
+    as_list = wire[:8] + ([42, 9000],)
+    assert decode_envelope(as_list).trace_ctx == (42, 9000)
+
+
+def test_envelope_wire_field_count_must_match_version():
+    with pytest.raises(ConfigurationError):
+        decode_envelope((1, 1, 0, "hb", 0.0, 0.1, 1, None, None))  # v1 w/ 9
+    with pytest.raises(ConfigurationError):
+        decode_envelope((2, 1, 0, "hb", 0.0, 0.1, 1, None))        # v2 w/ 8
+
+
+def test_envelope_sort_key_ignores_trace_ctx():
+    bare = Envelope(src=1, dst=0, channel="c", send_time=0.0,
+                    deliver_time=1.0, seq=4, payload=None)
+    traced = Envelope(src=1, dst=0, channel="c", send_time=0.0,
+                      deliver_time=1.0, seq=4, payload=None,
+                      trace_ctx=(99, 1))
+    assert bare.sort_key() == traced.sort_key()
+
+
 def test_normalize_payload_canonicalizes_tuples_and_rejects_objects():
     assert normalize_payload((1, (2, 3))) == [1, [2, 3]]
     assert normalize_payload({"a": (1,)}) == {"a": [1]}
@@ -260,6 +301,9 @@ def test_empty_epochs_fast_forward_instead_of_stepping():
     # global candidate as the window base skips the dead time entirely.
     assert r.n_epochs <= 4
     assert r.merged[0]["done_at"] == pytest.approx(3000.0)
+    # and the skips show up in the sync telemetry
+    assert r.sync["fast_forwards"] >= 1
+    assert r.metrics.total("shard.fast_forwards") == r.sync["fast_forwards"]
 
 
 def zero_arrival_scenario(ctx, active_groups):
@@ -366,3 +410,144 @@ def test_metrics_merge_across_shards():
     assert r.metrics.total("shard.invocations_completed") == 4 * POOL_ARGS[0]
     (hist,) = r.metrics.find("shard.invocation_latency_s")
     assert hist.count == 4 * POOL_ARGS[0]
+
+
+# --- sync-layer telemetry ----------------------------------------------------
+
+def test_sync_telemetry_accounts_for_epochs_and_envelopes():
+    r = sharded(2, args=SYNC_ARGS, lookahead=LOOKAHEAD)
+    sync = r.sync
+    assert sync["n_epochs"] == r.n_epochs > 0
+    assert sync["n_envelopes"] == r.n_envelopes == 18
+    assert sync["envelopes_sent"] == sync["envelopes_received"] == 18
+    assert sync["envelope_bytes"] > 0
+    assert sync["load_imbalance"] >= 1.0
+    assert sync["fast_forwards"] >= 0
+    assert sync["diagnostics"] == []
+    # per-shard rows account for every event the run processed
+    assert [row["shard_id"] for row in sync["per_shard"]] == [0, 1]
+    assert sum(row["events"] for row in sync["per_shard"]) == r.events_processed
+    for row in sync["per_shard"]:
+        assert row["epochs_run"] == r.n_epochs
+        assert row["barrier_stall_wall_s"] >= 0.0
+    # the epoch log keeps one row per epoch (under the cap), each carrying
+    # per-shard event/wall vectors
+    assert len(sync["epoch_log"]) == min(r.n_epochs, 4096)
+    assert sync["epoch_log_dropped"] == max(0, r.n_epochs - 4096)
+    first = sync["epoch_log"][0]
+    assert len(first["events"]) == 2 and len(first["wall_s"]) == 2
+    assert first["t_end"] > first["candidate"]
+    # and the deterministic slice lands in the metrics registry
+    assert r.metrics.total("shard.epochs") == r.n_epochs
+    assert r.metrics.total("shard.envelopes_sent") == 18
+    assert r.metrics.total("shard.envelopes_received") == 18
+    assert r.metrics.total("shard.events") == r.events_processed
+    assert r.metrics.total("shard.events", shard=0) > 0
+    (gauge,) = r.metrics.find("shard.load_imbalance")
+    assert gauge.values[-1] == pytest.approx(sync["load_imbalance"])
+
+
+def test_sync_telemetry_is_deterministic_where_promised():
+    a = sharded(2, args=SYNC_ARGS, lookahead=LOOKAHEAD)
+    b = sharded(2, args=SYNC_ARGS, lookahead=LOOKAHEAD, mode="process")
+    for key in ("n_epochs", "fast_forwards", "n_envelopes", "envelope_bytes",
+                "envelopes_sent", "envelopes_received", "load_imbalance"):
+        assert a.sync[key] == b.sync[key], key
+    assert [row["events"] for row in a.sync["epoch_log"]] == \
+        [row["events"] for row in b.sync["epoch_log"]]
+
+
+# --- distributed tracing -----------------------------------------------------
+
+def test_tracing_is_pure_bookkeeping_bit_identity():
+    """Acceptance bar: shards=1 with tracing pops the exact sequence of a
+    plain untraced env.run() and reaches the same merged outcome."""
+    plain_crc, plain_n = _plain_run_crc(lookahead=LOOKAHEAD)
+    untraced = sharded(1, lookahead=LOOKAHEAD, record_pop_trace=True)
+    traced = sharded(1, lookahead=LOOKAHEAD, record_pop_trace=True,
+                     tracing=True)
+    assert traced.pop_crc == untraced.pop_crc == plain_crc
+    assert traced.shards[0]["pop_n"] == plain_n
+    assert traced.merged_digest == untraced.merged_digest
+    assert untraced.tracer is None and untraced.trace_digest == 0
+    assert traced.tracer is not None and traced.trace_digest != 0
+    assert len(traced.tracer.records) > 0
+
+
+def test_single_shard_trace_digest_matches_unsharded_tracer():
+    spec = ShardSpec(
+        shard_id=0, num_shards=1, groups=(0, 1, 2, 3), total_groups=4,
+        seed=7, lookahead_s=LOOKAHEAD, scenario=pool_scenario,
+        scenario_args=POOL_ARGS, collect=pool_collect, tracing=True,
+    )
+    sim = ShardSim(spec)
+    sim.env.run()
+    r = sharded(1, lookahead=LOOKAHEAD, tracing=True)
+    # the merge renumbers span ids, but the canonical digest is invariant
+    assert r.trace_digest == sim.ctx.tracer.digest()
+
+
+def test_trace_merge_is_mode_invariant_and_tracks_are_per_shard():
+    inline = sharded(2, args=SYNC_ARGS, lookahead=LOOKAHEAD, tracing=True)
+    procs = sharded(2, args=SYNC_ARGS, lookahead=LOOKAHEAD, tracing=True,
+                    mode="process")
+    assert inline.trace_digest == procs.trace_digest != 0
+    assert len(inline.tracer.records) == len(procs.tracer.records)
+    assert inline.merged_digest == procs.merged_digest
+    # every shard owns a distinct track prefix in the merged timeline
+    prefixes = {rec.pid.split("/", 1)[0] for rec in procs.tracer.records}
+    assert {"shard0", "shard1"} <= prefixes
+    # cross-shard heartbeats left flight spans + delivery instants
+    names = {rec.name for rec in procs.tracer.records}
+    assert "envelope:send" in names and "envelope:recv" in names
+
+
+def test_tracing_does_not_change_merged_outcome_across_counts():
+    untraced = sharded(2, args=SYNC_ARGS, lookahead=LOOKAHEAD).merged_digest
+    for s in (1, 2, 4):
+        traced = sharded(s, args=SYNC_ARGS, lookahead=LOOKAHEAD, tracing=True)
+        assert traced.merged_digest == untraced, s
+
+
+def foreign_tracer_scenario(ctx):
+    """A scenario that builds its own tracer instead of using ctx.tracer —
+    the spans can never leave the worker, which must be loud."""
+    from repro.obs import Tracer
+
+    tracer = Tracer(ctx.env, max_spans=64)
+    ctx.note_tracer(tracer)
+
+    def worker():
+        span = tracer.begin("orphan", cat="invocation",
+                            trace_id=tracer.new_trace_id())
+        yield ctx.env.timeout(1.0)
+        span.end()
+
+    ctx.env.process(worker())
+
+
+def foreign_collect(ctx):
+    return {g: {} for g in ctx.groups}
+
+
+def test_foreign_tracer_loss_is_loud_not_silent():
+    with pytest.warns(RuntimeWarning, match="stayed behind"):
+        r = run_sharded(
+            foreign_tracer_scenario, num_shards=2, total_groups=2,
+            seed=0, lookahead_s=1.0, collect=foreign_collect, mode="inline",
+        )
+    assert any("stayed behind" in d for d in r.sync["diagnostics"])
+    # the same run with tracing=True has nothing to warn about: the
+    # scenario is handed the shard tracer and notes it as non-foreign
+    import warnings as _warnings
+
+    def shared_tracer_scenario(ctx):
+        ctx.note_tracer(ctx.tracer)
+
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error")
+        clean = run_sharded(
+            shared_tracer_scenario, num_shards=1, total_groups=1,
+            seed=0, collect=foreign_collect, mode="inline", tracing=True,
+        )
+    assert clean.sync["diagnostics"] == []
