@@ -63,6 +63,9 @@ SECTIONS = {
         ("smoke", ("scenario", "shards")),
         ("tracing", ("scenario", "shards")),
     ],
+    "llm_bench": [
+        ("rows", ("scenario", "mode")),
+    ],
 }
 
 #: top-level keys that must match for two runs to be comparable
@@ -74,7 +77,9 @@ COMPAT_KEYS = ("experiment", "seed", "copies", "events")
 #: and its trace_digest/n_spans pin the merged span timeline the same way
 EXACT_FIELDS = {"n", "n_events", "order_n", "order_crc",
                 "merged_crc", "pop_crc", "n_epochs", "n_envelopes",
-                "invocations", "groups", "trace_digest", "n_spans"}
+                "invocations", "groups", "trace_digest", "n_spans",
+                "n_requests", "n_tokens", "n_iterations", "n_preemptions",
+                "n_kv_denials", "n_recomputes", "n_migrations"}
 
 #: per-row fields never compared: machine-dependent throughput/wall numbers
 #: (the kernel bench keeps its speedup honest via its own --min-speedup

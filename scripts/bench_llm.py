@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""LLM serving benchmark: continuous vs request-level batching.
+
+Runs the chat-traffic scenario families (steady, long-context outliers,
+cache-eviction storm, cache-pressure migration) under both batching
+modes and writes the per-(scenario, mode) table to ``BENCH_llm.json`` at
+the repo root.  Token/iteration/preemption counts and the migration
+count are deterministic and gated exactly by ``bench_compare.py``;
+latency percentiles are banded; nothing throughput-shaped is recorded.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_llm.py [--out PATH] [--copies N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments import llm_ablation, render_table  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_llm.json",
+        help="output JSON path (default: BENCH_llm.json at the repo root)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--copies", type=int, default=2,
+                        help="concurrent invocations per scenario burst")
+    args = parser.parse_args(argv)
+
+    t0 = time.perf_counter()
+    rows = llm_ablation.run(seed=args.seed, copies=args.copies)
+    wall_s = time.perf_counter() - t0
+
+    print(
+        render_table(
+            "LLM serving — continuous vs request-level batching",
+            rows,
+            columns=[
+                "scenario", "mode", "n_requests", "n_tokens", "n_iterations",
+                "n_preemptions", "n_kv_denials", "n_migrations",
+                "p50_token_ms", "p99_token_ms", "p99_ttft_s",
+                "committed_peak_frac",
+            ],
+        )
+    )
+
+    # the ablation's headline claim, asserted at bench time so a committed
+    # baseline can never encode a world where it stopped holding
+    by_key = {(r["scenario"], r["mode"]): r for r in rows}
+    steady_cont = by_key[("steady", "continuous")]["p99_token_ms"]
+    steady_req = by_key[("steady", "request")]["p99_token_ms"]
+    if steady_cont >= steady_req:
+        print(
+            f"FAIL: continuous p99 token latency ({steady_cont} ms) does not "
+            f"beat request-level ({steady_req} ms) on the steady chat scenario",
+            file=sys.stderr,
+        )
+        return 1
+
+    result = {
+        "experiment": "llm_bench",
+        "seed": args.seed,
+        "copies": args.copies,
+        "python": platform.python_version(),
+        "wall_seconds": round(wall_s, 2),
+        "modes": list(llm_ablation.MODES),
+        "rows": rows,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

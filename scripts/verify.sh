@@ -70,6 +70,18 @@ echo "== shard-bench regression gate (bench_compare) =="
 python scripts/bench_compare.py BENCH_shard.json "$SHARD_OUT" \
     --sections smoke,tracing
 
+echo "== LLM serving smoke (bench_llm) =="
+# copies must match the committed BENCH_llm.json baseline (copies=2) or
+# bench_compare refuses the comparison.  bench_llm also self-asserts the
+# headline claim (continuous beats request-level on steady-chat p99).
+LLM_OUT="${LLM_BENCH_OUT:-/tmp/dgsf-bench-llm.json}"
+PYTHONPATH=src python scripts/bench_llm.py --copies 2 --out "$LLM_OUT"
+
+echo "== llm-bench regression gate (bench_compare) =="
+# token/iteration/preemption/migration counts gate exactly; latency
+# percentiles band; nothing throughput-shaped is compared
+python scripts/bench_compare.py BENCH_llm.json "$LLM_OUT"
+
 echo "== sharded flight-recorder smoke (shard_report) =="
 # 4-shard process-mode traced run -> one merged flight bundle; the script
 # itself re-validates the bundle (per-shard tracks, records digest,

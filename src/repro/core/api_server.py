@@ -30,6 +30,7 @@ from typing import Generator, Optional
 
 import numpy as np
 
+from repro.core.decode import DecodeEngine
 from repro.errors import ReproError, SimulationError
 from repro.sim.core import Environment
 from repro.sim.resources import Resource
@@ -93,6 +94,8 @@ class FunctionSession:
     borrowed_cudnn: list[CudnnHandle] = field(default_factory=list)
     borrowed_cublas: list[CublasHandle] = field(default_factory=list)
     api_calls: int = 0
+    #: server-side LLM decode engine, created by ``llmConfigure``
+    llm: Optional[DecodeEngine] = None
 
 
 class ApiServer:
@@ -462,6 +465,23 @@ class ApiServer:
         yield from driver.cuMemRelease(alloc)
         session.used_bytes -= session.allocations.pop(va)
 
+    def _llm_alloc(self, size: int) -> Generator:
+        """Allocate a KV-cache page — same driver path as ``cudaMalloc``
+        but exempt from the function's *declared* limit: cache growth is
+        runtime-managed, admission-controlled through the monitor's
+        charge ledger (``charge_extra``) instead of the static
+        declaration."""
+        session = self._session()
+        driver = self.gpu_server.driver
+        ctx = self.memory_context
+        alloc = yield from driver.cuMemCreate(self.memory_device_id, size)
+        va = driver.cuMemAddressReserve(ctx, size)
+        driver.cuMemMap(ctx, va, alloc)
+        session.allocations[va] = size
+        session.used_bytes += size
+        session.peak_bytes = max(session.peak_bytes, session.used_bytes)
+        return va
+
     # --- copies ---
     def _rpc_memcpyH2D(self, dst: int, size: int, payload=None, sync: bool = True,
                        stream: int = 0) -> Generator:
@@ -717,6 +737,43 @@ class ApiServer:
         if sync:
             yield done
         return None
+
+    # --- LLM decode engine (iteration-level batching + KV paging) ---
+    def _rpc_llmConfigure(self, **engine_kwargs) -> Generator:
+        session = self._session()
+        if session.llm is not None:
+            raise CudaError(
+                cudaError.cudaErrorInvalidValue, "decode engine already configured"
+            )
+        config = getattr(self.gpu_server, "config", None)
+        batch_cap = getattr(config, "llm_max_decode_batch", 0) if config else 0
+        session.llm = DecodeEngine(self, batch_cap=batch_cap, **engine_kwargs)
+        if False:
+            yield
+        return session.llm.max_batch
+
+    def _rpc_llmSubmit(self, req_id: int, prompt_tokens: int,
+                       output_tokens: int) -> Generator:
+        self._llm_engine().submit(req_id, prompt_tokens, output_tokens)
+        if False:
+            yield
+        return None
+
+    def _rpc_llmStep(self) -> Generator:
+        return (yield from self._llm_engine().step())
+
+    def _rpc_llmStats(self) -> Generator:
+        if False:
+            yield
+        return self._llm_engine().stats()
+
+    def _llm_engine(self) -> DecodeEngine:
+        engine = self._session().llm
+        if engine is None:
+            raise CudaError(
+                cudaError.cudaErrorInitializationError, "no decode engine configured"
+            )
+        return engine
 
     # -- helpers ----------------------------------------------------------------------
     def _session(self) -> FunctionSession:

@@ -133,6 +133,9 @@ class DgsfConfig:
     #: bound on stored trace records; past it the tracer counts drops
     #: (never silently) instead of growing
     trace_max_spans: int = 250_000
+    #: deployment-wide cap on concurrently decoding sequences per LLM
+    #: engine — ``llmConfigure`` clamps the guest's requested batch to it
+    llm_max_decode_batch: int = 8
 
     def __post_init__(self):
         if self.num_gpus <= 0:
@@ -171,6 +174,8 @@ class DgsfConfig:
             raise ConfigurationError("async_max_in_flight must be positive")
         if self.trace_max_spans <= 0:
             raise ConfigurationError("trace_max_spans must be positive")
+        if self.llm_max_decode_batch <= 0:
+            raise ConfigurationError("llm_max_decode_batch must be positive")
 
     @property
     def sharing_enabled(self) -> bool:

@@ -739,6 +739,30 @@ class GuestLibrary:
         yield from self._remote("cublasOp", *args)
         return None
 
+    # ======================= LLM decode surface =======================
+    # Serving engines drive the server-side decode loop through these
+    # remoted calls; none are idempotent (submit/step mutate engine
+    # state), so a crash mid-call surfaces to the platform for retry.
+
+    def llmConfigure(self, **engine_kwargs) -> Generator:
+        self._intercept()
+        return (yield from self._remote("llmConfigure", **engine_kwargs))
+
+    def llmSubmit(self, req_id: int, prompt_tokens: int,
+                  output_tokens: int) -> Generator:
+        self._intercept()
+        return (yield from self._remote(
+            "llmSubmit", int(req_id), int(prompt_tokens), int(output_tokens)
+        ))
+
+    def llmStep(self) -> Generator:
+        self._intercept()
+        return (yield from self._remote("llmStep"))
+
+    def llmStats(self) -> Generator:
+        self._intercept()
+        return (yield from self._remote("llmStats"))
+
 
 class GuestGpuBundle:
     """What a DGSF function receives as its GPU: the guest library plus

@@ -70,6 +70,18 @@ class GpuRequest:
     #: function-class key for fair-queueing disciplines (the function
     #: name, when the platform submits it); None = derived from size
     flow_key: Optional[str] = None
+    #: where this request's *accountable* wait began.  Equals
+    #: ``submitted_at`` for a fresh request; a crash-requeued clone gets
+    #: the requeue time instead, so the original's already-traced queue
+    #: span [submit, grant1] is not counted a second time inside the
+    #: clone's span (critpath coverage used to exceed 100% of e2e).
+    #: ``submitted_at`` keeps the true arrival for aging/starvation
+    #: bounds.  -1.0 = unset (falls back to ``submitted_at``).
+    accounted_from: float = -1.0
+
+    def wait_start(self) -> float:
+        """Start of the wait window charged to this request's grant."""
+        return self.accounted_from if self.accounted_from >= 0.0 else self.submitted_at
 
 
 class Monitor:
@@ -183,7 +195,70 @@ class Monitor:
             return None
         device_id, declared = charge
         self.committed[device_id] -= declared
+        self._publish_committed(device_id)
         return device_id
+
+    def _publish_committed(self, device_id: int) -> None:
+        """Gauge the device's committed fraction (drives the memory SLO)."""
+        if self.metrics is None:
+            return
+        capacity = self.schedulable_capacity.get(device_id)
+        if not capacity:
+            return
+        self.metrics.gauge(
+            "gpu.committed_frac", device=device_id
+        ).set(self.committed[device_id] / capacity, t=self.env.now)
+
+    # -- dynamic (KV-cache) charges ----------------------------------------------
+    def charge_extra(self, api_server, nbytes: int, force: bool = False) -> bool:
+        """Grow a granted server's charge by ``nbytes`` of dynamic memory.
+
+        LLM serving allocates KV-cache pages *after* the grant, beyond the
+        declared bytes; charging them through the same ledger means cache
+        pressure is visible everywhere declared bytes are: feasibility
+        checks (``schedulable_free``), imbalance detection and migration
+        targeting (``charged_bytes``), and the invariant auditor.  Returns
+        False — charging nothing — when the device lacks schedulable
+        headroom, which is the API server's signal to evict.
+
+        ``force=True`` charges unconditionally (the progress guarantee for
+        a lone sequence that must grow or live-lock): ``committed`` may
+        then exceed capacity, making ``schedulable_free`` negative — no
+        new grants land on the device until pages are released, which is
+        exactly the pressure semantics wanted.
+        """
+        if nbytes <= 0:
+            raise SimulationError("extra charge must be positive")
+        sid = api_server.server_id
+        charge = self._charges.get(sid)
+        if charge is None:
+            raise SimulationError(f"server {sid} holds no charge to grow")
+        device_id, total = charge
+        if not force and self.schedulable_free(device_id) < nbytes:
+            return False
+        self.committed[device_id] += nbytes
+        self._charges[sid] = (device_id, total + nbytes)
+        self._publish_committed(device_id)
+        return True
+
+    def uncharge_extra(self, api_server, nbytes: int) -> None:
+        """Return ``nbytes`` of a server's dynamic charge (eviction path).
+
+        The base (declared) charge must survive until :meth:`release`,
+        which pops the whole remaining total at once.
+        """
+        sid = api_server.server_id
+        charge = self._charges.get(sid)
+        if charge is None:
+            raise SimulationError(f"server {sid} holds no charge")
+        device_id, total = charge
+        if nbytes <= 0 or nbytes > total:
+            raise SimulationError(
+                f"cannot uncharge {nbytes} B from a {total} B charge"
+            )
+        self.committed[device_id] -= nbytes
+        self._charges[sid] = (device_id, total - nbytes)
+        self._publish_committed(device_id)
 
     # -- request handling --------------------------------------------------------------
     def schedulable_free(self, device_id: int) -> int:
@@ -200,6 +275,15 @@ class Monitor:
     def _queue(self):
         """The scheduler's arrival-ordered deque (legacy test hook)."""
         return self.scheduler._queue
+
+    def observe_pending_waits(self) -> None:
+        """Teardown hook: flush still-queued waits into the metrics.
+
+        See :meth:`DispatchScheduler.flush_pending_waits` — without this,
+        a saturated run's tail waits (requests never granted) are absent
+        from ``scheduler.queue_wait_s`` entirely.
+        """
+        self.scheduler.flush_pending_waits()
 
     def submit_request(self, declared_bytes: int, invocation_id: int = -1,
                        expected_duration_s: float = 0.0,
@@ -223,6 +307,7 @@ class Monitor:
             resubmitted=Event(self.env),
             trace_ctx=trace_ctx,
             flow_key=flow_key,
+            accounted_from=self.env.now,
         )
         self.requests_total += 1
         self.scheduler.enqueue(request)
@@ -294,13 +379,14 @@ class Monitor:
         server.reserved = True
         self.committed[device_id] += request.declared_bytes
         self._charges[server.server_id] = (device_id, request.declared_bytes)
+        self._publish_committed(device_id)
         self._inflight[server.server_id] = request
         request.granted_at = self.env.now
         if self.tracer is not None:
             pid, tid = self._trace_track()
             trace_id, parent_id = request.trace_ctx or (None, None)
             self.tracer.complete(
-                "gpu_request", request.submitted_at, self.env.now,
+                "gpu_request", request.wait_start(), self.env.now,
                 cat="queue", pid=pid, tid=tid,
                 trace_id=trace_id, parent_id=parent_id,
                 invocation_id=request.invocation_id,
@@ -403,6 +489,9 @@ class Monitor:
             resubmitted=Event(self.env),
             trace_ctx=orphan.trace_ctx,
             flow_key=orphan.flow_key,
+            # the wait already served before the crash was accounted to the
+            # orphan's grant; the clone's window starts at the requeue
+            accounted_from=self.env.now,
         )
         orphan.superseded = clone
         self.requests_requeued += 1
@@ -499,7 +588,11 @@ class Monitor:
         # move the scheduling charge with the server
         charge = self._charges.get(server.server_id)
         if charge is not None:
+            # the stored total includes any dynamic (KV-cache) extras, so
+            # cache pressure moves to the target with the server
             _, declared = charge
             self.committed[source] -= declared
             self.committed[target_device_id] += declared
             self._charges[server.server_id] = (target_device_id, declared)
+            self._publish_committed(source)
+            self._publish_committed(target_device_id)

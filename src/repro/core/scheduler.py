@@ -153,7 +153,10 @@ class DispatchScheduler:
         raise NotImplementedError
 
     def _grant(self, request: "GpuRequest", device_id: int) -> None:
-        wait = self.monitor.env.now - request.submitted_at
+        # wait_start (not submitted_at): a crash-requeued clone's window
+        # opens at the requeue, so the pre-crash wait — already observed
+        # against the orphan's grant — is not double counted
+        wait = self.monitor.env.now - request.wait_start()
         cls = size_class(request.declared_bytes)
         if wait > self.max_wait_s.get(cls, -1.0):
             self.max_wait_s[cls] = wait
@@ -161,10 +164,35 @@ class DispatchScheduler:
         if self.metrics is not None:
             self.metrics.counter("scheduler.granted", discipline=self.name).inc()
             self.metrics.histogram(
-                "scheduler.queue_wait_s", discipline=self.name, size_class=cls
+                "scheduler.queue_wait_s", discipline=self.name, size_class=cls,
+                outcome="granted",
             ).observe(wait)
             self._publish_backlog()
         self.monitor._grant(request, device_id)
+
+    def flush_pending_waits(self) -> None:
+        """Observe the waits of everything still queued (survivorship fix).
+
+        ``scheduler.queue_wait_s`` used to record only at grant time, so
+        the requests still waiting when a saturated run ends — exactly
+        the ones that define p99 under backlog — never appeared in the
+        histogram.  Harnesses call this at teardown/snapshot time; the
+        still-queued waits land labeled ``outcome="abandoned"`` (grants
+        carry ``outcome="granted"``) and update ``max_wait_s`` the same
+        way a grant would.  Idempotent by construction only when the
+        queue is empty; call it once per run.
+        """
+        now = self.monitor.env.now
+        for request in self._queue:
+            wait = now - request.wait_start()
+            cls = size_class(request.declared_bytes)
+            if wait > self.max_wait_s.get(cls, -1.0):
+                self.max_wait_s[cls] = wait
+            if self.metrics is not None:
+                self.metrics.histogram(
+                    "scheduler.queue_wait_s", discipline=self.name,
+                    size_class=cls, outcome="abandoned",
+                ).observe(wait)
 
 
 class FcfsScheduler(DispatchScheduler):
@@ -331,8 +359,23 @@ class MqfqScheduler(DispatchScheduler):
 
     # -- flow plumbing ------------------------------------------------------
     def flow_key(self, request: "GpuRequest") -> str:
-        """Function class of a request (falls back to its size class)."""
-        return request.flow_key or f"~{size_class(request.declared_bytes)}"
+        """Function class of a request.
+
+        Unhinted requests (no ``flow_key``) used to collapse into one
+        shared ``~{size_class}`` flow, so a single chatty unhinted
+        function could starve every classmate queued behind it in that
+        flow's FIFO.  The fallback is now per *invocation* (the closest
+        per-function identity a bare request carries), so each unhinted
+        request activates its own flow at the current virtual time and
+        competes under the same start-tag order as everything else.  The
+        size-class fallback remains only for anonymous requests
+        (``invocation_id == -1``, e.g. raw test harness submissions).
+        """
+        if request.flow_key:
+            return request.flow_key
+        if request.invocation_id != -1:
+            return f"~inv:{request.invocation_id}"
+        return f"~{size_class(request.declared_bytes)}"
 
     def _flow_for(self, request: "GpuRequest") -> _Flow:
         key = self.flow_key(request)
@@ -371,7 +414,15 @@ class MqfqScheduler(DispatchScheduler):
                 flow.requests.remove(request)
             except ValueError:
                 pass
+            self._maybe_prune(flow)
         return True
+
+    def _maybe_prune(self, flow: _Flow) -> None:
+        # per-invocation fallback flows never see a second request
+        # (invocation ids are unique); drop them once drained so the
+        # flow table doesn't grow with every unhinted invocation
+        if not flow.requests and flow.key.startswith("~inv:"):
+            self._flows.pop(flow.key, None)
 
     # -- dispatch -----------------------------------------------------------
     def _choose_device(self, views, flow: _Flow, request: "GpuRequest"):
@@ -419,6 +470,7 @@ class MqfqScheduler(DispatchScheduler):
                 if flow.requests:
                     flow.finish_tag = flow.start_tag + self._cost(flow.requests[0])
                 flow.last_device = choice
+                self._maybe_prune(flow)
                 self._grant(head, choice)
                 progress = True
                 break

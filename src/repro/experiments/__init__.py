@@ -25,6 +25,7 @@ from repro.experiments import (
     sched_ablation,
     critpath_ablation,
     shard_ablation,
+    llm_ablation,
 )
 from repro.experiments.reporting import render_table, render_series
 
@@ -45,6 +46,7 @@ __all__ = [
     "sched_ablation",
     "critpath_ablation",
     "shard_ablation",
+    "llm_ablation",
     "render_table",
     "render_series",
 ]

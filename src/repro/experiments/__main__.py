@@ -16,13 +16,13 @@ import time
 
 from repro.experiments import (
     table2, table3, table4, table5, fig3, fig4, fig5, fig6, fig7, fig8,
-    sched_ablation, critpath_ablation, shard_ablation,
+    sched_ablation, critpath_ablation, shard_ablation, llm_ablation,
     render_table, render_series,
 )
 
 EXPERIMENTS = [
     "table2", "fig3", "fig4", "table3", "fig5", "table4", "fig6",
-    "fig7", "fig8", "table5", "sched", "critpath", "shard",
+    "fig7", "fig8", "table5", "sched", "critpath", "shard", "llm",
 ]
 
 
@@ -79,6 +79,11 @@ def run_one(name: str, seed: int, copies: int, trace_dir: str = None) -> None:
         _print_rows(
             "Critical-path ablation — dominant resource by setting",
             critpath_ablation.run(seed=seed, copies=min(copies, 3)),
+        )
+    elif name == "llm":
+        _print_rows(
+            "LLM serving ablation — continuous vs request-level batching",
+            llm_ablation.run(seed=seed, copies=min(copies, 3)),
         )
     elif name == "shard":
         # copies scales the per-run invocation budget (default 10 -> 1M);

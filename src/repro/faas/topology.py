@@ -45,6 +45,8 @@ __all__ = [
     "pool_metrics_collect",
     "dgsf_scenario",
     "dgsf_collect",
+    "llm_shard_scenario",
+    "llm_shard_collect",
     "DEFAULT_LOOKAHEAD_S",
     "DGSF_PLAN_START_S",
 ]
@@ -299,5 +301,88 @@ def dgsf_collect(ctx) -> dict:
             "n": len(records),
             "p50_e2e_s": round(float(np.percentile(e2es, 50)), 6) if e2es else None,
             "p95_e2e_s": round(float(np.percentile(e2es, 95)), 6) if e2es else None,
+        }
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# LLM serving scenario: one chat-serving deployment per group
+# ---------------------------------------------------------------------------
+
+def _llm_group_driver(ctx, group_id, deployment, ready_events, plan, llm_mode):
+    from repro.sim.core import AllOf
+    from repro.workloads import register_llm_workloads
+
+    env = ctx.env
+    yield AllOf(env, ready_events)
+    deployment.finish_setup()
+    register_llm_workloads(deployment.platform, names=sorted(set(plan.names)))
+    if env.now > DGSF_PLAN_START_S:
+        raise ConfigurationError(
+            f"group {group_id} bring-up overran the plan anchor "
+            f"({env.now} > {DGSF_PLAN_START_S})"
+        )
+    yield env.timeout(DGSF_PLAN_START_S - env.now)
+    records = yield from deployment.platform.run_plan(plan, llm_mode=llm_mode)
+    ctx.state[group_id]["records"] = records
+
+
+def llm_shard_scenario(ctx, copies=2, num_gpus=1, burst_gap_s=3.0,
+                       workload: str = "llm_chat",
+                       llm_mode: str = "continuous",
+                       tracing_enabled: bool = False):
+    """One chat-serving DGSF deployment per group (shard-safe).
+
+    Like :func:`dgsf_scenario` but the arrival plan is a burst plan
+    (deterministic without RNG) of one LLM workload, and the batching
+    mode is threaded through invocation params.  Chat traces come from
+    each workload's fixed ``trace_seed``, so per-token timelines — and
+    hence the merged digest — are bit-identical no matter which shard a
+    group lands on.  Drive with ``run_sharded(..., until=<horizon>)``.
+    """
+    from repro.core.config import DgsfConfig
+    from repro.core.deployment import DgsfDeployment
+    from repro.faas.workload_gen import burst_arrivals
+
+    for g in ctx.groups:
+        group_rngs = ctx.group_rngs(g)
+        deployment = DgsfDeployment(
+            DgsfConfig(num_gpus=num_gpus, api_servers_per_gpu=2,
+                       queue_discipline="mqfq", seed=ctx.seed,
+                       tracing_enabled=tracing_enabled),
+            env=ctx.env,
+            rngs=group_rngs.fork("deployment"),
+            tracer=ctx.tracer,
+        )
+        ctx.note_tracer(deployment.tracer)
+        ctx.register_slo(g, deployment.slo)
+        ready_events = deployment.start_servers()
+        plan = burst_arrivals([workload], bursts=copies, burst_gap_s=burst_gap_s)
+        ctx.state[g] = {"deployment": deployment, "records": None}
+        ctx.env.process(
+            _llm_group_driver(ctx, g, deployment, ready_events, plan, llm_mode),
+            name=f"group-{g}",
+        )
+
+
+def llm_shard_collect(ctx) -> dict:
+    """Per-group token/emission census: exact counts plus the per-stream
+    emission CRCs, so the merged digest pins the entire token timeline."""
+    rows = {}
+    for g in ctx.groups:
+        records = ctx.state[g]["records"]
+        if records is None:
+            raise ConfigurationError(
+                f"group {g} plan did not finish before the horizon"
+            )
+        completed = [inv for inv in records if inv.status == "completed"]
+        rows[g] = {
+            "n": len(records),
+            "completed": len(completed),
+            "n_tokens": sum(inv.result["n_tokens"] for inv in completed),
+            "n_iterations": sum(inv.result["n_iterations"] for inv in completed),
+            "emission_crcs": sorted(
+                inv.result["emission_crc"] for inv in completed
+            ),
         }
     return rows

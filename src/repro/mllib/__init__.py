@@ -27,6 +27,7 @@ from repro.mllib.onnxrt import OnnxInferenceSession
 from repro.mllib.tflib import TfSession
 from repro.mllib.cupylib import CupyContext, CupyArray
 from repro.mllib.opencvlib import CvGpuMat, cv_upload, cv_resize, cv_filter, cv_download
+from repro.mllib.llm import LlmModelSpec, ChatRequest, make_chat_trace, LlmSession
 
 __all__ = [
     "ModelSpec",
@@ -40,4 +41,8 @@ __all__ = [
     "cv_resize",
     "cv_filter",
     "cv_download",
+    "LlmModelSpec",
+    "ChatRequest",
+    "make_chat_trace",
+    "LlmSession",
 ]

@@ -20,6 +20,9 @@ Rules shipped by :func:`default_rules`:
 * :class:`GpuImbalanceRule` — spread between the busiest and idlest
   GPU's windowed mean utilization (catches skewed scheduling / a wedged
   server, §V-C's sharing concern).
+* :class:`GpuMemoryPressureRule` — sustained near-capacity committed
+  memory on a device (declared charges + KV-cache extras), the regime
+  where LLM cache growth forces evictions and blocks grants.
 * :class:`QueueStarvationRule` — oldest unserved scheduler request's
   wait (FIFO-approximated from enqueue/grant/cancel counter streams);
   catches disciplines starving large jobs.
@@ -47,6 +50,7 @@ __all__ = [
     "BurnRateRule",
     "LatencyRule",
     "GpuImbalanceRule",
+    "GpuMemoryPressureRule",
     "QueueStarvationRule",
     "SloEngine",
     "default_rules",
@@ -263,6 +267,56 @@ class GpuImbalanceRule(Rule):
         }
 
 
+class GpuMemoryPressureRule(Rule):
+    """Sustained near-capacity committed GPU memory on any device.
+
+    Watches the monitor's ``gpu.committed_frac`` gauge (declared charges
+    plus dynamic KV-cache extras over schedulable capacity).  Fires when
+    some device's windowed mean committed fraction stays at or above
+    ``min_frac`` — the regime where LLM KV-cache growth forces evictions
+    and blocks new grants.  One-shot spikes (a single large grant that
+    releases quickly) don't hold the windowed mean up, so they don't page.
+    """
+
+    metrics = ("gpu.committed_frac",)
+
+    def __init__(self, name: str = "gpu-memory-pressure", min_frac: float = 0.95,
+                 window_s: float = 30.0, min_samples: int = 3,
+                 severity: str = "warning"):
+        if not 0.0 < min_frac <= 1.0:
+            raise ValueError("min_frac must be in (0, 1]")
+        self.name = name
+        self.severity = severity
+        self.min_frac = min_frac
+        self.window_s = window_s
+        self.min_samples = min_samples
+        self._devices: dict[tuple, SlidingWindow] = {}
+
+    def observe(self, metric, value: float, t: float) -> None:
+        key = (metric.labels.get("gpu_server"), metric.labels.get("device"))
+        window = self._devices.get(key)
+        if window is None:
+            window = self._devices[key] = SlidingWindow(self.window_s)
+        window.add(t, value)
+
+    def check(self, now: float) -> Optional[dict]:
+        worst_key, worst_mean = None, None
+        for key, window in self._devices.items():
+            window.prune(now)
+            if window.count < self.min_samples:
+                continue
+            mean = window.mean()
+            if worst_mean is None or mean > worst_mean:
+                worst_key, worst_mean = key, mean
+        if worst_mean is None or worst_mean < self.min_frac:
+            return None
+        return {
+            "device": f"gpu{worst_key[1]}",
+            "mean_committed_frac": round(worst_mean, 4),
+            "min_frac": self.min_frac,
+        }
+
+
 class QueueStarvationRule(Rule):
     """Oldest unserved GPU request waiting past ``max_wait_s``.
 
@@ -309,6 +363,7 @@ def default_rules() -> list[Rule]:
         BurnRateRule(),
         LatencyRule(),
         GpuImbalanceRule(),
+        GpuMemoryPressureRule(),
         QueueStarvationRule(),
     ]
 

@@ -5,9 +5,10 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-__all__ = ["Dim3", "DeviceProperties", "MemcpyKind", "V100_PROPERTIES", "MB", "GB"]
+__all__ = ["Dim3", "DeviceProperties", "MemcpyKind", "V100_PROPERTIES", "KB", "MB", "GB"]
 
-MB = 1024 * 1024
+KB = 1024
+MB = 1024 * KB
 GB = 1024 * MB
 
 

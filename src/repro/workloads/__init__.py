@@ -26,6 +26,14 @@ from repro.workloads.registry import (
     stage_objects,
 )
 from repro.workloads.synthetic import synthetic_migration_workload
+from repro.workloads.llm_workloads import (
+    LlmWorkloadParams,
+    LLM_WORKLOADS,
+    ALL_LLM_WORKLOAD_NAMES,
+    make_llm_handler,
+    register_llm_workloads,
+    stage_llm_objects,
+)
 
 __all__ = [
     "WorkloadParams",
@@ -37,4 +45,10 @@ __all__ = [
     "register_workloads",
     "stage_objects",
     "synthetic_migration_workload",
+    "LlmWorkloadParams",
+    "LLM_WORKLOADS",
+    "ALL_LLM_WORKLOAD_NAMES",
+    "make_llm_handler",
+    "register_llm_workloads",
+    "stage_llm_objects",
 ]

@@ -1,0 +1,256 @@
+"""Chat-serving LLM workloads (continuous batching + KV-cache pressure).
+
+Three scenario families over one GPU phase:
+
+* ``llm_chat`` — steady chat traffic: short prompts, short replies,
+  modest KV footprint.  The baseline for the continuous-vs-request
+  batching ablation.
+* ``llm_chat_long`` — the same traffic with a fraction of long-context
+  outliers (retrieval-augmented prompts): KV growth is bursty and
+  imbalance between co-resident functions shows up, which is what the
+  migration experiment leans on.
+* ``llm_chat_storm`` — cache-eviction storm: two co-resident engines
+  whose declared reservations nearly fill the GPU, with heavyweight
+  per-token KV.  Page charges get denied, LIFO preemption/recompute
+  kicks in, and the force-charge progress guarantee is exercised.
+
+Deliberately kept OUT of :data:`repro.workloads.params.WORKLOADS` — the
+six paper workloads and their goldens stay untouched; LLM workloads
+register through :func:`register_llm_workloads`.
+
+Traces are seeded by each workload's fixed ``trace_seed`` (never by
+invocation id), so every invocation replays an identical trace and token
+counts are seed-stable across runs and shard layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.errors import ConfigurationError
+from repro.faas.platform import FunctionSpec, ServerlessPlatform
+from repro.faas.storage import ObjectStore
+from repro.mllib.llm import LlmModelSpec, LlmSession, make_chat_trace
+from repro.simcuda.types import GB, KB, MB
+
+__all__ = [
+    "LlmWorkloadParams",
+    "LLM_WORKLOADS",
+    "ALL_LLM_WORKLOAD_NAMES",
+    "llm_gpu_phase",
+    "make_llm_handler",
+    "register_llm_workloads",
+    "stage_llm_objects",
+]
+
+
+@dataclass(frozen=True)
+class LlmWorkloadParams:
+    """One chat-serving scenario: a model plus a traffic shape."""
+
+    name: str
+    #: (object name, bytes) for the weights download
+    model_object: tuple[str, int]
+    #: host-side tokenizer/runtime setup folded into the download phase
+    host_prep_s: float
+    #: GPU memory the function declares (weights + activations headroom;
+    #: KV pages are charged dynamically on top via the monitor ledger)
+    declared_gpu_bytes: int
+    spec: LlmModelSpec
+    #: traffic shape — replayed identically on every invocation
+    n_requests: int
+    mean_gap_s: float
+    prompt_mean_tokens: int
+    output_mean_tokens: int
+    trace_seed: int
+    long_context_frac: float = 0.0
+    long_prompt_tokens: int = 0
+
+    def trace(self):
+        return make_chat_trace(
+            n_requests=self.n_requests,
+            mean_gap_s=self.mean_gap_s,
+            prompt_mean_tokens=self.prompt_mean_tokens,
+            output_mean_tokens=self.output_mean_tokens,
+            seed=self.trace_seed,
+            long_context_frac=self.long_context_frac,
+            long_prompt_tokens=self.long_prompt_tokens,
+        )
+
+
+LLM_WORKLOADS: dict[str, LlmWorkloadParams] = {}
+
+
+def _register(p: LlmWorkloadParams) -> None:
+    LLM_WORKLOADS[p.name] = p
+
+
+# ----------------------------------------------------------------------
+# Steady chat: a small chat model, short prompts/replies.  KV pages are
+# 64 tokens x 256 KB = 16 MB; a typical sequence holds 2-3 pages.
+# ----------------------------------------------------------------------
+_register(LlmWorkloadParams(
+    name="llm_chat",
+    model_object=("llm/chat-weights", int(1.5 * GB)),
+    host_prep_s=0.3,
+    declared_gpu_bytes=int(2.5 * GB),
+    spec=LlmModelSpec(
+        name="chat-3b",
+        weight_bytes=int(1.5 * GB),
+        kv_bytes_per_token=256 * KB,
+        kv_page_tokens=64,
+        prefill_s_per_token=2e-4,
+        decode_base_s=8e-3,
+        decode_s_per_seq=2e-3,
+        max_batch=8,
+    ),
+    n_requests=10,
+    mean_gap_s=0.3,
+    prompt_mean_tokens=96,
+    output_mean_tokens=48,
+    trace_seed=11,
+))
+
+# ----------------------------------------------------------------------
+# Long-context outliers: 15% of prompts are 1024-token retrieval dumps.
+# Same model; KV demand is bursty, so co-resident imbalance appears.
+# ----------------------------------------------------------------------
+_register(LlmWorkloadParams(
+    name="llm_chat_long",
+    model_object=("llm/chat-weights", int(1.5 * GB)),
+    host_prep_s=0.3,
+    declared_gpu_bytes=int(2.5 * GB),
+    spec=LlmModelSpec(
+        name="chat-3b",
+        weight_bytes=int(1.5 * GB),
+        kv_bytes_per_token=256 * KB,
+        kv_page_tokens=64,
+        prefill_s_per_token=2e-4,
+        decode_base_s=8e-3,
+        decode_s_per_seq=2e-3,
+        max_batch=8,
+    ),
+    n_requests=10,
+    mean_gap_s=0.25,
+    prompt_mean_tokens=96,
+    output_mean_tokens=96,
+    trace_seed=13,
+    long_context_frac=0.15,
+    long_prompt_tokens=1024,
+))
+
+# ----------------------------------------------------------------------
+# Cache-eviction storm: two of these co-resident on one 16 GB V100
+# commit ~13 GB of declared memory, leaving ~1 GB of schedulable
+# headroom for KV.  Pages are 64 tokens x 1 MB = 64 MB, so a handful of
+# growing sequences exhaust it: charge denials, LIFO preemption with
+# recompute, and force-charged progress all fire.  Physical usage stays
+# far below capacity — the pressure is in the ledger, as designed.
+# ----------------------------------------------------------------------
+_register(LlmWorkloadParams(
+    name="llm_chat_storm",
+    model_object=("llm/chat-weights", int(1.5 * GB)),
+    host_prep_s=0.3,
+    declared_gpu_bytes=int(6.5 * GB),
+    spec=LlmModelSpec(
+        name="chat-3b-wide-kv",
+        weight_bytes=int(1.5 * GB),
+        kv_bytes_per_token=1 * MB,
+        kv_page_tokens=64,
+        prefill_s_per_token=2e-4,
+        decode_base_s=8e-3,
+        decode_s_per_seq=2e-3,
+        max_batch=4,
+    ),
+    n_requests=8,
+    mean_gap_s=0.15,
+    prompt_mean_tokens=128,
+    output_mean_tokens=64,
+    trace_seed=17,
+))
+
+ALL_LLM_WORKLOAD_NAMES = tuple(LLM_WORKLOADS)
+
+
+def stage_llm_objects(store: ObjectStore, names: list[str] | None = None) -> None:
+    """Upload the LLM weights objects into the store."""
+    for params in LLM_WORKLOADS.values():
+        if names is not None and params.name not in names:
+            continue
+        obj, size = params.model_object
+        if obj not in store:
+            store.put_object(obj, size)
+
+
+def llm_gpu_phase(fc, params: LlmWorkloadParams) -> Generator:
+    """Acquire a GPU, load weights, serve the chat trace, tear down.
+
+    The batching mode comes through invocation params (``llm_mode``), so
+    the same registered function serves both arms of the ablation.
+    """
+    env = fc.env
+    mode = fc.params.get("llm_mode", "continuous")
+
+    t0 = env.now
+    q0 = fc.invocation.phases.get("gpu_queue", 0.0)
+    gpu = yield from fc.acquire_gpu()
+    yield from gpu.cudaGetDeviceCount()
+    queued = fc.invocation.phases.get("gpu_queue", 0.0) - q0
+    fc.add_phase("cuda_init", env.now - t0 - queued)
+
+    t0 = env.now
+    session = LlmSession(
+        env, gpu, params.spec,
+        metrics=getattr(fc.platform, "metrics", None),
+        workload=params.name,
+        span=fc.invocation._span,
+    )
+    yield from session.load(mode)
+    fc.add_phase("model_load", env.now - t0)
+
+    t0 = env.now
+    summary = yield from session.serve(params.trace(), mode)
+    fc.add_phase("processing", env.now - t0)
+
+    yield from session.close()
+    return summary
+
+
+def make_llm_handler(name: str):
+    params = LLM_WORKLOADS.get(name)
+    if params is None:
+        raise ConfigurationError(f"unknown LLM workload {name!r}")
+
+    def handler(fc) -> Generator:
+        objects = [params.model_object[0]]
+        yield from fc.download(objects)
+        t0 = fc.env.now
+        yield fc.env.timeout(params.host_prep_s)
+        fc.add_phase("download", fc.env.now - t0)
+        result = yield from llm_gpu_phase(fc, params)
+        return result
+
+    handler.__name__ = f"{name}_handler"
+    return handler
+
+
+def register_llm_workloads(
+    platform: ServerlessPlatform,
+    names: list[str] | None = None,
+    min_replicas: int = 12,
+) -> None:
+    """Register the LLM workloads (and stage their weights)."""
+    if platform.storage is not None:
+        stage_llm_objects(platform.storage, names)
+    for params in LLM_WORKLOADS.values():
+        if names is not None and params.name not in names:
+            continue
+        platform.register(
+            FunctionSpec(
+                name=params.name,
+                handler=make_llm_handler(params.name),
+                gpu_mem_bytes=params.declared_gpu_bytes,
+                min_replicas=min_replicas,
+            )
+        )

@@ -78,6 +78,40 @@ def test_crash_between_grant_and_session_requeues_request():
     ).raise_if_failed()
 
 
+def test_requeued_request_does_not_double_count_queue_wait():
+    """Regression: a crash-requeued clone kept the orphan's original
+    submit time, so the wait already accounted to the first grant was
+    reported again on the clone's grant — the two ``gpu_request`` queue
+    spans overlapped and summed to more than the invocation's wall wait
+    (critical-path coverage could exceed 100%).  The clone's accounting
+    window must start at the requeue."""
+    world = make_world(DgsfConfig(num_gpus=1, tracing_enabled=True))
+    monitor = world.monitor
+    env = world.env
+    t_submit = env.now
+    req = monitor.submit_request(1 * GB)
+    server = env.run(until=req.granted)
+    env.run(until=env.now + 1.0)  # let some granted-but-unattached time pass
+    t_crash = env.now
+    server.crash()
+    clone = env.run(until=req.resubmitted)
+    assert clone.accounted_from >= t_crash
+    assert clone.submitted_at == req.submitted_at  # provenance preserved
+    env.run(until=clone.granted)
+    spans = [s for s in world.dep.tracer.spans(cat="queue")
+             if s.name == "gpu_request"]
+    assert len(spans) == 2
+    spans.sort(key=lambda s: s.t_start)
+    # non-overlapping accounting windows whose sum is bounded by the wall
+    assert spans[1].t_start >= spans[0].t_end
+    total_wait = sum(s.t_end - s.t_start for s in spans)
+    assert total_wait <= env.now - t_submit + 1e-9
+    monitor.cancel(clone)
+    audit_gpu_server(
+        world.gpu_server, end_state=True, check_schedulable=True
+    ).raise_if_failed()
+
+
 # --- guest-side RPC timeout + retry ------------------------------------------
 
 def test_guest_retries_idempotent_call_through_partition():

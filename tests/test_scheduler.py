@@ -268,6 +268,93 @@ def test_mqfq_cancel_keeps_flow_in_sync():
     assert not first.granted.triggered
 
 
+# -- unhinted fallback flows (regression: shared-flow starvation) -------------
+def test_mqfq_unhinted_fallback_flow_is_per_invocation():
+    """Unhinted requests with invocation identity must not share a flow;
+    the size-class fallback survives only for anonymous submissions."""
+    world = make_world(DgsfConfig(num_gpus=1, queue_discipline="mqfq"))
+    sched = world.monitor.scheduler
+    blocker = occupy(world)
+    r1 = world.monitor.submit_request(1 * GB, invocation_id=101)
+    r2 = world.monitor.submit_request(1 * GB, invocation_id=102)
+    anon = world.monitor.submit_request(1 * GB)
+    assert sched.flow_key(r1) == "~inv:101"
+    assert sched.flow_key(r2) == "~inv:102"
+    assert sched.flow_key(r1) != sched.flow_key(r2)
+    assert sched.flow_key(anon) == "~small"
+    for req in (r1, r2, anon):
+        world.monitor.cancel(req)
+    # drained per-invocation flows are pruned, not leaked
+    assert not [k for k in sched._flows if k.startswith("~inv:")]
+    release(world, blocker)
+
+
+def test_mqfq_chatty_unhinted_does_not_penalize_classmate():
+    """Regression: unhinted requests used to share one ``~{size_class}``
+    flow, so a served chatty request advanced the shared flow's virtual
+    tags and every unhinted classmate enqueued afterwards reactivated at
+    the chatty function's *finish* tag — queued behind every hinted flow
+    despite having consumed nothing.  With per-invocation fallback flows
+    the classmate activates at the current virtual time and competes
+    start-tag-fairly with hinted traffic."""
+    world = make_world(DgsfConfig(num_gpus=1, queue_discipline="mqfq"))
+    monitor = world.monitor
+    blocker = occupy(world)
+    chatty = monitor.submit_request(1 * GB, invocation_id=1,
+                                    expected_duration_s=30.0)
+    release(world, blocker)
+    server = grant(world, chatty)
+    server.begin_session(1 * GB)
+    # while the chatty request holds the only server, a hinted flow and
+    # an unhinted classmate both queue up
+    o1 = monitor.submit_request(1 * GB, expected_duration_s=1.0,
+                                flow_key="other")
+    o2 = monitor.submit_request(1 * GB, expected_duration_s=1.0,
+                                flow_key="other")
+    victim = monitor.submit_request(1 * GB, invocation_id=2,
+                                    expected_duration_s=1.0)
+    release(world, server)
+    s = grant(world, o1)
+    s.begin_session(1 * GB)
+    release(world, s)
+    # the classmate's flow did NOT inherit the chatty 30 s finish tag:
+    # it beats the hinted flow's second request under start-tag order
+    s = grant(world, victim)
+    assert not o2.granted.triggered
+    s.begin_session(1 * GB)
+    release(world, s)
+    s = grant(world, o2)
+    s.begin_session(1 * GB)
+    release(world, s)
+
+
+# -- pending-wait flush (regression: survivorship bias) -----------------------
+def test_pending_waits_flushed_at_teardown():
+    """Regression: ``scheduler.queue_wait_s`` recorded only at grant time,
+    so a saturated run's still-queued requests — the ones that define the
+    tail — never appeared.  ``observe_pending_waits`` folds them in under
+    ``outcome="abandoned"``; grants stay labeled ``outcome="granted"``."""
+    world = make_world(DgsfConfig(num_gpus=1, queue_discipline="fcfs"))
+    blocker = occupy(world)
+    stuck = world.monitor.submit_request(1 * GB)
+    world.env.run(until=world.env.now + 5.0)
+    assert not stuck.granted.triggered
+    world.monitor.observe_pending_waits()
+    metrics = world.dep.metrics
+    abandoned = list(metrics.find("scheduler.queue_wait_s",
+                                  discipline="fcfs", outcome="abandoned"))
+    assert abandoned and abandoned[0].count == 1
+    assert abandoned[0].observations[0] >= 5.0
+    # the blocker's own grant landed in the granted-labeled histogram
+    granted = list(metrics.find("scheduler.queue_wait_s",
+                                discipline="fcfs", outcome="granted"))
+    assert granted and granted[0].count == 1
+    # the abandoned wait also feeds the per-class max-wait bookkeeping
+    assert world.monitor.scheduler.max_wait_s["small"] >= 5.0
+    world.monitor.cancel(stuck)
+    release(world, blocker)
+
+
 # -- metrics ------------------------------------------------------------------
 def test_scheduler_metrics_recorded():
     world = make_world(DgsfConfig(num_gpus=1, queue_discipline="fcfs"))
