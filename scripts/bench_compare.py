@@ -31,10 +31,20 @@ order, which is a correctness regression however fast it runs.
 Exit status: 0 = within tolerance, 1 = regression (prints every
 violation), 2 = files not comparable.
 
+With ``--explain``, a banded-metric failure is followed by differential
+regression attribution (:mod:`repro.obs.diff`): rows that carry an
+embedded ``attribution`` map (``BENCH_llm.json`` does) are diffed by
+percentile x resource category and the violations are annotated with
+*why* the tail moved — "steady/continuous p99 +40.0 ms: 80% queue" —
+so CI names the guilty subsystem, not just the guilty number.
+``--explain-out PATH`` additionally writes the full diff table as JSON
+(the CI diff-report artifact).
+
 Usage::
 
     python scripts/bench_compare.py BENCH_sched.json /tmp/fresh-sched.json
     python scripts/bench_compare.py BENCH_ablation.json fresh.json --rel-tol 0.01
+    python scripts/bench_compare.py BENCH_llm.json fresh.json --explain
 """
 
 from __future__ import annotations
@@ -166,6 +176,47 @@ def compare_section(section: str, identity: tuple, base_rows: list,
     return problems
 
 
+def attribution_maps(sections, baseline: dict, fresh: dict) -> tuple[dict, dict]:
+    """Collect per-row ``attribution`` maps, keyed by the row identity."""
+    base_attr: dict = {}
+    fresh_attr: dict = {}
+    for section, identity in sections:
+        for source, out in ((baseline, base_attr), (fresh, fresh_attr)):
+            for row in source.get(section, []):
+                if isinstance(row.get("attribution"), dict):
+                    label = "/".join(str(row.get(f)) for f in identity)
+                    out[label] = row["attribution"]
+    return base_attr, fresh_attr
+
+
+def explain(sections, baseline: dict, fresh: dict,
+            out_path: Path | None) -> list[dict]:
+    """Attribute the regression; prints the diff table, returns its rows.
+
+    Imported lazily so the plain compare path needs no repro package on
+    sys.path (verify.sh calls this script bare).
+    """
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.obs.diff import diff_attribution, format_diff_row
+
+    base_attr, fresh_attr = attribution_maps(sections, baseline, fresh)
+    rows = diff_attribution(base_attr, fresh_attr)
+    if not rows:
+        print("explain: rows carry no attribution maps to diff "
+              "(regenerate the bench with tracing enabled)", file=sys.stderr)
+    else:
+        print("attribution (why the tail moved):", file=sys.stderr)
+        for row in rows:
+            marker = " <-- regression" if row["regression"] else ""
+            print(f"  * {format_diff_row(row)}{marker}", file=sys.stderr)
+    if out_path is not None:
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps({"rows": rows}, indent=1,
+                                       sort_keys=True) + "\n")
+        print(f"explain: wrote {out_path}", file=sys.stderr)
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=Path,
@@ -189,7 +240,16 @@ def main(argv=None) -> int:
                         help="compat key to exempt from the match check "
                              "(e.g. 'events' when gating a --quick kernel "
                              "run on its size-independent order section)")
+    parser.add_argument("--explain", action="store_true",
+                        help="on a banded-metric failure, print differential "
+                             "regression attribution from the rows' embedded "
+                             "attribution maps (repro.obs.diff)")
+    parser.add_argument("--explain-out", type=Path, default=None, metavar="PATH",
+                        help="also write the attribution diff table as JSON "
+                             "(implies --explain)")
     args = parser.parse_args(argv)
+    if args.explain_out is not None:
+        args.explain = True
 
     baseline = load(args.baseline)
     fresh = load(args.fresh)
@@ -230,6 +290,8 @@ def main(argv=None) -> int:
               f"({len(problems)} violation(s)):", file=sys.stderr)
         for p in problems:
             print(f"  - {p}", file=sys.stderr)
+        if args.explain:
+            explain(sections, baseline, fresh, args.explain_out)
         return 1
     print(f"OK: {compared} row(s) of {args.fresh} within "
           f"±({args.abs_tol} + {args.rel_tol * 100:g}%) of {args.baseline}")

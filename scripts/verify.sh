@@ -79,8 +79,17 @@ PYTHONPATH=src python scripts/bench_llm.py --copies 2 --out "$LLM_OUT"
 
 echo "== llm-bench regression gate (bench_compare) =="
 # token/iteration/preemption/migration counts gate exactly; latency
-# percentiles band; nothing throughput-shaped is compared
-python scripts/bench_compare.py BENCH_llm.json "$LLM_OUT"
+# percentiles band; nothing throughput-shaped is compared.  --explain
+# prints differential regression attribution on a banded failure.
+python scripts/bench_compare.py BENCH_llm.json "$LLM_OUT" --explain
+
+echo "== regression-attribution smoke (explain_smoke) =="
+# Injects a synthetic queue slowdown into a copy of the fresh LLM bench
+# and asserts bench_compare --explain blames the right category; the
+# perturbed copy + attribution diff land in EXPLAIN_OUT_DIR as the CI
+# diff-report artifact.  Misattribution exits non-zero.
+python scripts/explain_smoke.py "$LLM_OUT" \
+    --out "${EXPLAIN_OUT_DIR:-/tmp/dgsf-explain-smoke}"
 
 echo "== sharded flight-recorder smoke (shard_report) =="
 # 4-shard process-mode traced run -> one merged flight bundle; the script
@@ -90,3 +99,11 @@ echo "== sharded flight-recorder smoke (shard_report) =="
 FLIGHT_OUT="${FLIGHT_OUT_DIR:-/tmp/dgsf-flight}"
 PYTHONPATH=src python scripts/shard_report.py --out-dir "$FLIGHT_OUT"
 PYTHONPATH=src python scripts/profile_report.py --sharded "$FLIGHT_OUT"
+
+echo "== sampled flight-recorder smoke (shard_report --sample-rate) =="
+# Same traced run at a 20% head rate: keep/drop decisions ride the
+# cross-shard envelopes, the coordinator resolves foreign spans against
+# the merged kept set, and the bundle still validates end to end.
+PYTHONPATH=src python scripts/shard_report.py \
+    --out-dir "${FLIGHT_OUT}-sampled" --sample-rate 0.2
+PYTHONPATH=src python scripts/profile_report.py --sharded "${FLIGHT_OUT}-sampled"

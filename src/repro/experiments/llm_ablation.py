@@ -27,6 +27,7 @@ from __future__ import annotations
 from repro.core.config import DgsfConfig
 from repro.core.deployment import DgsfDeployment
 from repro.faas.workload_gen import burst_arrivals
+from repro.obs.diff import attribution_from_tracer
 from repro.obs.metrics import _percentile
 from repro.workloads.llm_workloads import register_llm_workloads
 
@@ -57,6 +58,10 @@ def run_llm_scenario(workload: str, mode: str, seed: int = 0, copies: int = 2,
     handler through invocation params (``llm_mode``).
     """
     config_kwargs.setdefault("num_gpus", 1)
+    # tracing is pure bookkeeping (no events, no RNG) — the served
+    # timeline and every latency number are identical with it on; the
+    # spans feed the per-row regression attribution below
+    config_kwargs.setdefault("tracing_enabled", True)
     cfg = DgsfConfig(
         api_servers_per_gpu=2, queue_discipline="mqfq", seed=seed,
         **config_kwargs,
@@ -93,7 +98,7 @@ def _row(scenario: str, mode: str, records, dep) -> dict:
     n_migrations = sum(
         len(server.monitor.migration_records) for server in dep.gpu_servers
     )
-    return {
+    row = {
         "scenario": scenario,
         "mode": mode,
         **totals,
@@ -103,6 +108,16 @@ def _row(scenario: str, mode: str, records, dep) -> dict:
         "p99_ttft_s": round(_percentile(ttft_obs, 99), 3),
         "committed_peak_frac": round(kv_peak_frac, 3),
     }
+    if dep.tracer is not None:
+        # tail-cohort critical-path attribution (repro.obs.diff): one
+        # deployment per (scenario, mode), so the single workload's
+        # entry is the row's.  bench_compare --explain diffs these maps
+        # to name the category behind a banded-metric failure.
+        attr = attribution_from_tracer(dep.tracer)
+        if attr:
+            (_, entry), = attr.items()
+            row["attribution"] = entry
+    return row
 
 
 def run(seed: int = 0, copies: int = 2,

@@ -216,6 +216,12 @@ class ServerlessPlatform:
         #: invocations submitted but not yet finished (mirrors the
         #: ``invocation.active`` gauge when a registry is attached)
         self.active_invocations = 0
+        #: stable sampling-key prefix (the deployment's group name in
+        #: sharded topologies).  Head-sampling keys are built from
+        #: ``scope|workload|per-platform-arrival-seq`` — never from raw
+        #: trace ids, whose counter values shift with shard packing.
+        self.sample_scope = ""
+        self._sample_seq = 0
 
     # -- registry ---------------------------------------------------------------
     def register(self, spec: FunctionSpec) -> None:
@@ -252,12 +258,20 @@ class ServerlessPlatform:
                 self.active_invocations, t=self.env.now
             )
         if self.tracer is not None:
+            trace_id = self.tracer.new_trace_id()
+            self._sample_seq += 1
+            self.tracer.sample_root(
+                trace_id,
+                key=f"{self.sample_scope}|{name}|{self._sample_seq}",
+                scope=self.sample_scope,
+                workload=name,
+            )
             invocation.bind_span(self.tracer.begin(
                 f"invocation:{name}",
                 cat="invocation",
                 pid="invocations",
                 tid=f"inv-{invocation.invocation_id}",
-                trace_id=self.tracer.new_trace_id(),
+                trace_id=trace_id,
                 workload=name,
                 invocation_id=invocation.invocation_id,
             ))
@@ -350,15 +364,15 @@ class ServerlessPlatform:
                     "invocation.status",
                     workload=invocation.function_name,
                     status=invocation.status,
-                ).inc()
+                ).inc(trace_id=invocation.trace_id)
                 self.metrics.histogram(
                     "invocation.e2e_s",
                     workload=invocation.function_name,
                     status=invocation.status,
-                ).observe(invocation.e2e_s)
+                ).observe(invocation.e2e_s, trace_id=invocation.trace_id)
                 self.metrics.histogram(
                     "invocation.queue_s", workload=invocation.function_name
-                ).observe(invocation.queue_s)
+                ).observe(invocation.queue_s, trace_id=invocation.trace_id)
             if ctx._gpu_lease is not None:
                 yield from ctx._gpu_lease.release()
             pool.release(container, token)

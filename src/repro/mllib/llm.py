@@ -209,6 +209,9 @@ class LlmSession:
             hist_token = self.metrics.histogram("llm.token_latency_s", **labels)
             hist_ttft = self.metrics.histogram("llm.ttft_s", **labels)
             ctr_tokens = self.metrics.counter("llm.tokens", **labels)
+        # exemplar link: latency observations carry the serving trace id
+        # so an SLO alert (or a histogram bucket) can name the trace
+        trace_id = self.span.trace_id if self.span is not None else None
         while next_idx < len(ordered) or inflight:
             # submit every request that has arrived by now
             while (next_idx < len(ordered)
@@ -233,9 +236,9 @@ class LlmSession:
             for req_id, token_n, done in emissions:
                 prev = last_t.get(req_id, arrive[req_id])
                 if hist_token is not None:
-                    hist_token.observe(t - prev)
+                    hist_token.observe(t - prev, trace_id=trace_id)
                     if token_n == 1:
-                        hist_ttft.observe(t - arrive[req_id])
+                        hist_ttft.observe(t - arrive[req_id], trace_id=trace_id)
                 last_t[req_id] = t
                 self.tokens_emitted += 1
                 self.emission_crc = zlib.crc32(
@@ -249,6 +252,13 @@ class LlmSession:
             if ctr_tokens is not None:
                 ctr_tokens.inc(len(emissions))
         stats = yield from gpu.llmStats()
+        if (self.span is not None and stats.get("n_preemptions")
+                and getattr(self.span.tracer, "_sampler", None) is not None):
+            # tail-keep hook: kv_preempt is an "interesting" instant, so
+            # a sampled run always retains preemption-storm traces.  Only
+            # emitted under a sampler — unsampled trace digests (goldens,
+            # BENCH_shard) stay byte-identical to the pre-sampling export.
+            self.span.instant("kv_preempt", n=int(stats["n_preemptions"]))
         return {
             "n_requests": len(ordered),
             "n_tokens": self.tokens_emitted,

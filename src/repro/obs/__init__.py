@@ -23,7 +23,18 @@
   imbalance) are evaluated after a sharded run.
 * :mod:`repro.obs.flight` — flight-recorder bundles: one self-validating
   artifact directory per sharded run (merged trace, metrics, alerts,
-  critpath, epoch telemetry, manifest).
+  critpath, folded flame stacks, epoch telemetry, manifest).
+* :mod:`repro.obs.sampling` — deterministic head sampling (trace-key
+  hash vs ``DgsfConfig.trace_sample_rate``) plus tail-keep rules that
+  retain the interesting traces: errored/preempted roots, SLO-alert
+  exemplars and overlaps, and each window's latency maximum.  Decisions
+  propagate over the cross-shard wire so a trace is kept or dropped
+  whole, identically for every shard count.
+* :mod:`repro.obs.diff` — differential regression attribution: align
+  two runs' tail-cohort critical-path attributions by workload x
+  percentile x category and decompose a latency delta additively
+  ("steady p99 +40 ms: 80% queue, 15% gpu_compute"), plus a difffolded
+  flamegraph diff.
 
 Everything here is pure bookkeeping: recording a span or bumping a
 counter reads ``env.now`` and appends to Python lists, but never creates
@@ -33,6 +44,15 @@ hold bit-for-bit with tracing, SLO evaluation and critical-path
 collection on or off.
 """
 
+from repro.obs.diff import (
+    attribution_from_bundle,
+    attribution_from_tracer,
+    cohort_attribution,
+    diff_attribution,
+    flame_diff,
+    format_diff_row,
+    load_attribution,
+)
 from repro.obs.critpath import (
     aggregate_critpaths,
     bottleneck_table,
@@ -55,8 +75,9 @@ from repro.obs.report import (
     invocation_breakdowns,
     percentile,
 )
+from repro.obs.sampling import TraceSampler
 from repro.obs.slo import AlertEvent, SloEngine, default_rules, evaluate_cluster_slo
-from repro.obs.trace import Span, SpanRecord, Tracer, trace_digest
+from repro.obs.trace import NullSpan, Span, SpanRecord, Tracer, trace_digest
 
 __all__ = [
     "AlertEvent",
@@ -64,22 +85,31 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NullSpan",
     "SloEngine",
     "Span",
     "SpanRecord",
     "Tracer",
+    "TraceSampler",
     "aggregate_breakdowns",
     "aggregate_critpaths",
+    "attribution_from_bundle",
+    "attribution_from_tracer",
     "bottleneck_table",
     "breakdown_table_rows",
+    "cohort_attribution",
     "critical_path",
     "critpath_report",
     "default_rules",
+    "diff_attribution",
     "dump_folded",
     "evaluate_cluster_slo",
+    "flame_diff",
     "folded_stacks",
+    "format_diff_row",
     "invocation_breakdowns",
     "invocation_critpaths",
+    "load_attribution",
     "load_bundle_records",
     "load_chrome_records",
     "percentile",

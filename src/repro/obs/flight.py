@@ -18,6 +18,9 @@ file                      contents
 ``metrics.json``          merged registry dump (``as_dict`` form)
 ``alerts.json``           per-shard SLO transitions + cluster re-evaluation
 ``critpath.json``         critical-path aggregate + coverage violations
+``flame.folded``          folded critical-path stacks (``stack weight``
+                          lines) — feed two bundles' copies to
+                          :mod:`repro.obs.diff` for a flamegraph diff
 ``epochs.json``           ``run_sharded``'s sync telemetry (epoch log,
                           barrier stalls, envelope traffic, imbalance)
 ========================  ==================================================
@@ -36,7 +39,7 @@ import os
 from typing import Optional
 
 from repro.errors import ConfigurationError
-from repro.obs.critpath import critpath_report
+from repro.obs.critpath import critpath_report, dump_folded, folded_stacks
 from repro.obs.slo import evaluate_cluster_slo
 from repro.obs.trace import SpanRecord, trace_digest
 
@@ -60,6 +63,7 @@ _BUNDLE_FILES = (
     "metrics.json",
     "alerts.json",
     "critpath.json",
+    "flame.folded",
     "epochs.json",
 )
 
@@ -114,6 +118,7 @@ def write_flight_bundle(result, out_dir,
         "cluster_summary": cluster.summary(),
     })
     _dump(os.path.join(out_dir, "critpath.json"), critpath_out)
+    dump_folded(folded_stacks(tracer), os.path.join(out_dir, "flame.folded"))
     _dump(os.path.join(out_dir, "epochs.json"), result.sync)
 
     lookahead = result.lookahead_s
@@ -131,6 +136,11 @@ def write_flight_bundle(result, out_dir,
         "n_span_records": len(tracer.records),
         "n_alerts": len(result.alerts),
         "files": list(_BUNDLE_FILES),
+        # sampling provenance: a bundle made at rate < 1.0 holds a
+        # *subset* of traces — diffing it against an unsampled bundle is
+        # valid for kept traces but the cohorts are smaller
+        "sampled_out": tracer.sampled_out,
+        "sampling": tracer.summary().get("sampling"),
     }
     _dump(os.path.join(out_dir, "manifest.json"), manifest)
     return manifest

@@ -60,18 +60,24 @@ def _percentile(values: list[float], q: float) -> float:
 class Counter:
     """A monotonically increasing counter."""
 
-    __slots__ = ("name", "labels", "value", "_registry")
+    __slots__ = ("name", "labels", "value", "last_trace_id", "_registry")
 
     def __init__(self, name: str, labels: dict):
         self.name = name
         self.labels = labels
         self.value = 0
+        #: exemplar: the trace behind the most recent increment (None
+        #: when the caller has no trace context) — lets an SLO rule link
+        #: the counter stream back to a concrete timeline
+        self.last_trace_id: Optional[int] = None
         self._registry: Optional["MetricsRegistry"] = None
 
-    def inc(self, amount: int = 1) -> None:
+    def inc(self, amount: int = 1, trace_id: Optional[int] = None) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease")
         self.value += amount
+        if trace_id is not None:
+            self.last_trace_id = trace_id
         if self._registry is not None:
             self._registry._notify(self, amount)
 
@@ -79,10 +85,28 @@ class Counter:
         return f"Counter({self.name}{self.labels or ''}={self.value})"
 
 
-class Gauge:
-    """A last-value gauge that also keeps its full (time, value) series."""
+#: retained-sample bound per gauge series; beyond it the series is
+#: decimated exactly the way Histogram decimates (see Gauge.set) so
+#: million-invocation runs keep O(cap) memory per gauge
+_GAUGE_CAP = 65536
 
-    __slots__ = ("name", "labels", "times", "values", "_registry")
+
+class Gauge:
+    """A last-value gauge that also keeps a bounded (time, value) series.
+
+    The series is complete until :data:`_GAUGE_CAP` samples have been
+    retained, after which it is halved (every other sample dropped) and
+    only every ``stride``-th new sample is kept — the same deterministic
+    systematic decimation :class:`Histogram` applies, so same-seed runs
+    stay bit-identical.  The *last* value is always exact regardless of
+    decimation (:attr:`value` reads a scalar, not the series), and the
+    live notification stream still fires for **every** ``set`` — SLO
+    window rules see the full stream; only the stored history thins.
+    :attr:`truncated`/:attr:`dropped` surface the loss, never silent.
+    """
+
+    __slots__ = ("name", "labels", "times", "values", "_registry",
+                 "_count", "_last", "_stride", "_phase")
 
     def __init__(self, name: str, labels: dict):
         self.name = name
@@ -90,16 +114,48 @@ class Gauge:
         self.times: list[float] = []
         self.values: list[float] = []
         self._registry: Optional["MetricsRegistry"] = None
+        self._count = 0
+        self._last: Optional[tuple[float, float]] = None  # exact (t, value)
+        self._stride = 1  # keep every _stride-th sample
+        self._phase = 0
 
     def set(self, value: float, t: float) -> None:
-        self.times.append(t)
-        self.values.append(value)
+        self._count += 1
+        self._last = (t, value)
+        self._phase += 1
+        if self._phase >= self._stride:
+            self._phase = 0
+            self.times.append(t)
+            self.values.append(value)
+            if len(self.values) >= _GAUGE_CAP:
+                # Halve the retained series and the future keep rate —
+                # identical policy to Histogram.observe.
+                del self.times[::2]
+                del self.values[::2]
+                self._stride *= 2
         if self._registry is not None:
             self._registry._notify(self, value, t=t)
 
     @property
     def value(self) -> Optional[float]:
+        if self._last is not None:
+            return self._last[1]
         return self.values[-1] if self.values else None
+
+    @property
+    def count(self) -> int:
+        """Samples ever set (exact, decimation-independent)."""
+        return max(self._count, len(self.values))
+
+    @property
+    def truncated(self) -> bool:
+        """True once samples have been dropped from the stored series."""
+        return self._stride > 1
+
+    @property
+    def dropped(self) -> int:
+        """Samples not present in the retained series."""
+        return self.count - len(self.values)
 
     def series(self) -> list[tuple[float, float]]:
         return list(zip(self.times, self.values))
@@ -112,6 +168,21 @@ class Gauge:
 #: (see Histogram.observe) so memory stays O(cap) no matter how long the
 #: scenario runs
 _HISTOGRAM_CAP = 65536
+
+#: fixed log-spaced bucket upper edges for histogram exemplars (seconds
+#: or milliseconds alike — coverage from sub-ms to hours); fixed edges
+#: keep the exemplar set deterministic and bounded
+_EXEMPLAR_EDGES = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5,
+                   1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0)
+
+
+def _exemplar_bucket(value: float) -> float:
+    """The upper edge of the exemplar bucket ``value`` falls in
+    (``inf`` for values beyond the last edge)."""
+    for edge in _EXEMPLAR_EDGES:
+        if value <= edge:
+            return edge
+    return float("inf")
 
 
 class Histogram:
@@ -129,10 +200,19 @@ class Histogram:
     The sorted snapshot used by percentile queries is cached and
     invalidated when the sample changes, so ``p50``/``p95``/``p99`` after
     a batch of observes sort once, not three times.
+
+    **Exemplars**: an ``observe`` that carries a ``trace_id`` files it as
+    the exemplar for the fixed log-spaced bucket its value falls in
+    (latest observation wins) and as :attr:`last_trace_id` — so "what
+    does a 40 s invocation look like?" maps straight to a concrete trace
+    in the flight bundle, and SLO rules can name the traces that
+    breached them.  Exemplars are bounded (one per bucket) and purely
+    additive: call sites without trace context change nothing.
     """
 
     __slots__ = ("name", "labels", "observations", "_registry",
-                 "_count", "_total", "_sorted", "_stride", "_phase")
+                 "_count", "_total", "_sorted", "_stride", "_phase",
+                 "last_trace_id", "exemplars")
 
     def __init__(self, name: str, labels: dict):
         self.name = name
@@ -144,8 +224,12 @@ class Histogram:
         self._sorted: Optional[list[float]] = None  # cached sorted sample
         self._stride = 1  # keep every _stride-th observation
         self._phase = 0
+        #: exemplar: the trace behind the most recent observation
+        self.last_trace_id: Optional[int] = None
+        #: bucket upper edge -> (value, trace_id) of its latest exemplar
+        self.exemplars: dict[float, tuple[float, int]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: Optional[int] = None) -> None:
         self._count += 1
         self._total += value
         self._phase += 1
@@ -159,6 +243,9 @@ class Histogram:
                 # halve the keep rate for future observations.
                 del obs[::2]
                 self._stride *= 2
+        if trace_id is not None:
+            self.last_trace_id = trace_id
+            self.exemplars[_exemplar_bucket(value)] = (value, trace_id)
         if self._registry is not None:
             self._registry._notify(self, value)
 
@@ -298,10 +385,13 @@ class MetricsRegistry:
                 out.append(("counter", name, labels, metric.value))
             elif isinstance(metric, Gauge):
                 out.append(("gauge", name, labels,
-                            list(metric.times), list(metric.values)))
+                            list(metric.times), list(metric.values),
+                            metric.count, metric._last))
             else:
                 out.append(("histogram", name, labels, metric._count,
-                            metric._total, list(metric.observations)))
+                            metric._total, list(metric.observations),
+                            sorted((edge, v, tid) for edge, (v, tid)
+                                   in metric.exemplars.items())))
         return out
 
     def merge_snapshot(self, snapshot: list) -> None:
@@ -319,11 +409,21 @@ class MetricsRegistry:
                 self.counter(name, **labels).value += entry[3]
             elif kind == "gauge":
                 gauge = self.gauge(name, **labels)
+                gauge._count += entry[5] if len(entry) > 5 else len(entry[3])
                 gauge.times.extend(entry[3])
                 gauge.values.extend(entry[4])
                 series = sorted(zip(gauge.times, gauge.values))
                 gauge.times = [t for t, _ in series]
                 gauge.values = [v for _, v in series]
+                incoming_last = entry[6] if len(entry) > 6 else None
+                if incoming_last is not None:
+                    incoming_last = tuple(incoming_last)
+                    if gauge._last is None or incoming_last[0] >= gauge._last[0]:
+                        gauge._last = incoming_last
+                while len(gauge.values) >= _GAUGE_CAP:
+                    del gauge.times[::2]
+                    del gauge.values[::2]
+                    gauge._stride *= 2
             elif kind == "histogram":
                 hist = self.histogram(name, **labels)
                 hist._count += entry[3]
@@ -333,6 +433,10 @@ class MetricsRegistry:
                 while len(hist.observations) >= _HISTOGRAM_CAP:
                     del hist.observations[::2]
                     hist._stride *= 2
+                if len(entry) > 6:
+                    for edge, value, tid in entry[6]:
+                        hist.exemplars[edge] = (value, tid)
+                        hist.last_trace_id = tid
             else:
                 raise ValueError(f"unknown snapshot entry kind {kind!r}")
 
@@ -346,7 +450,12 @@ class MetricsRegistry:
             if isinstance(metric, Counter):
                 out[key] = metric.value
             elif isinstance(metric, Gauge):
-                out[key] = {"last": metric.value, "samples": len(metric.times)}
+                entry = {"last": metric.value, "samples": len(metric.times)}
+                if metric.truncated:
+                    # The stored series is decimated; surface how much the
+                    # cap dropped (the live stream saw everything).
+                    entry["sample_dropped"] = metric.dropped
+                out[key] = entry
             else:
                 entry = {"count": metric.count, "sum": metric.total}
                 if metric.count:
@@ -360,6 +469,11 @@ class MetricsRegistry:
                     # Percentiles above are estimates over the retained
                     # sample; surface how much the cap dropped.
                     entry["sample_dropped"] = metric.dropped
+                if metric.exemplars:
+                    entry["exemplars"] = [
+                        {"le": edge, "value": value, "trace_id": tid}
+                        for edge, (value, tid) in sorted(metric.exemplars.items())
+                    ]
                 out[key] = entry
         return out
 

@@ -1,0 +1,329 @@
+"""Deterministic head + tail trace sampling for always-on tracing.
+
+The bounded :class:`~repro.obs.trace.Tracer` keeps every span until it
+hits ``max_spans`` and then drops *wholesale* — the million-invocation
+runs the roadmap targets truncate at an arbitrary point and lose exactly
+the traces someone will want to look at.  This module replaces
+truncation with a **representative, seed-stable** kept set:
+
+* **Head sampling** — each new root trace is kept with probability
+  ``rate``, decided by hashing a caller-supplied *sampling key* (CRC32
+  mapped to [0, 1)).  The key — not the raw trace id — is hashed
+  because trace ids are allocated from per-tracer counters whose values
+  depend on how groups were packed onto shards; a stable key (scope +
+  workload + per-platform arrival index) makes the kept set invariant
+  across reruns, shard counts, and inline-vs-process execution modes.
+* **Tail keeping** — a head-rejected trace is not discarded at birth: it
+  goes *pending* (its spans buffered, counted against the tracer's span
+  budget) until its fate is known.  Pending traces are promoted to kept
+  when they turn out interesting:
+
+  - the root invocation ends with a non-``completed`` status,
+  - an *interesting* span/instant lands on the trace (KV-cache
+    preemption, crash requeue, RPC retry — :data:`INTERESTING_NAMES`),
+  - an SLO alert fires while the trace is in flight or recently closed
+    (``SLO-alert overlap``), or the alert names the trace as an exemplar,
+  - the trace is the latency maximum of its ``(scope, workload,
+    window)`` bucket — every window keeps its worst invocation.
+
+  Everything else is finalized *out* once it is ``retention_s`` past its
+  close (no alert can retro-keep it any more), so pending memory is
+  bounded by the traffic of one retention window, not by run length.
+
+Decisions are pure bookkeeping over sim-time calls the tracer already
+makes — no events, no RNG — so sampling never perturbs the timeline, and
+a run at ``rate=1.0`` stores exactly what an unsampled run stores.
+
+Cross-shard propagation: a sender's head decision rides the envelope
+trace context (:mod:`repro.simnet.envelope`); the receiving tracer
+registers *foreign* trace decisions via
+:meth:`~repro.obs.trace.Tracer.register_foreign` and ships
+still-undecided foreign records home in its snapshot, where the
+coordinator resolves them against the merged kept set
+(:meth:`~repro.obs.trace.Tracer.resolve_foreign`).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional
+
+__all__ = [
+    "TraceSampler",
+    "INTERESTING_NAMES",
+    "sample_key_hash",
+    "KEPT",
+    "PENDING",
+    "OUT",
+    "FOREIGN_PENDING",
+]
+
+#: span/instant names that promote a pending trace on sight — the
+#: "error / preempted / crash-requeued" tail-keep rule
+INTERESTING_NAMES = frozenset({
+    "kv_preempt",        # KV-cache preemption hit this invocation's engine
+    "request_requeued",  # crash-rescue requeued this invocation's request
+    "rpc_retry",         # the guest retried an idempotent RPC
+})
+
+#: decision states (``state()`` return values)
+KEPT = "kept"
+PENDING = "pending"
+OUT = "out"
+FOREIGN_PENDING = "foreign"
+
+
+def sample_key_hash(key) -> float:
+    """Map a sampling key to a deterministic uniform-ish float in [0, 1).
+
+    ``zlib.crc32`` of the key's string form — stable across processes and
+    Python versions (unlike ``hash()``), cheap, and good enough spread
+    for sampling decisions.
+    """
+    crc = zlib.crc32(str(key).encode())
+    return crc / 4294967296.0  # 2**32
+
+
+class _Pending:
+    """Book-keeping for one head-rejected trace awaiting its fate."""
+
+    __slots__ = ("scope", "workload", "t_start", "t_end")
+
+    def __init__(self, scope: str, workload: str, t_start: float):
+        self.scope = scope
+        self.workload = workload
+        self.t_start = t_start
+        self.t_end: Optional[float] = None  # set when the root ends
+
+
+class TraceSampler:
+    """Head-rate + tail-keep decisions over root traces.
+
+    The sampler is *passive*: it never touches the tracer.  Every method
+    that can change a trace's fate returns a resolution list
+    ``[(trace_id, kept: bool, reason), ...]`` which the owning tracer
+    applies (flushing or discarding the buffered spans).  All calls
+    arrive in sim-time order (they are driven by simulation events), so
+    the kept set is deterministic and — with stable keys — invariant to
+    shard layout.
+    """
+
+    def __init__(self, rate: float, *, window_s: float = 60.0,
+                 retention_s: float = 300.0):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sample rate must be in [0, 1], got {rate}")
+        if window_s <= 0 or retention_s <= 0:
+            raise ValueError("window_s and retention_s must be positive")
+        self.rate = rate
+        #: latency-champion window width (per scope × workload)
+        self.window_s = window_s
+        #: how long a closed pending trace stays revivable by an alert
+        self.retention_s = retention_s
+        self._kept: dict[int, str] = {}        # trace_id -> keep reason
+        self._out: set[int] = set()
+        self._pending: dict[int, _Pending] = {}
+        self._foreign: set[int] = set()        # undecided, homed elsewhere
+        #: (scope, workload, window_index) -> (e2e_s, trace_id)
+        self._champions: dict[tuple, tuple] = {}
+        self._closed: list[tuple] = []         # (t_end, trace_id) FIFO-ish
+        # -- counters (surfaced in Tracer.summary / bundle manifests) ----
+        self.head_kept = 0
+        self.tail_kept: dict[str, int] = {}
+        self.out_traces = 0
+        #: force_keep calls that arrived after the trace was finalized out
+        #: — loud, because it means retention_s was too short for a rule
+        self.late_keeps = 0
+
+    # -- decisions ----------------------------------------------------------
+    def head_decision(self, key) -> bool:
+        """Pure head-sampling verdict for ``key`` (no state change)."""
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        return sample_key_hash(key) < self.rate
+
+    def register(self, trace_id: int, key=None, scope: str = "",
+                 workload: str = "", t_start: float = 0.0) -> bool:
+        """Head decision for a new root trace; True when head-kept.
+
+        ``key`` defaults to the trace id itself — rerun-deterministic but
+        *not* shard-layout invariant (counter values shift with packing);
+        callers that need layout invariance pass a stable key.
+        """
+        if self.head_decision(key if key is not None else trace_id):
+            self.head_kept += 1
+            self._kept[trace_id] = "head"
+            self._foreign.discard(trace_id)
+            return True
+        self._pending[trace_id] = _Pending(scope, workload, t_start)
+        self._foreign.discard(trace_id)
+        return False
+
+    def register_foreign(self, trace_id: int, sampled: bool) -> None:
+        """Adopt a remote shard's head decision for a trace homed there.
+
+        ``sampled=True`` means the sender had already kept the trace;
+        ``False`` means it was pending there — records stay buffered as
+        *foreign* and the coordinator resolves them after the merge.
+        """
+        if (trace_id in self._kept or trace_id in self._out
+                or trace_id in self._pending or trace_id in self._foreign):
+            return
+        if sampled:
+            self._kept[trace_id] = "foreign-head"
+        else:
+            self._foreign.add(trace_id)
+
+    def state(self, trace_id: Optional[int]) -> Optional[str]:
+        """One of :data:`KEPT`/:data:`PENDING`/:data:`OUT`/
+        :data:`FOREIGN_PENDING`, or ``None`` for an unregistered trace
+        (treated as kept — non-invocation traces are never sampled away).
+        """
+        if trace_id is None:
+            return None
+        if trace_id in self._kept:
+            return KEPT
+        if trace_id in self._pending:
+            return PENDING
+        if trace_id in self._out:
+            return OUT
+        if trace_id in self._foreign:
+            return FOREIGN_PENDING
+        return None
+
+    # -- tail rules ---------------------------------------------------------
+    def _promote(self, trace_id: int, reason: str, resolutions: list) -> None:
+        pending = self._pending.pop(trace_id, None)
+        if pending is None:
+            return
+        self._kept[trace_id] = reason
+        self.tail_kept[reason] = self.tail_kept.get(reason, 0) + 1
+        resolutions.append((trace_id, True, reason))
+
+    def _finalize_out(self, trace_id: int, resolutions: list) -> None:
+        if self._pending.pop(trace_id, None) is not None:
+            self._out.add(trace_id)
+            self.out_traces += 1
+            resolutions.append((trace_id, False, "sampled_out"))
+
+    def _expire(self, now: float, resolutions: list) -> None:
+        """Finalize closed non-champion pendings past the retention window."""
+        if not self._closed:
+            return
+        cutoff = now - self.retention_s
+        keep_from = 0
+        champions = {tid for _, tid in self._champions.values()}
+        for t_end, trace_id in self._closed:
+            if t_end >= cutoff:
+                break
+            keep_from += 1
+            if trace_id in champions:
+                continue  # champions are resolved at finalize / displacement
+            self._finalize_out(trace_id, resolutions)
+        if keep_from:
+            del self._closed[:keep_from]
+
+    def note_record(self, trace_id: int, name: str) -> list:
+        """Eager promote on an interesting span/instant name; returns
+        resolutions (applied by the tracer)."""
+        resolutions: list = []
+        if name in INTERESTING_NAMES and trace_id in self._pending:
+            self._promote(trace_id, name, resolutions)
+        return resolutions
+
+    def on_root_end(self, trace_id: int, t_start: float, t_end: float,
+                    status: str) -> list:
+        """Tail rules at root-span end; returns resolutions.
+
+        Kept roots participate too: the latency champion of a window is
+        the max over *all* its invocations, so a kept root can displace a
+        pending champion (which then ages out normally).
+        """
+        resolutions: list = []
+        self._expire(t_end, resolutions)
+        pending = self._pending.get(trace_id)
+        scope, workload = "", ""
+        if pending is not None:
+            pending.t_end = t_end
+            scope, workload = pending.scope, pending.workload
+            if status != "completed":
+                self._promote(trace_id, f"status:{status}", resolutions)
+                return resolutions
+        elif trace_id not in self._kept:
+            return resolutions  # out / foreign: nothing to decide here
+        # latency-champion bookkeeping (kept and pending roots alike)
+        window = int(t_end // self.window_s)
+        ckey = (scope, workload, window)
+        e2e = t_end - t_start
+        current = self._champions.get(ckey)
+        if current is None or e2e > current[0]:
+            self._champions[ckey] = (e2e, trace_id)
+            # the displaced champion rejoins the ordinary closed pool
+            # (self._closed already holds it — nothing more to do)
+        if pending is not None:
+            self._closed.append((t_end, trace_id))
+        return resolutions
+
+    def note_alert(self, t: float, scope: str = "",
+                   exemplar_trace_ids=()) -> list:
+        """An SLO alert fired at ``t``: keep every overlapping trace.
+
+        Promotes the scope's open pendings, its pendings closed within
+        the retention window, and the alert's exemplar traces; returns
+        resolutions.  Scope-filtered so one group's alert cannot change
+        a co-resident group's kept set (that would make the kept set
+        depend on shard packing).
+        """
+        resolutions: list = []
+        cutoff = t - self.retention_s
+        overlap = [
+            tid for tid, p in self._pending.items()
+            if p.scope == scope and (p.t_end is None or p.t_end >= cutoff)
+        ]
+        for tid in overlap:
+            self._promote(tid, "alert", resolutions)
+        for tid in exemplar_trace_ids:
+            if tid in self._pending:
+                self._promote(tid, "exemplar", resolutions)
+            elif tid in self._out:
+                self.late_keeps += 1
+        return resolutions
+
+    def force_keep(self, trace_id: int, reason: str = "forced") -> list:
+        """Promote one pending trace unconditionally; returns resolutions."""
+        resolutions: list = []
+        if trace_id in self._pending:
+            self._promote(trace_id, reason, resolutions)
+        elif trace_id in self._out:
+            self.late_keeps += 1
+        return resolutions
+
+    def finalize(self) -> list:
+        """Resolve every remaining *local* pending (run is over).
+
+        Window champions are kept; everything else goes out.  Foreign
+        pendings are left for the coordinator's post-merge resolution.
+        Idempotent; returns resolutions.
+        """
+        resolutions: list = []
+        champions = {tid for _, tid in self._champions.values()}
+        for trace_id in list(self._pending):
+            if trace_id in champions:
+                self._promote(trace_id, "latency_max", resolutions)
+            else:
+                self._finalize_out(trace_id, resolutions)
+        self._closed.clear()
+        return resolutions
+
+    # -- reporting ----------------------------------------------------------
+    def summary(self) -> dict:
+        return {
+            "rate": self.rate,
+            "head_kept": self.head_kept,
+            "tail_kept": dict(sorted(self.tail_kept.items())),
+            "out_traces": self.out_traces,
+            "pending": len(self._pending),
+            "foreign_pending": len(self._foreign),
+            "late_keeps": self.late_keeps,
+        }

@@ -79,7 +79,12 @@ class AlertEvent:
 
 
 class SlidingWindow:
-    """(t, value) samples within the trailing ``width`` seconds."""
+    """(t, value, tag) samples within the trailing ``width`` seconds.
+
+    ``tag`` (optional, default ``None``) carries per-sample context —
+    rules use it for exemplar trace ids, so a breaching window can name
+    the concrete traces behind it.
+    """
 
     __slots__ = ("width", "_samples", "_sum")
 
@@ -90,15 +95,15 @@ class SlidingWindow:
         self._samples: deque = deque()
         self._sum = 0.0
 
-    def add(self, t: float, value: float) -> None:
-        self._samples.append((t, value))
+    def add(self, t: float, value: float, tag=None) -> None:
+        self._samples.append((t, value, tag))
         self._sum += value
 
     def prune(self, now: float) -> None:
         cutoff = now - self.width
         samples = self._samples
         while samples and samples[0][0] < cutoff:
-            _, value = samples.popleft()
+            _, value, _ = samples.popleft()
             self._sum -= value
 
     @property
@@ -115,7 +120,11 @@ class SlidingWindow:
         return self._sum / len(self._samples)
 
     def values(self) -> list[float]:
-        return [v for _, v in self._samples]
+        return [v for _, v, _ in self._samples]
+
+    def tagged(self) -> list[tuple]:
+        """The live (value, tag) pairs whose tag is set (exemplars)."""
+        return [(v, tag) for _, v, tag in self._samples if tag is not None]
 
 
 class Rule:
@@ -166,10 +175,11 @@ class BurnRateRule(Rule):
 
     def observe(self, metric, value: float, t: float) -> None:
         failed = 0.0 if metric.labels.get("status") == "completed" else value
+        tag = getattr(metric, "last_trace_id", None)
         for total, failures, _ in self.windows:
             total.add(t, value)
             if failed:
-                failures.add(t, failed)
+                failures.add(t, failed, tag)
 
     def check(self, now: float) -> Optional[dict]:
         details = {"target": self.target, "windows": []}
@@ -187,7 +197,16 @@ class BurnRateRule(Rule):
             })
             if burn < factor:
                 firing = False
-        return details if firing else None
+        if not firing:
+            return None
+        # exemplars: the traces behind the fast window's live failures
+        seen: list[int] = []
+        for _, tag in self.windows[0][1].tagged():
+            if tag not in seen:
+                seen.append(tag)
+        if seen:
+            details["exemplars"] = seen[-5:]
+        return details
 
 
 class LatencyRule(Rule):
@@ -206,7 +225,7 @@ class LatencyRule(Rule):
 
     def observe(self, metric, value: float, t: float) -> None:
         # count every completion: a timed-out invocation is a latency too
-        self.window.add(t, value)
+        self.window.add(t, value, getattr(metric, "last_trace_id", None))
 
     def check(self, now: float) -> Optional[dict]:
         self.window.prune(now)
@@ -215,11 +234,19 @@ class LatencyRule(Rule):
         p95 = _percentile(self.window.values(), 95)
         if p95 <= self.threshold_s:
             return None
-        return {
+        details = {
             "p95_s": round(p95, 4),
             "threshold_s": self.threshold_s,
             "count": self.window.count,
         }
+        # exemplars: the worst in-window latencies with trace context
+        offenders = sorted(
+            (pair for pair in self.window.tagged() if pair[0] > self.threshold_s),
+            key=lambda pair: -pair[0],
+        )
+        if offenders:
+            details["exemplars"] = [tag for _, tag in offenders[:3]]
+        return details
 
 
 class GpuImbalanceRule(Rule):
@@ -387,12 +414,23 @@ class SloEngine:
         #: rule name -> the AlertEvent currently firing
         self.active: dict[str, AlertEvent] = {}
         self._routes: dict[str, list[Rule]] = {}
+        #: callbacks invoked on every *firing* transition (resolved
+        #: transitions are log-only) — the deployment hooks the tracer's
+        #: sampler here so alert-overlapping traces are tail-kept
+        self._alert_hooks: list = []
         for rule in self.rules:
             for metric_name in rule.metrics:
                 self._routes.setdefault(metric_name, []).append(rule)
 
     def attach(self, registry: MetricsRegistry) -> "SloEngine":
         registry.subscribe(self._on_observation)
+        return self
+
+    def on_alert(self, hook) -> "SloEngine":
+        """Register ``hook(event)`` for firing transitions.  Hooks must be
+        pure bookkeeping (no events, no RNG), same contract as registry
+        subscribers."""
+        self._alert_hooks.append(hook)
         return self
 
     # -- streaming ---------------------------------------------------------------
@@ -419,6 +457,8 @@ class SloEngine:
                 self.active[rule.name] = event
                 self.alerts.append(event)
                 transitions.append(event)
+                for hook in self._alert_hooks:
+                    hook(event)
             elif details is None and firing is not None:
                 event = AlertEvent(
                     now, rule.name, rule.severity, "resolved",
